@@ -1,0 +1,89 @@
+"""Extension benchmark — the hybrid validator on the *full* benchmark.
+
+Not a paper figure: this implements the conclusion's future-work direction
+("extending beyond machine-generated data to consider natural-language-like
+data") by pairing FMDV-VH with a corpus-expanded dictionary fallback
+(DESIGN.md §4; repro.validate.hybrid).
+
+Expected shape: on the full benchmark — natural-language cases *included*,
+unlike Figure 10's pattern subset — the hybrid recovers substantial recall
+over pattern-only FMDV-VH while keeping its precision, because the NL
+columns that have no syntactic pattern often do have a stable vocabulary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from benchmarks.conftest import (
+    BENCH_CASES,
+    BENCH_CONFIG,
+    RECALL_SAMPLE,
+    record_report,
+)
+from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.eval import AutoValidateMethod, EvaluationRunner, build_benchmark
+from repro.eval.reporting import render_table
+from repro.validate.combined import FMDVCombined
+from repro.validate.hybrid import HybridValidator
+
+
+class _HybridMethod(Validator):
+    name = "Hybrid (VH+dict)"
+
+    def __init__(self, hybrid: HybridValidator):
+        self._hybrid = hybrid
+
+    def fit(self, train_values: Sequence[str], context: FitContext | None = None):
+        result = self._hybrid.infer(list(train_values))
+        if not result.found:
+            return None
+
+        class _Rule(BaselineRule):
+            def flags(self, values, result=result):
+                return result.validate(list(values)).flagged
+
+        return _Rule()
+
+
+def test_extension_hybrid_full_benchmark(
+    benchmark, enterprise_corpus, enterprise_index, enterprise_context
+):
+    # Full benchmark: NL cases stay in.
+    full = build_benchmark(
+        enterprise_corpus, BENCH_CASES, random.Random(7), max_values=1000
+    )
+    runner = EvaluationRunner(
+        full, recall_sample=RECALL_SAMPLE, seed=1, context=enterprise_context
+    )
+
+    corpus_columns = [c.values[:120] for c in list(enterprise_corpus.columns())[:1200]]
+    hybrid = HybridValidator(enterprise_index, corpus_columns, BENCH_CONFIG)
+
+    results = benchmark.pedantic(
+        lambda: {
+            "FMDV-VH (patterns only)": runner.evaluate(
+                AutoValidateMethod(
+                    FMDVCombined, enterprise_index, BENCH_CONFIG, "FMDV-VH (patterns only)"
+                )
+            ),
+            "Hybrid (VH+dict)": runner.evaluate(_HybridMethod(hybrid)),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [r.summary_row() for r in results.values()]
+    record_report(
+        "Extension: hybrid pattern+dictionary on the FULL benchmark (incl. NL)",
+        render_table(rows),
+    )
+
+    pattern_only = results["FMDV-VH (patterns only)"]
+    combined = results["Hybrid (VH+dict)"]
+    # The dictionary fallback buys recall on NL columns…
+    assert combined.recall >= pattern_only.recall + 0.05
+    assert combined.rules_found > pattern_only.rules_found
+    # …without giving up the pattern variant's precision.
+    assert combined.precision >= pattern_only.precision - 0.05
+    assert combined.precision >= 0.85

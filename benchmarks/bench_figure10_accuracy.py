@@ -1,0 +1,123 @@
+"""Figure 10 — precision/recall of all methods on both benchmarks.
+
+Paper reference (Figure 10a, enterprise; eyeballed coordinates):
+
+    FMDV-VH (0.96 precision, 0.88 recall) dominates; FMDV-H ≥ FMDV-V ≥ FMDV;
+    PWheel and SM-I-1 are the best baselines; TFDV's precision is near zero;
+    Deequ has precision ≈ 0.5-0.6 with recall ≤ 0.3; Grok is high-precision/
+    low-recall.  Figure 10b (government) shows the same ordering with every
+    method uniformly lower.
+
+Reproduced shape: the FMDV family dominates on F1 with FMDV-VH on top; the
+significance of the advantage is checked with the paired tests of §5.3.
+FD-UB and AD-UB are recall upper bounds (precision assumed perfect), as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SMALL_SCALE, record_report
+from repro.baselines.autodetect import AutoDetectUpperBound
+from repro.baselines.fd import fd_upper_bound_recall
+from repro.eval.reporting import render_scatter, render_table
+from repro.eval.significance import paired_t_test
+
+
+def _upper_bound_rows(corpus, bench, runner):
+    tables = {t.name: t for t in corpus}
+    fd_recall = fd_upper_bound_recall([c.column for c in bench.cases], tables)
+    ad = AutoDetectUpperBound([c.values[:60] for c in list(corpus.columns())[:800]])
+    ad_recalls = []
+    for case in bench.cases:
+        others = [list(o.test) for o in runner._recall_targets[case.case_id]]
+        ad_recalls.append(ad.upper_bound_recall(list(case.train), others))
+    ad_recall = sum(ad_recalls) / len(ad_recalls) if ad_recalls else 0.0
+    return [
+        {"method": "FD-UB", "precision": 1.0, "recall": round(fd_recall, 3),
+         "F1": "-", "rules": "-", "ms/col": "-"},
+        {"method": "AD-UB", "precision": 1.0, "recall": round(ad_recall, 3),
+         "F1": "-", "rules": "-", "ms/col": "-"},
+    ]
+
+
+def _render(results, extra_rows, title):
+    rows = [r.summary_row() for r in results.values()] + extra_rows
+    table = render_table(rows)
+    points = {
+        name: (res.recall, res.precision) for name, res in results.items()
+    }
+    scatter = render_scatter(points, title="precision vs recall")
+    record_report(title, table + "\n\n" + scatter)
+
+
+def test_figure10a_enterprise(
+    benchmark, figure10_enterprise, enterprise_corpus, enterprise_benchmark
+):
+    runner, results = figure10_enterprise
+    extra = _upper_bound_rows(enterprise_corpus, enterprise_benchmark, runner)
+    _render(results, extra, "Figure 10(a): enterprise benchmark accuracy")
+
+    vh = results["FMDV-VH"]
+    # Headline shape: FMDV-VH leads every method on F1 with high precision.
+    # (At REPRO_BENCH_SCALE=small the corpus is barely large enough for
+    # coverage evidence, so a small tolerance is allowed there.)
+    slack = 0.05 if SMALL_SCALE else 1e-9
+    assert vh.precision >= 0.9
+    assert vh.recall >= 0.6
+    for name, res in results.items():
+        if name != "FMDV-VH":
+            assert vh.f1 >= res.f1 - slack, f"FMDV-VH must dominate {name}"
+    # Variant ordering: cuts help.
+    assert vh.f1 >= results["FMDV-V"].f1 - 1e-9
+    assert vh.f1 >= results["FMDV-H"].f1 - 1e-9
+    assert results["FMDV-V"].f1 >= results["FMDV"].f1 - 1e-9
+    assert results["FMDV-H"].f1 >= results["FMDV"].f1 - 1e-9
+    # TFDV's dictionaries false-alarm on the overwhelming majority (§1: >90%).
+    assert results["TFDV"].precision <= 0.3
+    # Deequ: better precision than TFDV but very low recall on strings.
+    assert results["Deequ-Cat"].recall <= 0.3
+    # Grok: high precision, curated-type-limited recall.
+    assert results["Grok"].precision >= 0.85
+
+    # §5.3 significance: FMDV-VH's F1 advantage over the key baselines.
+    timed = benchmark.pedantic(
+        lambda: {
+            name: paired_t_test(vh.case_f1s(), res.case_f1s())
+            for name, res in results.items()
+            if name in ("PWheel", "TFDV", "SM-I-1", "XSystem", "FlashProfile")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    sig_rows = [{"comparison": f"FMDV-VH > {k}", "p-value": f"{v:.2e}"} for k, v in timed.items()]
+    record_report("Figure 10(a): significance of FMDV-VH advantage", render_table(sig_rows))
+    assert timed["TFDV"] < 0.05
+    assert timed["XSystem"] < 0.05
+
+
+def test_figure10b_government(
+    benchmark, figure10_government, government_corpus, government_benchmark,
+    figure10_enterprise,
+):
+    runner, results = figure10_government
+    extra = _upper_bound_rows(government_corpus, government_benchmark, runner)
+    timed = benchmark.pedantic(
+        lambda: {name: res.f1 for name, res in results.items()},
+        rounds=1,
+        iterations=1,
+    )
+    _render(results, extra, "Figure 10(b): government benchmark accuracy")
+
+    vh = results["FMDV-VH"]
+    slack = 0.05 if SMALL_SCALE else 1e-9
+    assert vh.precision >= 0.8
+    for name, res in results.items():
+        if name.startswith("FMDV"):
+            continue
+        assert vh.f1 >= res.f1 - slack, f"FMDV-VH must dominate {name}"
+
+    # The government benchmark is harder for the FMDV family: smaller corpus
+    # and manual-edit noise (§5.3: "lower precision/recall for all methods").
+    _, ent_results = figure10_enterprise
+    assert vh.f1 <= ent_results["FMDV-VH"].f1 + 0.05
+    assert timed["FMDV-VH"] == vh.f1

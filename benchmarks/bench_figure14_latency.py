@@ -1,0 +1,89 @@
+"""Figure 14 — per-query-column inference latency.
+
+Paper reference: all FMDV variants answer in tens of milliseconds (82 ms
+for the most expensive FMDV-VH) thanks to the offline index, while the
+pattern profilers (PWheel, FlashProfile, XSystem) take 6-7 *seconds* per
+column, and "FMDV (no-index)", which re-scans the corpus per query, is many
+orders of magnitude slower still.
+
+Substitution note (DESIGN.md): our reimplemented profilers are simplified
+and therefore much faster than the authors' original binaries, so the
+profiler-vs-FMDV gap is not reproducible in absolute terms.  The
+architectural claim the figure makes — indexed inference is orders of
+magnitude faster than scanning the corpus at query time — is reproduced
+via the FMDV vs. FMDV (no-index) comparison, which shares every line of
+code except the index.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.conftest import BENCH_CONFIG, record_report
+from repro.baselines import FlashProfile, PottersWheel, XSystem
+from repro.eval.reporting import render_table
+from repro.validate.combined import FMDVCombined
+from repro.validate.fmdv import FMDV, NoIndexFMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.vertical import FMDVVertical
+
+
+def _time_per_column(fn, columns) -> float:
+    start = time.perf_counter()
+    for values in columns:
+        fn(values)
+    return (time.perf_counter() - start) / len(columns) * 1000.0  # ms
+
+
+def test_figure14_latency(benchmark, enterprise_benchmark, enterprise_index, enterprise_corpus):
+    rng = random.Random(5)
+    cases = rng.sample(list(enterprise_benchmark.cases), min(25, len(enterprise_benchmark.cases)))
+    columns = [list(c.train) for c in cases]
+
+    solvers = {
+        "FMDV": FMDV(enterprise_index, BENCH_CONFIG),
+        "FMDV-V": FMDVVertical(enterprise_index, BENCH_CONFIG),
+        "FMDV-H": FMDVHorizontal(enterprise_index, BENCH_CONFIG),
+        "FMDV-VH": FMDVCombined(enterprise_index, BENCH_CONFIG),
+    }
+    profilers = {
+        "PWheel": PottersWheel(),
+        "XSystem": XSystem(),
+        "FlashProfile": FlashProfile(),
+    }
+
+    rows = []
+    latencies = {}
+    for name, solver in solvers.items():
+        ms = _time_per_column(solver.infer, columns)
+        latencies[name] = ms
+        rows.append({"method": name, "ms/column": f"{ms:.1f}", "note": "indexed"})
+    for name, profiler in profilers.items():
+        ms = _time_per_column(profiler.fit, columns)
+        latencies[name] = ms
+        rows.append({"method": name, "ms/column": f"{ms:.1f}",
+                     "note": "simplified reimplementation (see docstring)"})
+
+    # FMDV (no-index): re-scans a corpus sample per query.  Even against a
+    # small 300-column sample this is orders of magnitude slower, so only
+    # 2 query columns are measured.
+    corpus_sample = [c.values[:80] for c in list(enterprise_corpus.columns())[:300]]
+    no_index = NoIndexFMDV(corpus_sample, BENCH_CONFIG)
+    ms_noindex = _time_per_column(no_index.infer, columns[:2])
+    latencies["FMDV (no-index)"] = ms_noindex
+    rows.append(
+        {"method": "FMDV (no-index)", "ms/column": f"{ms_noindex:.0f}",
+         "note": "re-scans 300-column corpus sample per query"}
+    )
+    record_report("Figure 14: per-query-column latency", render_table(rows))
+
+    # The timed kernel for pytest-benchmark: one indexed FMDV-VH inference.
+    benchmark(lambda: solvers["FMDV-VH"].infer(columns[0]))
+
+    # The architectural claim: the index accelerates by >= two orders of
+    # magnitude over per-query corpus scanning.
+    assert latencies["FMDV (no-index)"] / max(latencies["FMDV"], 1e-6) >= 100
+    # Interactive inference: every indexed variant averages under 1 s.
+    for name in solvers:
+        assert latencies[name] < 1000.0

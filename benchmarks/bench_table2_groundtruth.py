@@ -1,0 +1,63 @@
+"""Table 2 — programmatic evaluation vs. hand-labelled ground truth.
+
+Paper reference (Table 2, FMDV-VH on the enterprise benchmark):
+
+    Evaluation method            precision   recall
+    Programmatic evaluation      0.961       0.880
+    Hand curated ground-truth    0.963       0.915
+
+The ground-truth adjustment removes, from the recall denominator, other
+columns drawn from the same domain with the identical ground-truth pattern
+(flagging those is not a real error being missed).  Our generator knows
+every column's ground truth by construction, so the "hand labelling" is
+exact.  Reproduced shape: the adjustment never lowers either number, and
+the two evaluations agree closely — validating the programmatic
+methodology, which is the point of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_CONFIG, RECALL_SAMPLE, record_report
+from repro.eval import AutoValidateMethod, EvaluationRunner
+from repro.eval.reporting import render_table
+from repro.validate.combined import FMDVCombined
+
+
+def test_table2_programmatic_vs_ground_truth(
+    benchmark, figure10_enterprise, enterprise_index, enterprise_benchmark,
+    enterprise_context,
+):
+    _, results = figure10_enterprise
+    programmatic = results["FMDV-VH"]
+
+    runner = EvaluationRunner(
+        enterprise_benchmark, recall_sample=RECALL_SAMPLE, seed=1,
+        context=enterprise_context,
+    )
+    method = AutoValidateMethod(FMDVCombined, enterprise_index, BENCH_CONFIG, "FMDV-VH")
+    adjusted = benchmark.pedantic(
+        lambda: runner.evaluate(method, ground_truth_mode=True),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "Evaluation Method": "Programmatic evaluation",
+            "precision": round(programmatic.precision, 3),
+            "recall": round(programmatic.recall, 3),
+        },
+        {
+            "Evaluation Method": "Generator ground-truth",
+            "precision": round(adjusted.precision, 3),
+            "recall": round(adjusted.recall, 3),
+        },
+    ]
+    record_report("Table 2: programmatic vs ground-truth evaluation", render_table(rows))
+
+    # The adjustment only removes undeserved penalties.
+    assert adjusted.precision >= programmatic.precision - 1e-9
+    assert adjusted.recall >= programmatic.recall - 1e-9
+    # And the two evaluations must agree closely (the paper's point).
+    assert abs(adjusted.precision - programmatic.precision) < 0.1
+    assert abs(adjusted.recall - programmatic.recall) < 0.1

@@ -1,0 +1,119 @@
+"""Table 3 — the user study: programmers vs. FMDV-VH on 20 columns.
+
+Paper reference (Table 3):
+
+    Programmer   avg-time (sec)   avg-precision   avg-recall
+    #1           145              0.65            0.638
+    #2           123              0.45            0.431
+    #3           84               0.30            0.266
+    FMDV-VH      0.08             1.0             0.978
+
+(2 of the 5 recruited programmers failed outright.)  Humans are simulated
+with documented behavioural profiles (DESIGN.md; repro.eval.user_study):
+the reproduced shape is minutes-per-column manual work at materially lower
+precision/recall, versus sub-second inference at near-perfect quality.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.conftest import BENCH_CONFIG, record_report
+from repro.eval.reporting import render_table
+from repro.eval.user_study import DEFAULT_PROGRAMMERS, SimulatedProgrammer, StudyRow
+from repro.validate.combined import FMDVCombined
+
+_N_COLUMNS = 20
+
+
+def _evaluate_participant(write_rule, cases, recall_targets):
+    """Per-case precision/recall with the §5.1 semantics."""
+    seconds, precisions, recalls = [], [], []
+    for case in cases:
+        rule, elapsed = write_rule(case)
+        seconds.append(elapsed)
+        if rule is None:
+            precisions.append(1.0)
+            recalls.append(0.0)
+            continue
+        precision = 0.0 if rule.flags(list(case.test)) else 1.0
+        others = recall_targets[case.case_id]
+        recall = (
+            sum(1 for o in others if rule.flags(list(o.test))) / len(others)
+            if others
+            else 0.0
+        )
+        precisions.append(precision)
+        recalls.append(recall if precision > 0 else 0.0)
+    n = len(cases)
+    return (sum(seconds) / n, sum(precisions) / n, sum(recalls) / n)
+
+
+def test_table3_user_study(benchmark, enterprise_benchmark, enterprise_index):
+    rng = random.Random(99)
+    cases = rng.sample(
+        list(enterprise_benchmark.cases), min(_N_COLUMNS, len(enterprise_benchmark.cases))
+    )
+    pool = list(enterprise_benchmark.cases)
+    recall_targets = {
+        c.case_id: rng.sample([o for o in pool if o.case_id != c.case_id], 15)
+        for c in cases
+    }
+
+    rows: list[dict[str, object]] = []
+    failures = 0
+    for profile in DEFAULT_PROGRAMMERS:
+        programmer = SimulatedProgrammer(profile, seed=7)
+
+        def write(case, programmer=programmer):
+            written = programmer.write_rule(list(case.train))
+            rule = written if written.regex is not None else None
+            return rule, written.seconds
+
+        avg_s, avg_p, avg_r = _evaluate_participant(write, cases, recall_targets)
+        outright_failures = sum(
+            1 for case in cases if programmer.write_rule(list(case.train)).regex is None
+        )
+        failed = outright_failures >= len(cases) * 0.8
+        failures += failed
+        rows.append(
+            StudyRow(profile.name, avg_s, avg_p, avg_r, failed=failed).as_dict()
+        )
+
+    solver = FMDVCombined(enterprise_index, BENCH_CONFIG)
+
+    def algorithm_write(case):
+        start = time.perf_counter()
+        result = solver.infer(list(case.train))
+        elapsed = time.perf_counter() - start
+        if result.rule is None:
+            return None, elapsed
+
+        class _Adapter:
+            def flags(self, values, rule=result.rule):
+                return rule.validate(values).flagged
+
+        return _Adapter(), elapsed
+
+    avg_s, avg_p, avg_r = benchmark.pedantic(
+        lambda: _evaluate_participant(algorithm_write, cases, recall_targets),
+        rounds=1,
+        iterations=1,
+    )
+    rows.append(StudyRow("FMDV-VH", avg_s, avg_p, avg_r).as_dict())
+    record_report("Table 3: user study (simulated programmers)", render_table(rows))
+
+    # Shape: two participants fail outright, like the paper's 2/5.
+    assert failures == 2
+    # The algorithm is orders of magnitude faster than any human…
+    human_times = [
+        float(r["avg-time (sec)"]) for r in rows[:-1] if r["avg-precision"] != "failed"
+    ]
+    assert min(human_times) / max(avg_s, 1e-9) > 50
+    # …and strictly better on both quality axes.
+    human_precisions = [
+        float(r["avg-precision"]) for r in rows[:-1] if r["avg-precision"] != "failed"
+    ]
+    assert avg_p > max(human_precisions)
+    assert avg_p >= 0.9

@@ -1,0 +1,189 @@
+"""Shared fixtures for the benchmark harness.
+
+Everything expensive — corpus generation, offline index construction,
+benchmark sampling, and the Figure 10 method evaluations — happens once per
+session here and is shared across bench files.  Every bench renders its
+table/figure as text, appends it to a session-wide report (echoed in the
+pytest terminal summary) and writes it to ``benchmarks/results/``.
+
+Scale is environment-tunable:
+
+* ``REPRO_BENCH_SCALE=small``  — quick smoke-scale run (~3 minutes),
+* default                      — standard laptop scale (~15-25 minutes).
+
+The corpora are ~2000× smaller than the paper's 7.2M-column lake, so the
+coverage requirement ``m`` is scaled accordingly (the paper's m=100 against
+7M columns is a far *looser* relative threshold than m=100 would be here).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import AutoValidateConfig, build_index
+from repro.baselines import (
+    DeequCat,
+    DeequFra,
+    FitContext,
+    FlashProfile,
+    Grok,
+    PottersWheel,
+    SSIS,
+    SchemaMatchingInstance,
+    SchemaMatchingPattern,
+    TFDV,
+    XSystem,
+)
+from repro.datalake import ENTERPRISE_PROFILE, GOVERNMENT_PROFILE, generate_corpus
+from repro.eval import AutoValidateMethod, EvaluationRunner, build_benchmark
+from repro.validate.combined import FMDVCombined
+from repro.validate.fmdv import FMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.vertical import FMDVVertical
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SMALL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "small"
+_SMALL = SMALL_SCALE
+
+#: Sizing knobs (standard / small).
+ENTERPRISE_TABLES = 120 if _SMALL else 300
+GOVERNMENT_TABLES = 60 if _SMALL else 160
+BENCH_CASES = 60 if _SMALL else 150
+RECALL_SAMPLE = 25 if _SMALL else 40
+SEED = 42
+
+#: Inference configuration used across the benches (m scaled to corpus size).
+BENCH_CONFIG = AutoValidateConfig(fpr_target=0.1, min_column_coverage=10)
+
+_REPORTS: list[str] = []
+
+
+def pytest_sessionstart(session):
+    """Clear stale rendered results from previous (possibly differently
+    scaled) runs, so benchmarks/results/ reflects exactly one session."""
+    if RESULTS_DIR.exists():
+        for stale in RESULTS_DIR.glob("*.txt"):
+            stale.unlink()
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a rendered table/figure: terminal summary + results file."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n"
+    _REPORTS.append(block)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")[:60]
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for block in _REPORTS:
+        terminalreporter.write(block)
+
+
+# ---------------------------------------------------------------------------
+# Corpora, indexes, benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def enterprise_corpus():
+    profile = replace(ENTERPRISE_PROFILE, n_tables=ENTERPRISE_TABLES)
+    return generate_corpus(profile, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def government_corpus():
+    profile = replace(GOVERNMENT_PROFILE, n_tables=GOVERNMENT_TABLES)
+    return generate_corpus(profile, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def enterprise_index(enterprise_corpus):
+    return build_index(enterprise_corpus.column_values(), corpus_name="enterprise")
+
+
+@pytest.fixture(scope="session")
+def government_index(government_corpus):
+    return build_index(government_corpus.column_values(), corpus_name="government")
+
+
+@pytest.fixture(scope="session")
+def enterprise_benchmark(enterprise_corpus):
+    bench = build_benchmark(
+        enterprise_corpus, BENCH_CASES, random.Random(7), max_values=1000
+    )
+    return bench.pattern_subset()
+
+
+@pytest.fixture(scope="session")
+def government_benchmark(government_corpus):
+    bench = build_benchmark(
+        government_corpus, min(BENCH_CASES, 100), random.Random(7), max_values=100
+    )
+    return bench.pattern_subset()
+
+
+@pytest.fixture(scope="session")
+def enterprise_context(enterprise_corpus):
+    columns = [c.values[:100] for c in list(enterprise_corpus.columns())[:1500]]
+    return FitContext.from_columns(columns)
+
+
+@pytest.fixture(scope="session")
+def government_context(government_corpus):
+    columns = [c.values[:100] for c in government_corpus.columns()]
+    return FitContext.from_columns(columns)
+
+
+def fmdv_methods(index, config=BENCH_CONFIG):
+    """The four Auto-Validate variants as evaluation methods."""
+    return [
+        AutoValidateMethod(FMDV, index, config, "FMDV"),
+        AutoValidateMethod(FMDVVertical, index, config, "FMDV-V"),
+        AutoValidateMethod(FMDVHorizontal, index, config, "FMDV-H"),
+        AutoValidateMethod(FMDVCombined, index, config, "FMDV-VH"),
+    ]
+
+
+def baseline_methods():
+    """Every baseline of Figure 10, paper-labelled."""
+    return [
+        TFDV(),
+        DeequCat(),
+        DeequFra(),
+        PottersWheel(),
+        SSIS(),
+        XSystem(),
+        FlashProfile(),
+        Grok(),
+        SchemaMatchingInstance(1),
+        SchemaMatchingInstance(10),
+        SchemaMatchingPattern(plurality=False),
+        SchemaMatchingPattern(plurality=True),
+    ]
+
+
+@pytest.fixture(scope="session")
+def figure10_enterprise(enterprise_benchmark, enterprise_index, enterprise_context):
+    """All methods evaluated on the enterprise benchmark (shared result)."""
+    runner = EvaluationRunner(
+        enterprise_benchmark, recall_sample=RECALL_SAMPLE, seed=1,
+        context=enterprise_context,
+    )
+    methods = fmdv_methods(enterprise_index) + baseline_methods()
+    return runner, {m.name: runner.evaluate(m) for m in methods}
+
+
+@pytest.fixture(scope="session")
+def figure10_government(government_benchmark, government_index, government_context):
+    runner = EvaluationRunner(
+        government_benchmark, recall_sample=RECALL_SAMPLE, seed=1,
+        context=government_context,
+    )
+    methods = fmdv_methods(government_index) + baseline_methods()
+    return runner, {m.name: runner.evaluate(m) for m in methods}

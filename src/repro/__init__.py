@@ -1,0 +1,79 @@
+"""Auto-Validate — unsupervised data validation from data-lake patterns.
+
+A from-scratch reproduction of *Auto-Validate: Unsupervised Data Validation
+Using Data-Domain Patterns Inferred from Data Lakes* (Song & He, SIGMOD
+2021).  The library infers regex-like data-validation patterns for
+string-valued columns by mining a corpus of related tables: the offline
+stage indexes every pattern a corpus column can generalize into, together
+with its corpus-level expected false-positive rate and coverage; the online
+stage solves an FPR-minimizing optimization over the hypothesis patterns of
+a query column in milliseconds.
+
+Quickstart::
+
+    from repro import AutoValidateConfig, FMDVCombined, build_index
+
+    index = build_index(corpus_columns)          # offline, once
+    validator = FMDVCombined(index)              # online, per query column
+    result = validator.infer(train_values)
+    if result.found:
+        report = result.rule.validate(future_values)
+        if report.flagged:
+            print("data drift:", report.reason)
+"""
+
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.core.atoms import Atom, AtomKind
+from repro.core.enumeration import EnumerationConfig, PatternStats
+from repro.core.hierarchy import GeneralizationHierarchy
+from repro.core.pattern import Pattern
+from repro.core.tokenizer import Token, token_count, tokenize
+from repro.index.builder import IndexBuilder, build_index, build_index_parallel
+from repro.index.index import PatternIndex
+from repro.monitor import FeedMonitor, FeedReport
+from repro.validate.autotag import AutoTagger, TagResult
+from repro.validate.combined import FMDVCombined
+from repro.validate.dictionary import DictionaryValidator
+from repro.validate.fmdv import CMDV, FMDV, InferenceResult, NoIndexFMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.hybrid import HybridValidator
+from repro.validate.numeric import NumericValidator
+from repro.validate.rule import ValidationReport, ValidationRule
+from repro.validate.vertical import FMDVVertical
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "AtomKind",
+    "AutoTagger",
+    "AutoValidateConfig",
+    "CMDV",
+    "DEFAULT_CONFIG",
+    "DictionaryValidator",
+    "EnumerationConfig",
+    "FMDV",
+    "FMDVCombined",
+    "FMDVHorizontal",
+    "FMDVVertical",
+    "FeedMonitor",
+    "FeedReport",
+    "HybridValidator",
+    "NumericValidator",
+    "GeneralizationHierarchy",
+    "IndexBuilder",
+    "InferenceResult",
+    "NoIndexFMDV",
+    "Pattern",
+    "PatternIndex",
+    "PatternStats",
+    "TagResult",
+    "Token",
+    "ValidationReport",
+    "ValidationRule",
+    "build_index",
+    "build_index_parallel",
+    "token_count",
+    "tokenize",
+    "__version__",
+]

@@ -1,0 +1,104 @@
+"""Shared machinery for the pattern-profiling baselines.
+
+Potter's Wheel, SSIS, XSystem and FlashProfile all start the same way:
+group the column's values by coarse token signature and summarize each
+token position.  They differ in which groups they keep and how they turn a
+position summary into a regex — those choices are what give each profiler
+its distinct (and, for validation, distinctly inadequate) behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+from repro.core.tokenizer import CharClass, signature, tokenize
+
+
+@dataclass
+class PositionSummary:
+    """Distribution of one token position within a signature group."""
+
+    cls: CharClass
+    texts: Counter[str]
+    lengths: Counter[int]
+
+    @property
+    def uniform_text(self) -> str | None:
+        return next(iter(self.texts)) if len(self.texts) == 1 else None
+
+    @property
+    def uniform_length(self) -> int | None:
+        return next(iter(self.lengths)) if len(self.lengths) == 1 else None
+
+    @property
+    def length_range(self) -> tuple[int, int]:
+        return (min(self.lengths), max(self.lengths))
+
+
+@dataclass
+class GroupSummary:
+    """One signature group: its weight and per-position summaries."""
+
+    signature: tuple[str, ...]
+    count: int
+    positions: list[PositionSummary]
+
+
+def summarize_groups(values: Sequence[str]) -> tuple[list[GroupSummary], int]:
+    """Group ``values`` by signature and summarize each token position.
+
+    Returns the groups (largest first) and the total number of values
+    (including empty strings, which join no group).
+    """
+    total = len(values)
+    by_sig: dict[tuple[str, ...], list[str]] = {}
+    for v in values:
+        if v:
+            by_sig.setdefault(signature(v), []).append(v)
+
+    groups: list[GroupSummary] = []
+    for sig, members in by_sig.items():
+        token_rows = [tokenize(v) for v in members]
+        positions: list[PositionSummary] = []
+        for j in range(len(sig)):
+            tokens = [row[j] for row in token_rows]
+            positions.append(
+                PositionSummary(
+                    cls=tokens[0].cls,
+                    texts=Counter(t.text for t in tokens),
+                    lengths=Counter(len(t) for t in tokens),
+                )
+            )
+        groups.append(GroupSummary(signature=sig, count=len(members), positions=positions))
+    groups.sort(key=lambda g: (-g.count, g.signature))
+    return groups, total
+
+
+def most_specific_atom(position: PositionSummary) -> Atom:
+    """The narrowest atom describing everything seen at this position —
+    the "profiling" choice that summarizes observed data only (and is
+    therefore usually too narrow for validation)."""
+    uniform = position.uniform_text
+    if uniform is not None and len(uniform) <= 32:
+        return Atom.const(uniform)
+    length = position.uniform_length
+    if position.cls is CharClass.DIGIT:
+        return Atom.digit(length) if length else Atom.digit_plus()
+    if position.cls is CharClass.LETTER:
+        texts = position.texts
+        if all(t.isupper() for t in texts) and length:
+            return Atom.upper(length)
+        if all(t.islower() for t in texts) and length:
+            return Atom.lower(length)
+        return Atom.letter(length) if length else Atom.letter_plus()
+    # Symbol with varying text cannot happen inside one signature group.
+    return Atom.const(next(iter(position.texts)))
+
+
+def group_pattern(group: GroupSummary) -> Pattern:
+    """Most-specific pattern of one group (profiling semantics)."""
+    return Pattern(most_specific_atom(p) for p in group.positions)

@@ -1,0 +1,71 @@
+"""Auto-Detect recall upper bound (AD-UB, §5.2).
+
+Auto-Detect [Huang & He, SIGMOD'18] flags a pair of values as incompatible
+when both generalize to *common* patterns that rarely co-occur in the same
+column across a large corpus.  Its coverage is limited to values whose
+patterns are common, so the paper evaluates the recall upper bound: the
+fraction of benchmark pairs Auto-Detect could possibly flag (precision
+assumed perfect).
+
+We reproduce that bound at the coarse-signature granularity: a query/other
+column pair is detectable when both dominant signatures are common in the
+corpus and their corpus co-occurrence is rare.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.tokenizer import Signature, signature
+
+#: A signature is "common" when at least this many corpus columns have it
+#: as their dominant signature.
+_MIN_COMMON_COLUMNS = 20
+#: Two signatures "rarely co-occur" when the share of columns containing
+#: both is at most this fraction of the columns containing either.
+_MAX_COOCCURRENCE = 0.05
+
+
+class AutoDetectUpperBound:
+    """Corpus statistics needed to evaluate the AD-UB detectability test."""
+
+    def __init__(self, corpus_columns: Sequence[Sequence[str]]):
+        self._dominant_counts: Counter[Signature] = Counter()
+        self._cooccur: Counter[tuple[Signature, Signature]] = Counter()
+        for column in corpus_columns:
+            sigs = {signature(v) for v in column if v}
+            dominant = self._dominant(column)
+            if dominant is not None:
+                self._dominant_counts[dominant] += 1
+            for a in sigs:
+                for b in sigs:
+                    if a < b:
+                        self._cooccur[(a, b)] += 1
+
+    @staticmethod
+    def _dominant(values: Sequence[str]) -> Signature | None:
+        counts = Counter(signature(v) for v in values if v)
+        return counts.most_common(1)[0][0] if counts else None
+
+    def detectable(self, values_a: Sequence[str], values_b: Sequence[str]) -> bool:
+        """Could Auto-Detect flag columns A and B as incompatible?"""
+        sig_a, sig_b = self._dominant(values_a), self._dominant(values_b)
+        if sig_a is None or sig_b is None or sig_a == sig_b:
+            return False
+        count_a = self._dominant_counts[sig_a]
+        count_b = self._dominant_counts[sig_b]
+        if count_a < _MIN_COMMON_COLUMNS or count_b < _MIN_COMMON_COLUMNS:
+            return False
+        pair = (sig_a, sig_b) if sig_a < sig_b else (sig_b, sig_a)
+        cooccur = self._cooccur[pair]
+        return cooccur <= _MAX_COOCCURRENCE * min(count_a, count_b)
+
+    def upper_bound_recall(
+        self, query: Sequence[str], others: Sequence[Sequence[str]]
+    ) -> float:
+        """Share of other columns detectable against the query column."""
+        if not others:
+            return 0.0
+        hits = sum(1 for other in others if self.detectable(query, other))
+        return hits / len(others)

@@ -1,0 +1,77 @@
+"""Amazon Deequ's string-rule suggestion (CategoricalRangeRule family).
+
+Deequ's constraint-suggestion engine proposes, for string columns that look
+categorical, either
+
+* ``CategoricalRangeRule`` — ``isContainedIn(observed values)``, a hard
+  dictionary constraint (compared as "Deequ-Cat" in the paper), or
+* ``FractionalCategoricalRangeRule`` — the same dictionary but only
+  requiring that a large fraction of future values fall inside it
+  (compared as "Deequ-Fra").
+
+Both rules fire only when the suggestion heuristic considers the column
+categorical; Deequ's heuristic requires the distinct-value count to be
+small in both absolute and relative terms.  On high-cardinality
+machine-generated columns the heuristics either abstain (no recall) or the
+dictionary is immediately stale (false alarms) — the behaviour Figure 10
+shows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+
+#: Deequ's suggestion thresholds (ConstraintSuggestionRunner defaults):
+#: a categorical rule is proposed when the column has at most this many
+#: distinct values …
+_MAX_DISTINCT = 100
+#: … and the distinct/total ratio is at most this.
+_MAX_RATIO = 0.9
+
+
+def _looks_categorical(values: Sequence[str]) -> bool:
+    distinct = len(set(values))
+    return distinct <= _MAX_DISTINCT and distinct / len(values) <= _MAX_RATIO
+
+
+class DeequCat(Validator):
+    """``CategoricalRangeRule``: hard dictionary containment."""
+
+    name = "Deequ-Cat"
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        if not train_values or not _looks_categorical(train_values):
+            return None
+        domain = frozenset(train_values)
+        return PredicateRule(
+            is_valid=domain.__contains__,
+            description=f"isContainedIn({len(domain)} values)",
+        )
+
+
+class DeequFra(Validator):
+    """``FractionalCategoricalRangeRule``: dictionary containment for at
+    least ``coverage`` of future values."""
+
+    name = "Deequ-Fra"
+
+    def __init__(self, coverage: float = 0.9):
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.coverage = coverage
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        if not train_values or not _looks_categorical(train_values):
+            return None
+        domain = frozenset(train_values)
+        return PredicateRule(
+            is_valid=domain.__contains__,
+            description=f"isContainedIn({len(domain)} values) >= {self.coverage:.0%}",
+            tolerance=1.0 - self.coverage,
+        )

@@ -1,0 +1,76 @@
+"""Functional-dependency recall upper bound (FD-UB, §5.2).
+
+Multi-column error detection via FDs is orthogonal to Auto-Validate's
+single-column constraints.  Rather than implement a full FD-based
+validator, the paper evaluates the *recall upper bound*: the fraction of
+benchmark columns that participate in any functional dependency within
+their source table at all — with precision generously assumed perfect.
+We do the same, discovering exact pairwise FDs (A → B iff every value of A
+maps to exactly one value of B) and filtering the trivial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalake.column import Column, Table
+
+
+def fd_holds(determinant: list[str], dependent: list[str]) -> bool:
+    """Exact pairwise FD check: does ``determinant → dependent`` hold?"""
+    if len(determinant) != len(dependent):
+        raise ValueError("columns must have equal length for an FD check")
+    mapping: dict[str, str] = {}
+    for a, b in zip(determinant, dependent):
+        seen = mapping.get(a)
+        if seen is None:
+            mapping[a] = b
+        elif seen != b:
+            return False
+    return True
+
+
+def _is_trivial(determinant: Column, dependent: Column) -> bool:
+    """FDs that hold for degenerate reasons carry no validation signal:
+    a key-like determinant (all values distinct) determines everything; a
+    constant dependent is determined by anything."""
+    n = len(determinant.values)
+    if n == 0:
+        return True
+    if determinant.distinct_count == n:
+        return True
+    if dependent.distinct_count <= 1:
+        return True
+    return False
+
+
+def fd_participating_columns(table: Table) -> set[str]:
+    """Names of columns participating in at least one non-trivial FD."""
+    participating: set[str] = set()
+    columns = [c for c in table.columns if len(c.values) > 0]
+    for i, a in enumerate(columns):
+        for b in columns[i + 1 :]:
+            n = min(len(a.values), len(b.values))
+            av, bv = a.values[:n], b.values[:n]
+            if fd_holds(av, bv) and not _is_trivial(a, b):
+                participating.update((a.name, b.name))
+            elif fd_holds(bv, av) and not _is_trivial(b, a):
+                participating.update((a.name, b.name))
+    return participating
+
+
+def fd_upper_bound_recall(columns: Iterable[Column], tables: dict[str, Table]) -> float:
+    """FD-UB: share of benchmark columns inside any FD of their table."""
+    covered = 0
+    total = 0
+    cache: dict[str, set[str]] = {}
+    for column in columns:
+        total += 1
+        table = tables.get(column.table_name)
+        if table is None:
+            continue
+        if column.table_name not in cache:
+            cache[column.table_name] = fd_participating_columns(table)
+        if column.name in cache[column.table_name]:
+            covered += 1
+    return covered / total if total else 0.0

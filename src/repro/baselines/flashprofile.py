@@ -1,0 +1,50 @@
+"""FlashProfile-style pattern profiling (cluster, then describe).
+
+FlashProfile [Padhi et al., OOPSLA'18] clusters syntactically similar
+values by a learned pattern-distance, then synthesizes the most specific
+pattern describing each cluster; the profile is the union.  Our clusters
+are the coarse signature groups (values in different groups have maximal
+syntactic distance — they cannot share any non-trivial pattern in the
+hierarchy), and each cluster is described by its most specific pattern.
+
+For validation this is the union-of-narrow-descriptions failure mode: each
+cluster's description is exact for what was seen, so any structural
+novelty in future data (a new month constant, a longer run) alarms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.baselines._profiling import group_pattern, summarize_groups
+from repro.baselines.base import BaselineRule, FitContext, Validator
+
+
+class FlashProfileRule(BaselineRule):
+    def __init__(self, regexes: list[re.Pattern[str]], description: str):
+        self._regexes = regexes
+        self.description = description
+
+    def flags(self, values: Sequence[str]) -> bool:
+        for v in values:
+            if not any(rx.fullmatch(v) for rx in self._regexes):
+                return True
+        return False
+
+
+class FlashProfile(Validator):
+    """Union of most-specific per-cluster patterns."""
+
+    name = "FlashProfile"
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        groups, _total = summarize_groups(train_values)
+        if not groups:
+            return None
+        patterns = [group_pattern(g) for g in groups]
+        regexes = [p.compiled() for p in patterns]
+        description = " | ".join(p.display() for p in patterns[:4])
+        return FlashProfileRule(regexes, description=description)

@@ -1,0 +1,85 @@
+"""Grok-style validation with a curated library of common-type regexes.
+
+Grok ships 60+ hand-curated patterns for well-known types (timestamps, IP
+addresses, UUIDs, MAC addresses, paths, …) and is widely used in log
+parsing (and e.g. AWS Glue classifiers).  Following the paper's setup, a
+column gets a rule only when *all* training values match one known Grok
+pattern; otherwise the method abstains.  This is intrinsically
+high-precision / low-recall: proprietary enterprise formats are simply not
+in anyone's curated library.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+
+#: Curated common-type patterns (name, regex).  Ordered specific → general;
+#: the first pattern matching all training values wins.
+GROK_PATTERNS: list[tuple[str, str]] = [
+    ("UUID", r"[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}"),
+    ("MAC", r"(?:[0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}"),
+    ("MAC_DASH", r"(?:[0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}"),
+    ("IPV4_PORT", r"(?:\d{1,3}\.){3}\d{1,3}:\d{1,5}"),
+    ("IPV4", r"(?:\d{1,3}\.){3}\d{1,3}"),
+    ("TIMESTAMP_ISO8601", r"\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}:\d{2}(?:\.\d+)?(?:Z|[+-]\d{2}:?\d{2})?"),
+    ("DATE_ISO", r"\d{4}-\d{2}-\d{2}"),
+    ("DATESTAMP_US_TIME_AMPM", r"\d{1,2}/\d{1,2}/\d{4} \d{1,2}:\d{2}:\d{2} (?:AM|PM)"),
+    ("DATESTAMP_US_TIME", r"\d{1,2}/\d{1,2}/\d{4} \d{1,2}:\d{2}:\d{2}"),
+    ("DATE_US", r"\d{1,2}/\d{1,2}/\d{4}"),
+    ("TIME", r"\d{1,2}:\d{2}(?::\d{2})?"),
+    ("MONTHDAY_YEAR", r"(?:Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) \d{1,2} \d{4}"),
+    ("YEAR_WEEK", r"\d{4}-W\d{2}"),
+    ("EMAIL", r"[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}"),
+    ("URI", r"https?://[^\s]+"),
+    ("UNIX_PATH", r"(?:/[\w.-]+)+"),
+    ("WIN_PATH", r"[A-Za-z]:\\(?:[\w.-]+\\?)+"),
+    ("ZIP_PLUS4", r"\d{5}-\d{4}"),
+    ("ZIP", r"\d{5}"),
+    ("SSN", r"\d{3}-\d{2}-\d{4}"),
+    ("PHONE_US", r"\(\d{3}\) \d{3}-\d{4}"),
+    ("VERSION", r"v?\d+\.\d+(?:\.\d+){0,2}"),
+    ("HEX_COLOR", r"#[0-9a-fA-F]{6}"),
+    ("HEX", r"(?:0[xX])?[0-9a-fA-F]{6,}"),
+    ("ISO_DURATION", r"P?T\d+[HMS](?:\d+[MS])?(?:\d+S)?"),
+    ("LOGLEVEL", r"(?:DEBUG|INFO|WARN(?:ING)?|ERROR|FATAL|TRACE|CRITICAL)"),
+    ("BOOL", r"(?:true|false|True|False|TRUE|FALSE)"),
+    ("UPPER_CODE2", r"[A-Z]{2}"),
+    ("UPPER_CODE3", r"[A-Z]{3}"),
+    ("LOCALE", r"[a-z]{2}-(?:[a-z]{2}|[A-Z]{2})"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+)?"),
+    ("INT", r"[+-]?\d+"),
+    ("PERCENT", r"\d+(?:\.\d+)?%"),
+    ("CURRENCY", r"\$\d{1,3}(?:,\d{3})*(?:\.\d{2})?"),
+    ("QUOTEDSTRING", r"\"[^\"]*\""),
+    ("WORD", r"\w+"),
+]
+
+
+class Grok(Validator):
+    """Validate with the first curated pattern covering the whole column."""
+
+    name = "Grok"
+
+    def __init__(self) -> None:
+        self._compiled = [(name, re.compile(rx)) for name, rx in GROK_PATTERNS]
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        if not train_values:
+            return None
+        for name, regex in self._compiled:
+            if name == "WORD":
+                # \w+ matches nearly anything single-token; using it as a
+                # validation rule would be the trivial pattern the paper
+                # excludes, so Grok abstains instead.
+                continue
+            if all(regex.fullmatch(v) for v in train_values):
+                return PredicateRule(
+                    is_valid=lambda v, rx=regex: rx.fullmatch(v) is not None,
+                    description=f"%{{{name}}}",
+                )
+        return None

@@ -1,0 +1,83 @@
+"""SQL Server Integration Services (SSIS) data-profiling task.
+
+SSIS's Column Pattern Profile computes a small set of regular expressions
+that together cover most of a column (the default asks for patterns
+covering ~95% of values) by generalizing values into character-class
+machines.  Used for validation per the paper's setup: a future value that
+matches none of the profiled regexes raises an alarm.
+
+The profile generalizes less aggressively than Potter's Wheel (no constant
+folding of letter tokens — SSIS emits classes with frequency-derived
+quantifiers), so it keeps a different, slightly-less-narrow failure mode.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.baselines._profiling import GroupSummary, summarize_groups
+from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.core.tokenizer import CharClass
+
+#: The profiler keeps adding patterns until this share of values is covered.
+_TARGET_COVERAGE = 0.95
+#: Groups below this share are considered noise and never profiled.
+_MIN_GROUP_SHARE = 0.02
+
+
+def _group_regex(group: GroupSummary) -> str:
+    """SSIS-style regex for one group: char classes with exact-or-range
+    quantifiers, symbols escaped verbatim."""
+    parts: list[str] = []
+    for position in group.positions:
+        lo, hi = position.length_range
+        if position.cls is CharClass.SYMBOL:
+            parts.append(re.escape(next(iter(position.texts))))
+            continue
+        charset = "[0-9]" if position.cls is CharClass.DIGIT else "[A-Za-z]"
+        quantifier = f"{{{lo}}}" if lo == hi else f"{{{lo},{hi}}}"
+        parts.append(charset + quantifier)
+    return "".join(parts)
+
+
+class SSISRule(BaselineRule):
+    """Alarm when any future value matches none of the profiled regexes."""
+
+    def __init__(self, regexes: list[re.Pattern[str]], description: str):
+        self._regexes = regexes
+        self.description = description
+
+    def flags(self, values: Sequence[str]) -> bool:
+        for v in values:
+            if not any(rx.fullmatch(v) for rx in self._regexes):
+                return True
+        return False
+
+
+class SSIS(Validator):
+    """Column Pattern Profile: union of per-group regexes at 95% coverage."""
+
+    name = "SSIS"
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        groups, total = summarize_groups(train_values)
+        if not groups or total == 0:
+            return None
+        regexes: list[re.Pattern[str]] = []
+        names: list[str] = []
+        covered = 0
+        for group in groups:
+            if group.count / total < _MIN_GROUP_SHARE:
+                break
+            pattern_text = _group_regex(group)
+            regexes.append(re.compile(pattern_text))
+            names.append(pattern_text)
+            covered += group.count
+            if covered / total >= _TARGET_COVERAGE:
+                break
+        if not regexes:
+            return None
+        return SSISRule(regexes, description=" | ".join(names))

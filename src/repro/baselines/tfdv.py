@@ -1,0 +1,33 @@
+"""TensorFlow Data Validation (TFDV) style dictionary inference.
+
+For string features TFDV's schema inference collects the observed value
+domain and suggests a constraint requiring future values to come from that
+fixed dictionary — the paper demonstrates this on Figure 2's date column,
+where TFDV 0.15-0.28 infers the dictionary {"Mar 01 2019", …} and
+consequently false-alarms on "Apr 01 2019".  The paper reports TFDV
+false-alarming on over 90% of string columns when run without human review;
+this reimplementation reproduces exactly that mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+
+
+class TFDV(Validator):
+    """Dictionary-domain inference: future values must have been seen."""
+
+    name = "TFDV"
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        if not train_values:
+            return None
+        domain = frozenset(train_values)
+        return PredicateRule(
+            is_valid=domain.__contains__,
+            description=f"value in dictionary of {len(domain)} observed values",
+        )

@@ -1,0 +1,69 @@
+"""XSystem-style pattern profiling (branch-and-merge token structures).
+
+XSystem [Ilyas et al., ICDE'18] learns a branching structure over token
+positions: each position holds either a small set of literal branches (for
+low-cardinality positions) or a generalized character-class node with an
+observed length range.  We reproduce that behaviour per signature group
+and validate with the union of the learned branch structures.
+
+Characteristic failure mode for validation: literal branches memorize the
+few values seen (e.g. the three years present in training), so a new year
+false-alarms even though the class structure was right.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.baselines._profiling import GroupSummary, summarize_groups
+from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.core.tokenizer import CharClass
+
+#: A position with at most this many distinct texts becomes literal branches.
+_MAX_BRANCHES = 3
+
+
+def _group_regex(group: GroupSummary) -> str:
+    parts: list[str] = []
+    for position in group.positions:
+        if position.cls is CharClass.SYMBOL:
+            parts.append(re.escape(next(iter(position.texts))))
+            continue
+        if len(position.texts) <= _MAX_BRANCHES:
+            branch = "|".join(re.escape(t) for t in sorted(position.texts))
+            parts.append(f"(?:{branch})")
+            continue
+        lo, hi = position.length_range
+        charset = "[0-9]" if position.cls is CharClass.DIGIT else "[A-Za-z]"
+        quantifier = f"{{{lo}}}" if lo == hi else f"{{{lo},{hi}}}"
+        parts.append(charset + quantifier)
+    return "".join(parts)
+
+
+class XSystemRule(BaselineRule):
+    def __init__(self, regexes: list[re.Pattern[str]], description: str):
+        self._regexes = regexes
+        self.description = description
+
+    def flags(self, values: Sequence[str]) -> bool:
+        for v in values:
+            if not any(rx.fullmatch(v) for rx in self._regexes):
+                return True
+        return False
+
+
+class XSystem(Validator):
+    """Branch-and-merge profiles; union over all signature groups."""
+
+    name = "XSystem"
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        groups, total = summarize_groups(train_values)
+        if not groups:
+            return None
+        regexes = [re.compile(_group_regex(g)) for g in groups]
+        description = " | ".join(_group_regex(g) for g in groups[:4])
+        return XSystemRule(regexes, description=description)

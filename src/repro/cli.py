@@ -1,0 +1,196 @@
+"""Command-line interface: index a lake, infer rules, validate feeds.
+
+Installed as the ``auto-validate`` console script::
+
+    auto-validate generate --profile enterprise --tables 100 --out lake/
+    auto-validate index    --corpus lake/ --out lake.idx.gz
+    auto-validate infer    --index lake.idx.gz --column feed.txt --rule rule.json
+    auto-validate validate --rule rule.json --column tomorrow.txt
+    auto-validate tag      --index lake.idx.gz --examples ex.txt --corpus lake/
+
+Column files are plain text, one value per line.  Rules round-trip as JSON
+(:meth:`repro.validate.rule.ValidationRule.to_dict`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import AutoValidateConfig
+from repro.datalake.generator import (
+    ENTERPRISE_PROFILE,
+    GOVERNMENT_PROFILE,
+    generate_corpus,
+)
+from repro.datalake.io import load_corpus, save_corpus
+from repro.index.builder import build_index
+from repro.index.index import PatternIndex
+from repro.validate.autotag import AutoTagger
+from repro.validate.combined import FMDVCombined
+from repro.validate.fmdv import CMDV, FMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.rule import ValidationRule
+from repro.validate.vertical import FMDVVertical
+
+_VARIANTS = {
+    "basic": FMDV,
+    "v": FMDVVertical,
+    "h": FMDVHorizontal,
+    "vh": FMDVCombined,
+    "cmdv": CMDV,
+}
+_PROFILES = {"enterprise": ENTERPRISE_PROFILE, "government": GOVERNMENT_PROFILE}
+
+
+def _read_column(path: str) -> list[str]:
+    text = Path(path).read_text(encoding="utf-8")
+    return [line for line in text.splitlines() if line != ""]
+
+
+def _config(args: argparse.Namespace) -> AutoValidateConfig:
+    return AutoValidateConfig(
+        fpr_target=args.fpr_target,
+        min_column_coverage=args.min_coverage,
+        theta=args.theta,
+        tau=args.tau,
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = replace(_PROFILES[args.profile], n_tables=args.tables)
+    corpus = generate_corpus(profile, seed=args.seed)
+    save_corpus(corpus, args.out)
+    print(f"wrote {corpus.n_columns} columns in {len(corpus)} tables to {args.out}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    index = build_index(corpus.column_values(), corpus_name=corpus.name)
+    index.save(args.out)
+    print(
+        f"indexed {index.meta.columns_scanned} columns -> "
+        f"{len(index)} patterns at {args.out}"
+    )
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    index = PatternIndex.load(args.index)
+    values = _read_column(args.column)
+    solver = _VARIANTS[args.variant](index, _config(args))
+    result = solver.infer(values)
+    if result.rule is None:
+        print(f"no feasible validation rule: {result.reason}", file=sys.stderr)
+        return 1
+    print(f"pattern:  {result.rule.pattern.display()}")
+    print(f"est. FPR: {result.rule.est_fpr:.6f}")
+    print(f"coverage: {result.rule.coverage}")
+    if args.rule:
+        Path(args.rule).write_text(
+            json.dumps(result.rule.to_dict(), indent=1), encoding="utf-8"
+        )
+        print(f"rule written to {args.rule}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    rule = ValidationRule.from_dict(
+        json.loads(Path(args.rule).read_text(encoding="utf-8"))
+    )
+    values = _read_column(args.column)
+    report = rule.validate(values)
+    status = "ALERT" if report.flagged else "ok"
+    print(f"{status}: {report.reason}")
+    if args.show_bad and report.flagged:
+        for value in rule.non_conforming(values)[: args.show_bad]:
+            print(f"  non-conforming: {value!r}")
+    return 2 if report.flagged else 0
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    index = PatternIndex.load(args.index)
+    examples = _read_column(args.examples)
+    tagger = AutoTagger(index, _config(args), fnr_target=args.fnr_target)
+    tag = tagger.tag(examples)
+    if tag is None:
+        print("no tag pattern found for the given examples", file=sys.stderr)
+        return 1
+    print(f"tag pattern: {tag.pattern.display()}")
+    if args.corpus:
+        corpus = load_corpus(args.corpus)
+        names = tagger.find_matching_columns(
+            tag, ((c.qualified_name, c.values) for c in corpus.columns())
+        )
+        print(f"matching columns ({len(names)}):")
+        for name in names:
+            print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="auto-validate",
+        description="Unsupervised data validation from data-lake patterns (SIGMOD'21).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fpr-target", type=float, default=0.1, dest="fpr_target",
+                       help="FPR budget r (default 0.1)")
+        p.add_argument("--min-coverage", type=int, default=100, dest="min_coverage",
+                       help="coverage requirement m in columns (default 100)")
+        p.add_argument("--theta", type=float, default=0.1,
+                       help="non-conforming tolerance θ (default 0.1)")
+        p.add_argument("--tau", type=int, default=13,
+                       help="token limit τ (default 13)")
+
+    p = sub.add_parser("generate", help="generate a synthetic data lake")
+    p.add_argument("--profile", choices=sorted(_PROFILES), default="enterprise")
+    p.add_argument("--tables", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("index", help="build the offline pattern index")
+    p.add_argument("--corpus", required=True, help="directory of CSV tables")
+    p.add_argument("--out", required=True, help="output index path (.json.gz)")
+    p.set_defaults(fn=_cmd_index)
+
+    p = sub.add_parser("infer", help="infer a validation rule for a column")
+    p.add_argument("--index", required=True)
+    p.add_argument("--column", required=True, help="text file, one value per line")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="vh")
+    p.add_argument("--rule", help="write the rule as JSON here")
+    add_config_args(p)
+    p.set_defaults(fn=_cmd_infer)
+
+    p = sub.add_parser("validate", help="validate a column against a rule")
+    p.add_argument("--rule", required=True, help="rule JSON from 'infer'")
+    p.add_argument("--column", required=True)
+    p.add_argument("--show-bad", type=int, default=5, dest="show_bad",
+                   help="print up to N non-conforming values")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("tag", help="Auto-Tag: find columns matching examples")
+    p.add_argument("--index", required=True)
+    p.add_argument("--examples", required=True, help="text file of example values")
+    p.add_argument("--corpus", help="optionally sweep this corpus for matches")
+    p.add_argument("--fnr-target", type=float, default=0.05, dest="fnr_target")
+    add_config_args(p)
+    p.set_defaults(fn=_cmd_tag)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Library-wide configuration for Auto-Validate inference.
+
+All knobs mirror symbols from the paper:
+
+* ``fpr_target`` — the FPR budget ``r`` of Equation 6,
+* ``min_column_coverage`` — the coverage requirement ``m`` of Equation 7,
+* ``tau`` — the token limit of Section 2.4,
+* ``theta`` — the non-conforming tolerance of Equation 16,
+* ``significance`` — the two-sample test level of Section 4 (the paper uses
+  a two-tailed Fisher exact test at 0.01 in the experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.enumeration import EnumerationConfig
+
+DRIFT_TESTS = ("fisher", "chisquare")
+
+
+@dataclass(frozen=True)
+class AutoValidateConfig:
+    """All tunables of the four FMDV variants in one place."""
+
+    fpr_target: float = 0.1
+    min_column_coverage: int = 100
+    tau: int = 13
+    theta: float = 0.1
+    significance: float = 0.01
+    drift_test: str = "fisher"
+    #: Vertical-cut regularization: each segment adds this to the DP
+    #: *objective* (never to the FPR constraint).  Without it the dynamic
+    #: program of Equation 11 is attracted to degenerate fragmentations:
+    #: segment FPRs are estimated on different column populations, so a
+    #: fragmented solution can dodge impurity evidence that the unsplit
+    #: pattern honestly carries (tiny segments even borrow zero-FPR
+    #: evidence from unrelated short domains).  A split must buy a
+    #: substantive per-segment FPR reduction to be chosen; columns whose
+    #: unsplit pattern is infeasible (true composites) always split.
+    segment_penalty: float = 0.02
+    #: Resolution of the FPR estimate when *comparing* candidates: two
+    #: patterns whose estimated FPRs differ by less than this are treated
+    #: as tied, and the tie-break (specificity) decides.  On a laptop-scale
+    #: corpus the per-pattern FPR average of Definition 3 is computed over
+    #: tens of columns, so sub-percent differences are sampling noise —
+    #: without a resolution floor, patterns diluted across unrelated
+    #: domains would systematically undercut the correct specific pattern
+    #: by meaningless margins.  Constraints always use the raw estimate;
+    #: set to 0 to compare raw values.
+    fpr_resolution: float = 0.01
+    enumeration: EnumerationConfig = field(default_factory=EnumerationConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fpr_target <= 1.0:
+            raise ValueError("fpr_target (r) must be within [0, 1]")
+        if self.min_column_coverage < 0:
+            raise ValueError("min_column_coverage (m) must be >= 0")
+        if not 0.0 <= self.theta < 1.0:
+            raise ValueError("theta must be within [0, 1)")
+        if not 0.0 < self.significance < 1.0:
+            raise ValueError("significance must be within (0, 1)")
+        if self.drift_test not in DRIFT_TESTS:
+            raise ValueError(f"drift_test must be one of {DRIFT_TESTS}")
+        if self.tau != self.enumeration.tau:
+            # Keep the two views of τ consistent.
+            object.__setattr__(
+                self, "enumeration", replace(self.enumeration, tau=self.tau)
+            )
+
+    def with_overrides(self, **kwargs: object) -> "AutoValidateConfig":
+        """A copy with the given fields replaced (sensitivity sweeps)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Default configuration used by the examples and the benchmark harness.
+DEFAULT_CONFIG = AutoValidateConfig()

@@ -1,0 +1,31 @@
+"""Core pattern language of Auto-Validate.
+
+This subpackage implements the machinery of Section 2.1 of the paper:
+
+* a coarse lexer that splits values into maximal runs of digits, letters and
+  symbols (:mod:`repro.core.tokenizer`),
+* the pattern atoms and the generalization hierarchy of Figure 4
+  (:mod:`repro.core.atoms`, :mod:`repro.core.hierarchy`),
+* the :class:`~repro.core.pattern.Pattern` type, a sequence of atoms that
+  compiles to a regular expression,
+* Algorithm 1 — enumeration of the pattern spaces ``P(v)``, ``P(D)`` and the
+  hypothesis space ``H(C)`` (:mod:`repro.core.enumeration`), and
+* multi-sequence alignment over token sequences used by the vertical-cut
+  variant of Section 3 (:mod:`repro.core.alignment`).
+"""
+
+from repro.core.atoms import Atom, AtomKind
+from repro.core.hierarchy import GeneralizationHierarchy
+from repro.core.pattern import Pattern
+from repro.core.tokenizer import CharClass, Token, token_count, tokenize
+
+__all__ = [
+    "Atom",
+    "AtomKind",
+    "CharClass",
+    "GeneralizationHierarchy",
+    "Pattern",
+    "Token",
+    "token_count",
+    "tokenize",
+]

@@ -1,0 +1,209 @@
+"""Multi-sequence alignment over token sequences (Section 3).
+
+The vertical-cut variant aligns the token sequences of all values in a query
+column before segmenting.  As the paper notes, MSA is NP-hard in general, so
+we follow "a standard approach to greedily align one additional sequence at a
+time" — progressive alignment of each sequence against the running profile
+with Needleman-Wunsch.  For homogeneous machine-generated data every value
+shares one token sequence and the alignment is trivial (Example 7).
+
+Scoring: aligning two tokens scores +2 when their classes match (symbol runs
+must also match textually — symbols are structural), -2 otherwise; gaps cost
+-1.  These are conventional sum-of-pairs-style parameters; results are not
+sensitive to them for the near-identical sequences this system sees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tokenizer import CharClass, Token, tokenize
+
+_MATCH = 2
+_MISMATCH = -2
+_GAP = -1
+
+
+@dataclass(frozen=True)
+class _ProfileColumn:
+    """One aligned position of the running profile."""
+
+    cls: CharClass
+    symbol_text: str | None  # for symbol positions: the dominant run text
+
+
+def _token_score(column: _ProfileColumn, token: Token) -> int:
+    if column.cls is not token.cls:
+        return _MISMATCH
+    if column.cls is CharClass.SYMBOL and column.symbol_text != token.text:
+        return _MISMATCH
+    return _MATCH
+
+
+class AlignedColumn:
+    """A column of values aligned to a common token grid.
+
+    Attributes:
+        width: number of aligned token positions.
+        rows: one row per *distinct* value; each row is a tuple of
+            ``Token | None`` of length ``width`` (``None`` marks a gap).
+        weights: multiplicity of each distinct value in the original column.
+        values: the distinct values, parallel to ``rows``/``weights``.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[str],
+        rows: Sequence[tuple[Token | None, ...]],
+        weights: Sequence[int],
+    ):
+        if not (len(values) == len(rows) == len(weights)):
+            raise ValueError("values, rows and weights must be parallel")
+        self.values = list(values)
+        self.rows = [tuple(r) for r in rows]
+        self.weights = list(weights)
+        self.width = len(self.rows[0]) if self.rows else 0
+        if any(len(r) != self.width for r in self.rows):
+            raise ValueError("all aligned rows must share one width")
+
+    @property
+    def total(self) -> int:
+        """Total number of values in the original column."""
+        return sum(self.weights)
+
+    def segment_values(self, start: int, end: int) -> list[str]:
+        """Values of the sub-column for aligned positions [start, end].
+
+        Each original value contributes the concatenation of its tokens that
+        map into the segment (gaps contribute nothing); multiplicities are
+        preserved by repetition, matching Definition 4's ``C[s, e]``.
+        """
+        if not 0 <= start <= end < self.width:
+            raise IndexError(f"segment [{start}, {end}] out of range 0..{self.width - 1}")
+        out: list[str] = []
+        for row, weight in zip(self.rows, self.weights):
+            text = "".join(t.text for t in row[start : end + 1] if t is not None)
+            out.extend([text] * weight)
+        return out
+
+    def gap_free(self) -> bool:
+        """True when no row contains a gap (identical token structure)."""
+        return all(all(t is not None for t in row) for row in self.rows)
+
+
+def align_column(values: Sequence[str]) -> AlignedColumn:
+    """Progressively align the token sequences of ``values``.
+
+    Distinct values are aligned once each (multiplicities are retained as
+    weights); sequences are introduced longest-first, which keeps the greedy
+    profile stable for machine-generated data.
+    """
+    counter: Counter[str] = Counter(v for v in values)
+    distinct = sorted(counter, key=lambda v: (-len(tokenize(v)), v))
+    if not distinct:
+        return AlignedColumn([], [], [])
+
+    sequences = [tokenize(v) for v in distinct]
+    # Seed the profile with the longest sequence.
+    aligned_rows: list[list[Token | None]] = [list(sequences[0])]
+    profile = _profile_of(aligned_rows)
+
+    for seq in sequences[1:]:
+        new_row, insertions = _align_to_profile(profile, seq)
+        # Apply insertions (new all-gap positions) to the existing rows.
+        for pos in insertions:
+            for row in aligned_rows:
+                row.insert(pos, None)
+        aligned_rows.append(new_row)
+        profile = _profile_of(aligned_rows)
+
+    return AlignedColumn(
+        values=distinct,
+        rows=[tuple(r) for r in aligned_rows],
+        weights=[counter[v] for v in distinct],
+    )
+
+
+def _profile_of(rows: Sequence[Sequence[Token | None]]) -> list[_ProfileColumn]:
+    """Summarize aligned rows into per-position dominant classes."""
+    if not rows:
+        return []
+    width = len(rows[0])
+    profile: list[_ProfileColumn] = []
+    for j in range(width):
+        classes: Counter[CharClass] = Counter()
+        symbol_texts: Counter[str] = Counter()
+        for row in rows:
+            token = row[j]
+            if token is None:
+                continue
+            classes[token.cls] += 1
+            if token.cls is CharClass.SYMBOL:
+                symbol_texts[token.text] += 1
+        if classes:
+            cls = classes.most_common(1)[0][0]
+            text = symbol_texts.most_common(1)[0][0] if symbol_texts else None
+        else:  # all-gap column (possible mid-progression)
+            cls, text = CharClass.SYMBOL, None
+        profile.append(_ProfileColumn(cls, text))
+    return profile
+
+
+def _align_to_profile(
+    profile: list[_ProfileColumn], seq: tuple[Token, ...]
+) -> tuple[list[Token | None], list[int]]:
+    """Needleman-Wunsch of one token sequence against the profile.
+
+    Returns the new aligned row (length = len(profile) + #insertions) and the
+    sorted positions (in the *new* coordinate system) where an all-gap column
+    must be inserted into previously aligned rows.
+    """
+    n, m = len(profile), len(seq)
+    # score[i][j]: best score aligning profile[:i] with seq[:j].
+    score = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        score[i][0] = score[i - 1][0] + _GAP
+    for j in range(1, m + 1):
+        score[0][j] = score[0][j - 1] + _GAP
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            score[i][j] = max(
+                score[i - 1][j - 1] + _token_score(profile[i - 1], seq[j - 1]),
+                score[i - 1][j] + _GAP,   # gap in the sequence
+                score[i][j - 1] + _GAP,   # gap in the profile (insertion)
+            )
+
+    # Traceback, preferring diagonal moves for determinism.
+    row_reversed: list[Token | None] = []
+    insertions_reversed: list[int] = []
+    i, j = n, m
+    position = n + sum(1 for _ in ())  # running new-coordinate position
+    new_width = 0
+    moves: list[tuple[str, Token | None]] = []
+    while i > 0 or j > 0:
+        if (
+            i > 0
+            and j > 0
+            and score[i][j] == score[i - 1][j - 1] + _token_score(profile[i - 1], seq[j - 1])
+        ):
+            moves.append(("diag", seq[j - 1]))
+            i, j = i - 1, j - 1
+        elif i > 0 and score[i][j] == score[i - 1][j] + _GAP:
+            moves.append(("up", None))
+            i -= 1
+        else:
+            moves.append(("left", seq[j - 1]))
+            j -= 1
+    moves.reverse()
+
+    position = 0
+    for move, token in moves:
+        if move == "left":  # insertion: a new all-gap column for old rows
+            insertions_reversed.append(position)
+        row_reversed.append(token)
+        position += 1
+        new_width += 1
+    del position
+    return row_reversed, insertions_reversed

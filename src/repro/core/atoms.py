@@ -1,0 +1,230 @@
+"""Pattern atoms — the vocabulary of the generalization hierarchy (Figure 4).
+
+A *pattern* in Auto-Validate is a sequence of atoms; each atom describes one
+position of the pattern and corresponds to a node of the generalization
+hierarchy in Figure 4 of the paper.  The seven ways the paper lists for
+generalizing the digit ``9`` map to atoms as follows:
+
+    ========================  =========================================
+    paper notation            atom
+    ========================  =========================================
+    ``Const("9")``            ``Atom.const("9")``
+    ``<digit>{1}``            ``Atom.digit(1)``
+    ``<digit>+``              ``Atom.digit_plus()``
+    ``<num>``                 ``Atom.num()``
+    ``<alphanum>``            ``Atom.alnum(1)``
+    ``<alphanum>+``           ``Atom.alnum_plus()``
+    ``<all>``                 ``Atom.any()``
+    ========================  =========================================
+
+Atoms are immutable, hashable and carry their regex fragment, a canonical
+key (compact, used as index keys) and a paper-style display form.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class AtomKind(enum.Enum):
+    """Kinds of pattern atoms, ordered roughly from specific to general."""
+
+    CONST = "const"
+    DIGIT = "digit"          # <digit>{k}
+    DIGIT_PLUS = "digit+"    # <digit>+
+    NUM = "num"              # <num>: optionally signed, optional fraction
+    UPPER = "upper"          # <upper>{k}
+    LOWER = "lower"          # <lower>{k}
+    LETTER = "letter"        # <letter>{k}
+    LETTER_PLUS = "letter+"  # <letter>+
+    ALNUM = "alnum"          # <alphanum>{k}
+    ALNUM_PLUS = "alnum+"    # <alphanum>+
+    ANY = "any"              # <all> — root of the hierarchy
+
+
+_FIXED_LENGTH_KINDS = frozenset(
+    {AtomKind.DIGIT, AtomKind.UPPER, AtomKind.LOWER, AtomKind.LETTER, AtomKind.ALNUM}
+)
+
+# Regex character classes per kind (fixed-length and plus forms share them).
+_CHARSET = {
+    AtomKind.DIGIT: "[0-9]",
+    AtomKind.DIGIT_PLUS: "[0-9]",
+    AtomKind.UPPER: "[A-Z]",
+    AtomKind.LOWER: "[a-z]",
+    AtomKind.LETTER: "[A-Za-z]",
+    AtomKind.LETTER_PLUS: "[A-Za-z]",
+    AtomKind.ALNUM: "[A-Za-z0-9]",
+    AtomKind.ALNUM_PLUS: "[A-Za-z0-9]",
+}
+
+_DISPLAY_NAME = {
+    AtomKind.DIGIT: "<digit>",
+    AtomKind.DIGIT_PLUS: "<digit>+",
+    AtomKind.NUM: "<num>",
+    AtomKind.UPPER: "<upper>",
+    AtomKind.LOWER: "<lower>",
+    AtomKind.LETTER: "<letter>",
+    AtomKind.LETTER_PLUS: "<letter>+",
+    AtomKind.ALNUM: "<alphanum>",
+    AtomKind.ALNUM_PLUS: "<alphanum>+",
+    AtomKind.ANY: "<all>",
+}
+
+# Key prefixes for the compact canonical encoding used as index keys.
+_KEY_PREFIX = {
+    AtomKind.DIGIT: "D",
+    AtomKind.DIGIT_PLUS: "D+",
+    AtomKind.NUM: "N",
+    AtomKind.UPPER: "U",
+    AtomKind.LOWER: "W",
+    AtomKind.LETTER: "L",
+    AtomKind.LETTER_PLUS: "L+",
+    AtomKind.ALNUM: "A",
+    AtomKind.ALNUM_PLUS: "A+",
+    AtomKind.ANY: "*",
+}
+_PREFIX_TO_KIND = {v: k for k, v in _KEY_PREFIX.items()}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One position of a pattern: a constant or a hierarchy token.
+
+    Use the class-method constructors (:meth:`const`, :meth:`digit`, …)
+    rather than the raw constructor; they validate arguments.
+    """
+
+    kind: AtomKind
+    text: str = ""   # only for CONST
+    length: int = 0  # only for fixed-length kinds
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def const(cls, text: str) -> "Atom":
+        """A literal constant, e.g. ``Const("Mar")`` or the symbol run ``"/"``."""
+        if not text:
+            raise ValueError("constant atoms must be non-empty")
+        return cls(AtomKind.CONST, text=text)
+
+    @classmethod
+    def digit(cls, length: int) -> "Atom":
+        """``<digit>{k}`` — exactly ``length`` digits."""
+        return cls._fixed(AtomKind.DIGIT, length)
+
+    @classmethod
+    def digit_plus(cls) -> "Atom":
+        """``<digit>+`` — one or more digits."""
+        return cls(AtomKind.DIGIT_PLUS)
+
+    @classmethod
+    def num(cls) -> "Atom":
+        """``<num>`` — any number, including signed and floating point."""
+        return cls(AtomKind.NUM)
+
+    @classmethod
+    def upper(cls, length: int) -> "Atom":
+        """``<upper>{k}`` — exactly ``length`` uppercase letters."""
+        return cls._fixed(AtomKind.UPPER, length)
+
+    @classmethod
+    def lower(cls, length: int) -> "Atom":
+        """``<lower>{k}`` — exactly ``length`` lowercase letters."""
+        return cls._fixed(AtomKind.LOWER, length)
+
+    @classmethod
+    def letter(cls, length: int) -> "Atom":
+        """``<letter>{k}`` — exactly ``length`` letters of either case."""
+        return cls._fixed(AtomKind.LETTER, length)
+
+    @classmethod
+    def letter_plus(cls) -> "Atom":
+        """``<letter>+`` — one or more letters."""
+        return cls(AtomKind.LETTER_PLUS)
+
+    @classmethod
+    def alnum(cls, length: int) -> "Atom":
+        """``<alphanum>{k}`` — exactly ``length`` alphanumeric characters."""
+        return cls._fixed(AtomKind.ALNUM, length)
+
+    @classmethod
+    def alnum_plus(cls) -> "Atom":
+        """``<alphanum>+`` — one or more alphanumeric characters."""
+        return cls(AtomKind.ALNUM_PLUS)
+
+    @classmethod
+    def any(cls) -> "Atom":
+        """``<all>`` — the hierarchy root; matches any non-empty string."""
+        return cls(AtomKind.ANY)
+
+    @classmethod
+    def _fixed(cls, kind: AtomKind, length: int) -> "Atom":
+        if length < 1:
+            raise ValueError(f"{kind.value} length must be >= 1, got {length}")
+        return cls(kind, length=length)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind is AtomKind.CONST
+
+    @property
+    def is_fixed_length(self) -> bool:
+        return self.kind in _FIXED_LENGTH_KINDS
+
+    def regex(self) -> str:
+        """The (non-anchored) regex fragment matching this atom."""
+        if self.kind is AtomKind.CONST:
+            return re.escape(self.text)
+        if self.kind is AtomKind.NUM:
+            return r"[-+]?[0-9]+(?:\.[0-9]+)?"
+        if self.kind is AtomKind.ANY:
+            return r".+"
+        charset = _CHARSET[self.kind]
+        if self.is_fixed_length:
+            return f"{charset}{{{self.length}}}"
+        return f"{charset}+"
+
+    def key(self) -> str:
+        """Compact canonical encoding, safe to join with ``|``.
+
+        Constants are encoded as ``C:<escaped text>`` with ``\\`` and ``|``
+        escaped; hierarchy tokens use short codes (``D2``, ``D+``, ``N``, …).
+        """
+        if self.kind is AtomKind.CONST:
+            escaped = self.text.replace("\\", "\\\\").replace("|", "\\p")
+            return f"C:{escaped}"
+        prefix = _KEY_PREFIX[self.kind]
+        if self.is_fixed_length:
+            return f"{prefix}{self.length}"
+        return prefix
+
+    @classmethod
+    def from_key(cls, key: str) -> "Atom":
+        """Inverse of :meth:`key`."""
+        if key.startswith("C:"):
+            text = key[2:].replace("\\p", "|").replace("\\\\", "\\")
+            return cls.const(text)
+        if key in _PREFIX_TO_KIND:
+            return cls(_PREFIX_TO_KIND[key])
+        # Fixed-length forms: a one-letter prefix followed by digits.
+        prefix, digits = key[0], key[1:]
+        if prefix in _PREFIX_TO_KIND and digits.isdigit():
+            return cls._fixed(_PREFIX_TO_KIND[prefix], int(digits))
+        raise ValueError(f"not a valid atom key: {key!r}")
+
+    def display(self) -> str:
+        """Paper-style display form, e.g. ``<digit>{2}`` or ``"Mar"``."""
+        if self.kind is AtomKind.CONST:
+            return f'"{self.text}"'
+        name = _DISPLAY_NAME[self.kind]
+        if self.is_fixed_length:
+            return f"{name}{{{self.length}}}"
+        return name
+
+    def __str__(self) -> str:
+        return self.display()

@@ -1,0 +1,446 @@
+"""Algorithm 1 — enumerate the pattern spaces ``P(v)``, ``P(D)`` and ``H(C)``.
+
+The paper's pattern generation works in two steps (Section 2.1, Algorithm 1):
+coarse patterns first (token-class level), each checked for coverage, then a
+drill-down into fine-grained atoms, again retaining only patterns that meet
+the coverage threshold.  This module implements that procedure with three
+engineering choices that keep a laptop-scale corpus tractable:
+
+* values are grouped by their coarse *signature* (token classes + symbol
+  text); per-position generalization options are materialized once per group
+  with a boolean match-mask over the group's distinct values,
+* the fine-grained cross product is enumerated depth-first with mask
+  intersection, pruning any prefix whose coverage falls below the threshold,
+* a per-column pattern budget bounds the output (the paper's τ token limit
+  is applied as well: groups wider than ``tau`` tokens are skipped — they are
+  recovered at query time by vertical cuts, Section 3).
+
+Coverage semantics follow the paper exactly: a pattern's *match count* is the
+number of values in the whole column it matches, so ``Imp_D(p) = 1 -
+match_count/|D|`` (Definition 1).  Values whose signature differs from the
+pattern's group are counted as non-matching, which is what produces the
+"impure column" evidence of Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.atoms import Atom
+from repro.core.hierarchy import DEFAULT_HIERARCHY, GeneralizationHierarchy
+from repro.core.pattern import Pattern
+from repro.core.tokenizer import (
+    CharClass,
+    Token,
+    alnum_runs,
+    alnum_signature,
+    signature,
+    tokenize,
+)
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """A pattern enumerated from a column, with its column-level match count."""
+
+    pattern: Pattern
+    match_count: int
+
+    def impurity(self, column_size: int) -> float:
+        """``Imp_D(p)`` of Definition 1 for a column of ``column_size`` values."""
+        if column_size <= 0:
+            raise ValueError("column_size must be positive")
+        return 1.0 - self.match_count / column_size
+
+
+@dataclass(frozen=True)
+class EnumerationConfig:
+    """Knobs of Algorithm 1.
+
+    Attributes:
+        tau: maximum token count for a value to participate in enumeration
+            (the τ of Section 2.4; wider groups are skipped).
+        min_coverage: minimum fraction of the column a retained pattern must
+            match.  ``1.0`` gives the intersection semantics of ``H(C)``
+            (basic FMDV); ``1 - θ`` gives FMDV-H's union-with-tolerance
+            (Equation 16); a small value such as ``0.1`` gives the ``P(D)``
+            enumeration used for offline indexing.
+        min_option_coverage: minimum fraction *of a signature group* that a
+            constant or fixed-length option must cover to enter the cross
+            product.  This is what keeps indexing tractable without losing
+            impurity evidence: minority *groups* (the "PM" values of
+            Figure 6) are governed by ``min_coverage``, while rare
+            per-position constants (one digit value out of ten) — which
+            explode the cross product and carry no validation signal — are
+            pruned here.  Queries with ``min_coverage=1.0`` are unaffected
+            (an option covering all values passes any floor).
+        max_patterns: per-column output budget.
+        max_const_options: cap on distinct constant texts considered per
+            token position (the most frequent win).
+        max_length_options: cap on distinct fixed-length options per position.
+        hierarchy: the generalization hierarchy to drill down with.
+        enumerate_alnum_runs: additionally enumerate at the merged
+            alphanumeric-run granularity, where ``<alphanum>`` atoms span
+            adjacent digit/letter runs.  This is what gives hex identifiers,
+            GUIDs and similar mixed domains a stable structure (their fine
+            token signatures differ row to row).
+    """
+
+    tau: int = 13
+    min_coverage: float = 0.1
+    min_option_coverage: float = 0.25
+    max_patterns: int = 4096
+    max_const_options: int = 4
+    max_length_options: int = 4
+    hierarchy: GeneralizationHierarchy = field(default=DEFAULT_HIERARCHY)
+    enumerate_alnum_runs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise ValueError("tau must be >= 1")
+        if not 0.0 < self.min_coverage <= 1.0:
+            raise ValueError("min_coverage must be in (0, 1]")
+        if self.max_patterns < 1:
+            raise ValueError("max_patterns must be >= 1")
+
+
+@dataclass
+class _Option:
+    """One candidate atom at one aligned position, with its match mask."""
+
+    atom: Atom
+    mask: np.ndarray  # bool mask over the group's distinct values
+
+
+def enumerate_value_patterns(
+    value: str, hierarchy: GeneralizationHierarchy = DEFAULT_HIERARCHY, max_patterns: int = 4096
+) -> list[Pattern]:
+    """The full pattern space ``P(v)`` of a single value (Section 2.1).
+
+    Enumerates the cross product of per-token generalization chains, most
+    general combinations first, up to ``max_patterns``.  The trivial ``.*``
+    is excluded by construction (``<all>`` atoms are never emitted).
+    """
+    tokens = tokenize(value)
+    if not tokens:
+        return []
+    chains = [list(reversed(hierarchy.generalizations(t))) for t in tokens]
+    patterns: list[Pattern] = []
+
+    def dfs(position: int, prefix: list[Atom]) -> None:
+        if len(patterns) >= max_patterns:
+            return
+        if position == len(chains):
+            patterns.append(Pattern(prefix))
+            return
+        for atom in chains[position]:
+            prefix.append(atom)
+            dfs(position + 1, prefix)
+            prefix.pop()
+            if len(patterns) >= max_patterns:
+                return
+
+    dfs(0, [])
+    return patterns
+
+
+def enumerate_column_patterns(
+    values: Sequence[str], config: EnumerationConfig = EnumerationConfig()
+) -> list[PatternStats]:
+    """Enumerate retained patterns of a column per Algorithm 1.
+
+    Returns deduplicated patterns with column-level match counts; patterns
+    are retained only when they match at least ``min_coverage`` of the
+    column's values and the column-wide budget ``max_patterns`` allows.
+
+    Two granularities are enumerated: merged alphanumeric runs first (the
+    level at which ``<alphanum>`` atoms span digit/letter boundaries), then
+    fine digit/letter runs.  A pattern emitted at both levels is counted
+    once with the larger match count — the alnum-level group is always a
+    superset of any fine group that can emit the same pattern, so taking
+    the maximum is exact, never double-counting.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    min_count = max(1, math.ceil(config.min_coverage * n))
+
+    aggregated: dict[Pattern, int] = {}
+    budget = config.max_patterns
+
+    passes: list[tuple] = []
+    if config.enumerate_alnum_runs:
+        passes.append((alnum_signature, alnum_runs))
+    passes.append((signature, tokenize))
+
+    for signature_fn, tokens_fn in passes:
+        if budget <= 0:
+            break
+        by_signature: dict[tuple[str, ...], Counter[str]] = defaultdict(Counter)
+        for v in values:
+            if v:
+                by_signature[signature_fn(v)][v] += 1
+        groups = sorted(
+            by_signature.items(), key=lambda item: (-sum(item[1].values()), item[0])
+        )
+        for sig, counter in groups:
+            if budget <= 0:
+                break
+            group_total = sum(counter.values())
+            if group_total < min_count:
+                continue  # no pattern from this group can reach the threshold
+            if len(sig) > config.tau:
+                continue  # wider than τ: recovered via vertical cuts at query time
+            produced = _enumerate_group(counter, min_count, budget, config, tokens_fn)
+            for pattern, count in produced.items():
+                previous = aggregated.get(pattern)
+                if previous is None:
+                    aggregated[pattern] = count
+                    budget -= 1
+                elif count > previous:
+                    aggregated[pattern] = count
+
+    return [
+        PatternStats(pattern=p, match_count=c)
+        for p, c in aggregated.items()
+        if c >= min_count
+    ]
+
+
+def hypothesis_space(
+    values: Sequence[str],
+    config: EnumerationConfig = EnumerationConfig(),
+    min_coverage: float = 1.0,
+) -> list[PatternStats]:
+    """The hypothesis space over a query column.
+
+    ``min_coverage=1.0`` yields ``H(C) = ∩_v P(v)`` (basic FMDV, Section 2.1);
+    ``min_coverage = 1 - θ`` yields the tolerant space of FMDV-H
+    (Equations 13 and 16).
+    """
+    tolerant = EnumerationConfig(
+        tau=config.tau,
+        min_coverage=min_coverage,
+        max_patterns=config.max_patterns,
+        max_const_options=config.max_const_options,
+        max_length_options=config.max_length_options,
+        hierarchy=config.hierarchy,
+    )
+    return enumerate_column_patterns(values, tolerant)
+
+
+def _enumerate_group(
+    counter: Counter[str],
+    min_count: int,
+    budget: int,
+    config: EnumerationConfig,
+    tokens_fn=tokenize,
+) -> dict[Pattern, int]:
+    """Drill-down enumeration for one signature group (same token shape)."""
+    distinct = list(counter.keys())
+    weights = np.array([counter[v] for v in distinct], dtype=np.int64)
+    token_rows = [tokens_fn(v) for v in distinct]
+    width = len(token_rows[0])
+    group_total = int(weights.sum())
+    option_floor = max(
+        min_count, math.ceil(config.min_option_coverage * group_total)
+    )
+
+    options_per_position: list[list[_Option]] = []
+    for j in range(width):
+        column_tokens = [row[j] for row in token_rows]
+        options = _position_options(column_tokens, weights, option_floor, config)
+        if not options:
+            return {}  # some position admits no atom meeting the threshold
+        options_per_position.append(options)
+
+    _reduce_to_budget(options_per_position, budget)
+
+    results: dict[Pattern, int] = {}
+    full_mask = np.ones(len(distinct), dtype=bool)
+
+    def dfs(position: int, mask: np.ndarray, prefix: list[Atom]) -> None:
+        if len(results) >= budget:
+            return
+        if position == width:
+            results[Pattern(prefix)] = int(weights[mask].sum())
+            return
+        for option in options_per_position[position]:
+            new_mask = mask & option.mask
+            if int(weights[new_mask].sum()) < min_count:
+                continue
+            prefix.append(option.atom)
+            dfs(position + 1, new_mask, prefix)
+            prefix.pop()
+            if len(results) >= budget:
+                return
+
+    dfs(0, full_mask, [])
+    return results
+
+
+def _reduce_to_budget(options_per_position: list[list[_Option]], budget: int) -> None:
+    """Shrink per-position option lists until their cross product fits.
+
+    A depth-first enumeration that merely *stops* at the budget truncates
+    asymmetrically — early positions get stuck at their most general option
+    while late positions are explored fully, which silently removes exactly
+    the specific patterns queries hypothesize.  Instead, the cross product
+    is reduced *before* enumeration by repeatedly dropping the last option
+    of the widest position (option lists are ordered most-supported first,
+    with constants and rare fixed lengths at the tail), so whatever space
+    remains is enumerated completely and uniformly.
+    """
+    product = 1
+    for options in options_per_position:
+        product *= len(options)
+        if product > budget:
+            break
+    while product > budget:
+        widest = max(options_per_position, key=len)
+        if len(widest) <= 1:
+            return  # nothing left to drop; DFS will stop at the budget
+        widest.pop()
+        product = 1
+        for options in options_per_position:
+            product *= len(options)
+
+
+def _position_options(
+    tokens: list[Token],
+    weights: np.ndarray,
+    option_floor: int,
+    config: EnumerationConfig,
+) -> list[_Option]:
+    """Generalization options at one aligned position, most general first.
+
+    Constant and fixed-length options whose match weight cannot reach
+    ``option_floor`` values are dropped immediately (the coverage retention
+    step of Algorithm 1, tightened per ``min_option_coverage``).
+    """
+    cls = tokens[0].cls
+    n = len(tokens)
+    hierarchy = config.hierarchy
+
+    if cls is CharClass.SYMBOL:
+        # Within a signature group, symbol runs are identical by definition.
+        return [_Option(Atom.const(tokens[0].text), np.ones(n, dtype=bool))]
+
+    if cls is CharClass.ALNUM:
+        return _alnum_position_options(tokens, weights, option_floor, config)
+
+    options: list[_Option] = []
+    full = np.ones(n, dtype=bool)
+    texts = [t.text for t in tokens]
+    lengths = np.array([len(t) for t in tokens], dtype=np.int64)
+
+    # Most general first: the cross-class and unbounded atoms.
+    if hierarchy.use_alnum_plus:
+        options.append(_Option(Atom.alnum_plus(), full))
+    if cls is CharClass.DIGIT:
+        if hierarchy.use_num:
+            options.append(_Option(Atom.num(), full))
+        options.append(_Option(Atom.digit_plus(), full))
+    else:
+        options.append(_Option(Atom.letter_plus(), full))
+
+    # Fixed-length options, most frequent lengths first.
+    length_weights: Counter[int] = Counter()
+    for length, w in zip(lengths.tolist(), weights.tolist()):
+        length_weights[length] += w
+    frequent_lengths = [
+        length
+        for length, w in length_weights.most_common(config.max_length_options)
+        if w >= option_floor
+    ]
+    for length in frequent_lengths:
+        mask = lengths == length
+        if hierarchy.use_alnum_fixed:
+            options.append(_Option(Atom.alnum(length), mask.copy()))
+        if cls is CharClass.DIGIT:
+            options.append(_Option(Atom.digit(length), mask.copy()))
+        else:
+            options.append(_Option(Atom.letter(length), mask.copy()))
+            if hierarchy.use_case_classes:
+                upper_mask = mask & np.array([t.isupper() for t in texts])
+                if int(weights[upper_mask].sum()) >= option_floor:
+                    options.append(_Option(Atom.upper(length), upper_mask))
+                lower_mask = mask & np.array([t.islower() for t in texts])
+                if int(weights[lower_mask].sum()) >= option_floor:
+                    options.append(_Option(Atom.lower(length), lower_mask))
+
+    # Constant options, most frequent texts first.
+    text_weights: Counter[str] = Counter()
+    for text, w in zip(texts, weights.tolist()):
+        text_weights[text] += w
+    frequent_texts = [
+        text
+        for text, w in text_weights.most_common(config.max_const_options)
+        if w >= option_floor and len(text) <= hierarchy.max_const_length
+    ]
+    text_array = np.array(texts, dtype=object)
+    for text in frequent_texts:
+        options.append(_Option(Atom.const(text), text_array == text))
+
+    return options
+
+
+def _alnum_position_options(
+    tokens: list[Token],
+    weights: np.ndarray,
+    option_floor: int,
+    config: EnumerationConfig,
+) -> list[_Option]:
+    """Options at one merged alphanumeric-run position.
+
+    Fixed-length ``<alphanum>{k}`` options are always considered here
+    (independent of ``hierarchy.use_alnum_fixed``, which governs the fine
+    level): fixed-width segments are the defining structure of hex
+    identifiers, which is the whole point of this granularity.
+    """
+    n = len(tokens)
+    options: list[_Option] = [_Option(Atom.alnum_plus(), np.ones(n, dtype=bool))]
+
+    lengths = np.array([len(t) for t in tokens], dtype=np.int64)
+    length_weights: Counter[int] = Counter()
+    for length, w in zip(lengths.tolist(), weights.tolist()):
+        length_weights[length] += w
+    for length, w in length_weights.most_common(config.max_length_options):
+        if w >= option_floor:
+            options.append(_Option(Atom.alnum(length), lengths == length))
+
+    texts = [t.text for t in tokens]
+    text_weights: Counter[str] = Counter()
+    for text, w in zip(texts, weights.tolist()):
+        text_weights[text] += w
+    frequent_texts = [
+        text
+        for text, w in text_weights.most_common(config.max_const_options)
+        if w >= option_floor and len(text) <= config.hierarchy.max_const_length
+    ]
+    text_array = np.array(texts, dtype=object)
+    for text in frequent_texts:
+        options.append(_Option(Atom.const(text), text_array == text))
+
+    return options
+
+
+def dominant_signature_share(values: Iterable[str]) -> float:
+    """Share of values carrying the most common signature (homogeneity probe).
+
+    Used by the horizontal-cut variant to decide how much of the column the
+    dominant coarse structure explains.
+    """
+    counts: Counter[tuple[str, ...]] = Counter()
+    total = 0
+    for v in values:
+        counts[signature(v)] += 1
+        total += 1
+    if total == 0:
+        return 0.0
+    return counts.most_common(1)[0][1] / total

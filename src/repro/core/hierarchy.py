@@ -1,0 +1,91 @@
+"""The generalization hierarchy of Figure 4.
+
+Given one coarse token (a digit run, letter run or symbol run — see
+:mod:`repro.core.tokenizer`), the hierarchy induces the chain of increasingly
+general atoms that the token can be abstracted into.  The cross product of
+the per-token chains over a value ``v`` is the pattern space ``P(v)`` of
+Section 2.1 (the paper counts ~3.3 billion patterns for a simple date-time
+value; enumeration therefore happens lazily with pruning in
+:mod:`repro.core.enumeration`).
+
+The paper stresses that the framework "is not tied to specific choices of
+hierarchy/pattern-languages".  :class:`GeneralizationHierarchy` is
+accordingly configurable: case-sensitive letter classes, the ``<num>`` node
+and the fixed-length ``<alphanum>{k}`` node can each be toggled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atoms import Atom
+from repro.core.tokenizer import CharClass, Token
+
+
+@dataclass(frozen=True)
+class GeneralizationHierarchy:
+    """Per-token generalization chains, configurable per Figure 4.
+
+    Attributes:
+        use_case_classes: emit ``<upper>{k}``/``<lower>{k}`` for letter runs
+            of uniform case (in addition to ``<letter>{k}``).
+        use_num: emit the ``<num>`` node for digit runs.
+        use_alnum_fixed: emit ``<alphanum>{k}`` for digit/letter runs.
+        use_alnum_plus: emit ``<alphanum>+`` for digit/letter runs.
+        max_const_length: constants longer than this never yield a ``Const``
+            atom (long constants are almost never useful validation atoms
+            and inflate the index); symbol runs are exempt because symbols
+            only exist as constants.
+    """
+
+    use_case_classes: bool = True
+    use_num: bool = False
+    use_alnum_fixed: bool = False
+    use_alnum_plus: bool = True
+    max_const_length: int = 16
+
+    def generalizations(self, token: Token) -> list[Atom]:
+        """All atoms the ``token`` can generalize into, specific→general.
+
+        The trivial ``<all>`` root is *not* included: the paper excludes
+        ``.*`` from every hypothesis space (Section 2.1), and a per-token
+        ``<all>`` is equivalent to it in practice.
+        """
+        if token.cls is CharClass.SYMBOL:
+            # Symbols act as structural delimiters; they stay constant.
+            return [Atom.const(token.text)]
+
+        atoms: list[Atom] = []
+        k = len(token)
+        if k <= self.max_const_length:
+            atoms.append(Atom.const(token.text))
+        if token.cls is CharClass.DIGIT:
+            atoms.append(Atom.digit(k))
+            atoms.append(Atom.digit_plus())
+            if self.use_num:
+                atoms.append(Atom.num())
+        else:  # CharClass.LETTER
+            if self.use_case_classes:
+                if token.is_upper:
+                    atoms.append(Atom.upper(k))
+                elif token.is_lower:
+                    atoms.append(Atom.lower(k))
+            atoms.append(Atom.letter(k))
+            atoms.append(Atom.letter_plus())
+        if self.use_alnum_fixed:
+            atoms.append(Atom.alnum(k))
+        if self.use_alnum_plus:
+            atoms.append(Atom.alnum_plus())
+        return atoms
+
+    def chain_length(self, token: Token) -> int:
+        """Number of generalization options for ``token`` (symbols: 1)."""
+        return len(self.generalizations(token))
+
+
+#: The default hierarchy used across the library.  It mirrors Figure 4 with
+#: two nodes disabled to bound enumeration on a laptop: ``<alphanum>{k}``
+#: and ``<num>`` (within one token-signature group ``<num>`` matches exactly
+#: the values ``<digit>+`` matches, so dropping it loses no discriminative
+#: power while shrinking the cross product).  Both can be re-enabled.
+DEFAULT_HIERARCHY = GeneralizationHierarchy()

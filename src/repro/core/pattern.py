@@ -1,0 +1,166 @@
+"""The :class:`Pattern` type: a sequence of atoms with regex semantics.
+
+A pattern validates a value when its compiled regular expression fully
+matches the value.  Patterns are immutable and hashable; their canonical
+:meth:`Pattern.key` string is what the offline index stores, and
+:meth:`Pattern.from_key` restores a pattern from an index key.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+from repro.core.atoms import Atom, AtomKind
+
+
+@lru_cache(maxsize=65536)
+def _compile(regex: str) -> re.Pattern[str]:
+    return re.compile(regex)
+
+
+class Pattern:
+    """An immutable sequence of :class:`~repro.core.atoms.Atom`.
+
+    >>> p = Pattern([Atom.letter(3), Atom.const(" "), Atom.digit(2)])
+    >>> p.display()
+    '<letter>{3} " " <digit>{2}'
+    >>> p.matches("Mar 01")
+    True
+    >>> p.matches("March 01")
+    False
+    """
+
+    __slots__ = ("_atoms", "_key", "_hash")
+
+    def __init__(self, atoms: Iterable[Atom]):
+        self._atoms: tuple[Atom, ...] = tuple(atoms)
+        if not self._atoms:
+            raise ValueError("a pattern must contain at least one atom")
+        self._key = "|".join(a.key() for a in self._atoms)
+        self._hash = hash(self._key)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.display()})"
+
+    # -- serialization -----------------------------------------------------
+
+    def key(self) -> str:
+        """Compact canonical encoding used as the offline-index key."""
+        return self._key
+
+    @classmethod
+    def from_key(cls, key: str) -> "Pattern":
+        """Inverse of :meth:`key`."""
+        # Split on '|' but honour the escape '\p' produced by Atom.key for
+        # literal pipes inside constants: a '|' preceded by a backslash can
+        # only occur inside an (escaped) constant.
+        parts: list[str] = []
+        current: list[str] = []
+        i = 0
+        while i < len(key):
+            ch = key[i]
+            if ch == "\\" and i + 1 < len(key):
+                current.append(key[i : i + 2])
+                i += 2
+                continue
+            if ch == "|":
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+            i += 1
+        parts.append("".join(current))
+        return cls(Atom.from_key(p) for p in parts)
+
+    # -- semantics ---------------------------------------------------------
+
+    def regex(self) -> str:
+        """Anchored regex implementing the pattern."""
+        return "".join(a.regex() for a in self._atoms)
+
+    def compiled(self) -> re.Pattern[str]:
+        """Compiled regex (cached process-wide)."""
+        return _compile(self.regex())
+
+    def matches(self, value: str) -> bool:
+        """True when the pattern fully matches ``value``."""
+        return self.compiled().fullmatch(value) is not None
+
+    def match_fraction(self, values: Iterable[str]) -> float:
+        """Fraction of ``values`` matched; 0.0 for an empty iterable."""
+        values = list(values)
+        if not values:
+            return 0.0
+        regex = self.compiled()
+        matched = sum(1 for v in values if regex.fullmatch(v) is not None)
+        return matched / len(values)
+
+    # -- structure ---------------------------------------------------------
+
+    def display(self) -> str:
+        """Paper-style rendering, e.g. ``<letter>{3} " " <digit>{2}``."""
+        return " ".join(a.display() for a in self._atoms)
+
+    def __str__(self) -> str:
+        return self.display()
+
+    def is_trivial(self) -> bool:
+        """True for patterns equivalent to the excluded ``.*`` (all ANY)."""
+        return all(a.kind is AtomKind.ANY for a in self._atoms)
+
+    def concat(self, other: "Pattern") -> "Pattern":
+        """Concatenate two patterns (used to stitch vertical-cut segments)."""
+        return Pattern(self._atoms + other._atoms)
+
+    @classmethod
+    def concat_all(cls, patterns: Iterable["Pattern"]) -> "Pattern":
+        """Concatenate ``patterns`` left to right into a single pattern."""
+        atoms: list[Atom] = []
+        for p in patterns:
+            atoms.extend(p.atoms)
+        return cls(atoms)
+
+    #: Per-atom specificity scores used for tie-breaking between patterns
+    #: with equal corpus-estimated FPR.  Higher = more specific: constants
+    #: beat fixed-length class atoms, case-restricted beats mixed-case,
+    #: class-restricted beats the cross-class <alphanum> forms.
+    _SPECIFICITY = {
+        AtomKind.CONST: 9,
+        AtomKind.UPPER: 7,
+        AtomKind.LOWER: 7,
+        AtomKind.DIGIT: 7,
+        AtomKind.LETTER: 6,
+        AtomKind.ALNUM: 5,
+        AtomKind.NUM: 4,
+        AtomKind.DIGIT_PLUS: 4,
+        AtomKind.LETTER_PLUS: 4,
+        AtomKind.ALNUM_PLUS: 2,
+        AtomKind.ANY: 0,
+    }
+
+    def specificity(self) -> int:
+        """Summed atom specificity; a deterministic tie-break helper for
+        solvers choosing between patterns with equal estimated FPR."""
+        return sum(self._SPECIFICITY[a.kind] for a in self._atoms)

@@ -1,0 +1,178 @@
+"""Coarse lexer: split string values into maximal same-class character runs.
+
+Section 3 of the paper describes the lexer used throughout Auto-Validate:
+
+    "we first use a lexer to tokenize each v in C into coarse-grained
+    token-classes (<symbol>, <num>, <letter>), by scanning each v from left
+    to right and 'growing' each token until a character of a different class
+    is encountered."
+
+A token is therefore a maximal run of characters of one
+:class:`CharClass`: digits, letters, or symbols (everything else, including
+whitespace).  The token count ``t(v)`` of a value is the number of such runs;
+it is the quantity bounded by the token limit ``tau`` during offline indexing
+(Section 2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class CharClass(enum.Enum):
+    """Coarse character classes distinguished by the lexer.
+
+    ``ALNUM`` is never produced by :func:`char_class`; it only appears in
+    the merged runs of :func:`alnum_runs`, where consecutive digit and
+    letter runs collapse into one alphanumeric run (the granularity at
+    which the paper's ``<alphanum>`` nodes operate).
+    """
+
+    DIGIT = "digit"
+    LETTER = "letter"
+    SYMBOL = "symbol"
+    ALNUM = "alnum"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CharClass.{self.name}"
+
+
+def char_class(ch: str) -> CharClass:
+    """Classify a single character into its coarse :class:`CharClass`.
+
+    Only ASCII letters and digits form the ``LETTER``/``DIGIT`` classes (the
+    paper targets machine-generated data, which is overwhelmingly ASCII);
+    every other character — punctuation, whitespace, unicode — is a symbol.
+    """
+    if "0" <= ch <= "9":
+        return CharClass.DIGIT
+    if "a" <= ch <= "z" or "A" <= ch <= "Z":
+        return CharClass.LETTER
+    return CharClass.SYMBOL
+
+
+@dataclass(frozen=True)
+class Token:
+    """A maximal run of same-class characters within a value.
+
+    Attributes:
+        cls: the coarse character class of the run.
+        text: the run's raw text.
+    """
+
+    cls: CharClass
+    text: str
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    @property
+    def is_upper(self) -> bool:
+        """True for letter runs consisting solely of uppercase letters."""
+        return self.cls is CharClass.LETTER and self.text.isupper()
+
+    @property
+    def is_lower(self) -> bool:
+        """True for letter runs consisting solely of lowercase letters."""
+        return self.cls is CharClass.LETTER and self.text.islower()
+
+
+# Signature: the class-level shape of a value.  Two values share a signature
+# when their token sequences have the same classes *and* identical symbol
+# text (symbols act as structural delimiters and never generalize in the
+# hierarchy of Figure 4, so "1-2" and "1:2" are structurally different).
+Signature = tuple[str, ...]
+
+
+def _tokenize_uncached(value: str) -> tuple[Token, ...]:
+    tokens: list[Token] = []
+    if not value:
+        return ()
+    start = 0
+    current = char_class(value[0])
+    for i in range(1, len(value)):
+        cls = char_class(value[i])
+        if cls is not current:
+            tokens.append(Token(current, value[start:i]))
+            start = i
+            current = cls
+    tokens.append(Token(current, value[start:]))
+    return tuple(tokens)
+
+
+@lru_cache(maxsize=65536)
+def tokenize(value: str) -> tuple[Token, ...]:
+    """Tokenize ``value`` into maximal same-class runs (cached).
+
+    >>> [t.text for t in tokenize("9:07 AM")]
+    ['9', ':', '07', ' ', 'AM']
+    """
+    return _tokenize_uncached(value)
+
+
+def token_count(value: str) -> int:
+    """The token count ``t(v)`` used by the ``tau`` limit of Section 2.4."""
+    return len(tokenize(value))
+
+
+def signature(value: str) -> Signature:
+    """Class-level signature of a value, with symbol runs kept verbatim.
+
+    The signature determines which values can share a (non-trivial) pattern:
+    the per-position generalization chains of Figure 4 never cross the
+    digit/letter boundary below ``<alnum>``, and symbols never generalize.
+
+    >>> signature("9:07")
+    ('D', ':', 'D')
+    >>> signature("Mar 02")
+    ('L', ' ', 'D')
+    """
+    parts: list[str] = []
+    for token in tokenize(value):
+        if token.cls is CharClass.DIGIT:
+            parts.append("D")
+        elif token.cls is CharClass.LETTER:
+            parts.append("L")
+        else:
+            parts.append(token.text)
+    return tuple(parts)
+
+
+@lru_cache(maxsize=65536)
+def alnum_runs(value: str) -> tuple[Token, ...]:
+    """Tokens with consecutive digit/letter runs merged into ALNUM runs.
+
+    This is the coarser granularity at which hex identifiers, GUIDs and
+    similar mixed alphanumeric domains become structurally stable: the fine
+    token sequence of ``"b216"`` (letter, digits) differs from ``"5720"``
+    (digits), but both are a single ``ALNUM`` run.
+
+    >>> [t.text for t in alnum_runs("b216-57a0")]
+    ['b216', '-', '57a0']
+    """
+    merged: list[Token] = []
+    for token in tokenize(value):
+        if token.cls is CharClass.SYMBOL:
+            merged.append(token)
+        elif merged and merged[-1].cls is CharClass.ALNUM:
+            merged[-1] = Token(CharClass.ALNUM, merged[-1].text + token.text)
+        else:
+            merged.append(Token(CharClass.ALNUM, token.text))
+    return tuple(merged)
+
+
+def alnum_signature(value: str) -> Signature:
+    """Class-level signature at the merged alphanumeric-run granularity.
+
+    >>> alnum_signature("b216-57a0")
+    ('A', '-', 'A')
+    """
+    parts: list[str] = []
+    for token in alnum_runs(value):
+        if token.cls is CharClass.ALNUM:
+            parts.append("A")
+        else:
+            parts.append(token.text)
+    return tuple(parts)

@@ -1,0 +1,39 @@
+"""Data-lake substrate: tables, columns, corpora and their synthesis.
+
+The paper's corpora — an enterprise lake crawled from Microsoft production
+pipelines (``T_E``) and a government lake crawled from
+NationalArchives.gov.uk (``T_G``) — are proprietary / external.  This
+subpackage provides the substitute documented in DESIGN.md: a synthetic
+lake generator whose columns are drawn from a registry of ~50 realistic
+domains (machine-generated formats with ground-truth patterns, plus ragged
+natural-language domains), including the phenomena the algorithms feed on:
+shared domains across columns, format variation inside columns (impurity
+evidence), composite columns, dirty columns and manual-edit noise.
+"""
+
+from repro.datalake.column import Column, Table
+from repro.datalake.corpus import Corpus, CorpusStats
+from repro.datalake.domains import DOMAIN_REGISTRY, DomainSpec, get_domain
+from repro.datalake.generator import (
+    ENTERPRISE_PROFILE,
+    GOVERNMENT_PROFILE,
+    LakeProfile,
+    generate_corpus,
+)
+from repro.datalake.io import load_corpus, save_corpus
+
+__all__ = [
+    "Column",
+    "Corpus",
+    "CorpusStats",
+    "DOMAIN_REGISTRY",
+    "DomainSpec",
+    "ENTERPRISE_PROFILE",
+    "GOVERNMENT_PROFILE",
+    "LakeProfile",
+    "Table",
+    "generate_corpus",
+    "get_domain",
+    "load_corpus",
+    "save_corpus",
+]

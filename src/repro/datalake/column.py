@@ -1,0 +1,85 @@
+"""Column and table containers with generation provenance.
+
+Columns carry optional provenance set by the synthetic generator — the
+domain they were drawn from and the ground-truth validation pattern of that
+domain — which is what enables the hand-labelled-ground-truth evaluation of
+Table 2 without any manual labelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Column:
+    """A named string-valued data column.
+
+    Attributes:
+        name: column header.
+        values: the cell values, in row order.
+        domain: generator provenance — name of the domain the values were
+            sampled from (None for loaded/unknown data).
+        ground_truth: canonical key of the domain's ideal validation pattern
+            (None when the domain has no clean pattern, e.g. natural
+            language or ragged formats).
+        table_name: name of the owning table.
+        dirty_fraction: fraction of sentinel/non-conforming values injected
+            by the generator (0.0 for clean columns).
+    """
+
+    name: str
+    values: list[str]
+    domain: str | None = None
+    ground_truth: str | None = None
+    table_name: str = ""
+    dirty_fraction: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(set(self.values))
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.table_name}.{self.name}" if self.table_name else self.name
+
+    def head(self, n: int) -> list[str]:
+        """The first ``n`` values (the "data observed so far" in splits)."""
+        return self.values[:n]
+
+    def split(self, train_fraction: float = 0.1) -> tuple[list[str], list[str]]:
+        """Train/test split per the paper's evaluation methodology (§5.1):
+        the first ``train_fraction`` of values act as the observed training
+        data, the rest as future data."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = max(1, int(len(self.values) * train_fraction))
+        return (self.values[:cut], self.values[cut:])
+
+
+@dataclass
+class Table:
+    """A named collection of columns (one data file in the lake)."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def n_rows(self) -> int:
+        return max((len(c) for c in self.columns), default=0)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def add(self, column: Column) -> None:
+        column.table_name = self.name
+        self.columns.append(column)

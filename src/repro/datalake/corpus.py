@@ -1,0 +1,111 @@
+"""Corpus container: the background table collection ``T``.
+
+A corpus is what the offline index is built from and what benchmark query
+columns are sampled out of.  It also computes the corpus characteristics
+reported in the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.datalake.column import Column, Table
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Table 1 statistics of a corpus."""
+
+    n_files: int
+    n_columns: int
+    avg_values: float
+    std_values: float
+    avg_distinct: float
+    std_distinct: float
+
+    def as_row(self, name: str) -> dict[str, object]:
+        """A display row matching Table 1's columns."""
+        return {
+            "Corpus": name,
+            "total # of data files": self.n_files,
+            "total # of data cols": self.n_columns,
+            "avg col value cnt (std)": f"{self.avg_values:.0f} ({self.std_values:.0f})",
+            "avg col distinct value cnt (std)": f"{self.avg_distinct:.0f} ({self.std_distinct:.0f})",
+        }
+
+
+class Corpus:
+    """An ordered collection of tables (one synthetic or loaded data lake)."""
+
+    def __init__(self, tables: Sequence[Table], name: str = ""):
+        self.tables = list(tables)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables)
+
+    def columns(self) -> Iterator[Column]:
+        """All columns across all tables, in deterministic order."""
+        for table in self.tables:
+            yield from table.columns
+
+    def column_values(self) -> Iterator[list[str]]:
+        """Just the value lists (the shape the index builder consumes)."""
+        for column in self.columns():
+            yield column.values
+
+    @property
+    def n_columns(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    def sample_columns(
+        self,
+        n: int,
+        rng: random.Random,
+        predicate: Callable[[Column], bool] | None = None,
+        min_values: int = 10,
+    ) -> list[Column]:
+        """Sample ``n`` columns without replacement (benchmark construction).
+
+        Columns shorter than ``min_values`` are excluded (they cannot be
+        split into meaningful train/test portions); an optional predicate
+        narrows the pool further.
+        """
+        pool = [
+            c
+            for c in self.columns()
+            if len(c) >= min_values and (predicate is None or predicate(c))
+        ]
+        if n > len(pool):
+            raise ValueError(f"cannot sample {n} columns from a pool of {len(pool)}")
+        return rng.sample(pool, n)
+
+    def stats(self) -> CorpusStats:
+        """Compute the Table 1 characteristics of this corpus."""
+        value_counts = [len(c) for c in self.columns()]
+        distinct_counts = [c.distinct_count for c in self.columns()]
+        return CorpusStats(
+            n_files=len(self.tables),
+            n_columns=len(value_counts),
+            avg_values=_mean(value_counts),
+            std_values=_std(value_counts),
+            avg_distinct=_mean(distinct_counts),
+            std_distinct=_std(distinct_counts),
+        )
+
+
+def _mean(xs: Sequence[int]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _std(xs: Sequence[int]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    mu = _mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / (len(xs) - 1))

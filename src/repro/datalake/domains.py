@@ -1,0 +1,712 @@
+"""Domain registry: the data domains that populate the synthetic lake.
+
+Each :class:`DomainSpec` couples a value sampler with the domain's
+*ground-truth validation pattern* — the pattern a domain expert would write
+(the paper hand-labels these for its Table 2; our generator knows them by
+construction).  Domains mirror the families the paper reports from the
+Microsoft lake (Figure 3): timestamps in many proprietary formats,
+knowledge-base entity ids, ad-delivery statuses, GUIDs, locales, and so on,
+plus ragged natural-language domains for which no syntactic pattern exists
+(the 429/1000 excluded cases of Figure 10a).
+
+Some machine-generated domains are deliberately *hard* (``ground_truth is
+None`` despite being machine data): hex GUIDs and MAC addresses whose token
+signature varies row to row, and variable-depth URLs — the paper's own
+error analysis singles out "flexibly-formatted URLs" as failure cases.
+
+``variant_group`` links format variants of one logical domain (e.g. 12-hour
+and 24-hour timestamps).  The generator mixes variants of one group inside
+a single column to create the "impure columns" that teach the index which
+patterns are too narrow (Figure 6).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+import string
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+
+Sampler = Callable[[random.Random], str]
+ColumnSampler = Callable[[random.Random, int], list[str]]
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One data domain: a sampler plus labelling metadata.
+
+    ``sampler`` draws one i.i.d. value.  Domains whose real-world columns
+    are *ordered streams* (timestamps from a recurring pipeline, growing
+    counters, sequential ids) additionally provide ``column_sampler``,
+    which draws a whole column with within-column progression.  This is
+    the load-bearing property of the paper's setting: the training slice
+    of such a column sees only a narrow window (one month, one prefix), so
+    profiling-style patterns that memorize the window false-alarm on the
+    future slice (Figure 2), while corpus-level impurity evidence steers
+    Auto-Validate to the right generalization.
+    """
+
+    name: str
+    sampler: Sampler
+    ground_truth: str | None  # canonical pattern key, None when no clean pattern
+    category: str = "machine"  # "machine" | "nl"
+    variant_group: str | None = None
+    column_sampler: ColumnSampler | None = None
+
+    def sample(self, rng: random.Random) -> str:
+        """One i.i.d. value (used for composite/mixed column assembly)."""
+        return self.sampler(rng)
+
+    def sample_many(self, rng: random.Random, n: int) -> list[str]:
+        """A whole column: ordered when the domain is stream-like."""
+        if self.column_sampler is not None:
+            return self.column_sampler(rng, n)
+        return [self.sampler(rng) for _ in range(n)]
+
+    def ground_truth_pattern(self) -> Pattern | None:
+        return Pattern.from_key(self.ground_truth) if self.ground_truth else None
+
+
+def _key(*atoms: Atom) -> str:
+    return Pattern(atoms).key()
+
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary for samplers.
+# ---------------------------------------------------------------------------
+
+_MONTHS = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+_LOCALES = ["en", "fr", "de", "es", "zh", "ja", "pt", "it", "nl", "sv", "pl", "ru"]
+_REGIONS = ["us", "gb", "de", "fr", "cn", "jp", "br", "in", "ca", "au", "mx", "es"]
+_COUNTRY2 = ["US", "GB", "DE", "FR", "CN", "JP", "BR", "IN", "CA", "AU", "MX", "ES"]
+_COUNTRY3 = ["USA", "GBR", "DEU", "FRA", "CHN", "JPN", "BRA", "IND", "CAN", "AUS"]
+_STATUSES = ["Delivered", "Pending", "Failed", "Queued", "Completed",
+             "Cancelled", "Active", "Expired", "OnBooking", "Throttled"]
+_LOG_LEVELS = ["DEBUG", "INFO", "WARN", "ERROR", "FATAL", "TRACE"]
+_WORDS = ["data", "sales", "metrics", "daily", "report", "users", "events",
+          "clicks", "orders", "items", "logs", "index", "cache", "batch",
+          "audit", "export", "raw", "final", "stage", "prod"]
+_TLDS = ["com", "org", "net", "dev", "app", "biz"]
+_FIRST_NAMES = ["James", "Mary", "Wei", "Priya", "Carlos", "Yuki", "Anna",
+                "Omar", "Lena", "Noah", "Emma", "Liam", "Olivia", "Ethan",
+                "Sofia", "Lucas", "Mia", "Ivan", "Zoe", "Amir"]
+_LAST_NAMES = ["Smith", "Johnson", "Chen", "Patel", "Garcia", "Tanaka",
+               "Mueller", "Ali", "Kowalski", "Brown", "Davis", "Kim",
+               "Nguyen", "Lopez", "Olsen", "Singh", "Rossi", "Novak"]
+_COMPANY_STEMS = ["Contoso", "Fabrikam", "Northwind", "Adventure Works",
+                  "Tailspin", "Wingtip", "Proseware", "Woodgrove", "Litware",
+                  "Lamna", "Fourth Coffee", "Graphic Design Institute"]
+_COMPANY_SUFFIXES = ["Ltd.", "Inc", "LLC", "GmbH", "Corp.", "Co", "Group",
+                     "Holdings", "& Sons", "International"]
+_CITIES = ["Seattle", "London", "Berlin", "Tokyo", "Paris", "Mumbai",
+           "Sao Paulo", "New York", "San Francisco", "Hong Kong",
+           "Mexico City", "Cape Town", "Salt Lake City"]
+_STREETS = ["Main St", "Oak Avenue", "2nd Ave", "Pine Rd", "Maple Drive",
+            "Broadway", "Elm Street Apt 4", "Hill Ln", "Park Blvd Suite 210"]
+_DEPARTMENTS = ["Human Resources", "R&D", "Sales", "Finance & Accounting",
+                "IT Operations", "Legal", "Customer Support", "Marketing",
+                "Supply Chain", "Facilities Mgmt."]
+_PRODUCT_WORDS = ["Pro", "Max", "Ultra", "Mini", "Plus", "Lite", "X", "Go"]
+_HEX = "0123456789abcdef"
+
+
+def _digits(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice(string.digits) for _ in range(n))
+
+
+def _hex(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice(_HEX) for _ in range(n))
+
+
+def _lower(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(n))
+
+
+def _upper(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice(string.ascii_uppercase) for _ in range(n))
+
+
+# ---------------------------------------------------------------------------
+# Temporal column machinery: ordered streams with a random start window.
+# ---------------------------------------------------------------------------
+
+_STREAM_START = _dt.datetime(2015, 1, 1)
+_STREAM_SPAN_SECONDS = 8 * 365 * 86400  # starts anywhere in 2015-2022
+#: Mean inter-arrival times a pipeline column might have (5 min … 3 days).
+_STREAM_STEPS = [300.0, 3600.0, 21600.0, 86400.0, 3 * 86400.0]
+
+
+def _stream_datetimes(rng: random.Random, n: int, date_only: bool) -> list[_dt.datetime]:
+    """An increasing datetime sequence with a random start and cadence."""
+    start = rng.random() * _STREAM_SPAN_SECONDS
+    step_mean = rng.choice(_STREAM_STEPS[2:] if date_only else _STREAM_STEPS)
+    t = start
+    out = []
+    for _ in range(n):
+        t += rng.expovariate(1.0 / step_mean)
+        out.append(_STREAM_START + _dt.timedelta(seconds=t))
+    return out
+
+
+def _temporal(render: Callable[[_dt.datetime], str], date_only: bool = False) -> ColumnSampler:
+    def column_sampler(rng: random.Random, n: int) -> list[str]:
+        return [render(d) for d in _stream_datetimes(rng, n, date_only)]
+
+    return column_sampler
+
+
+def _render_date_slash(d: _dt.datetime) -> str:
+    return f"{d.month}/{d.day}/{d.year}"
+
+
+def _render_datetime_slash(d: _dt.datetime) -> str:
+    return f"{d.month}/{d.day}/{d.year} {d.hour}:{d.minute:02d}:{d.second:02d}"
+
+
+def _render_datetime_ampm(d: _dt.datetime) -> str:
+    h12 = d.hour % 12 or 12
+    suffix = "AM" if d.hour < 12 else "PM"
+    return f"{d.month}/{d.day}/{d.year} {h12}:{d.minute:02d}:{d.second:02d} {suffix}"
+
+
+def _render_date_iso(d: _dt.datetime) -> str:
+    return d.strftime("%Y-%m-%d")
+
+
+def _render_datetime_iso(d: _dt.datetime) -> str:
+    return d.strftime("%Y-%m-%dT%H:%M:%S")
+
+
+def _render_month_name(d: _dt.datetime) -> str:
+    return f"{_MONTHS[d.month - 1]} {d.day:02d} {d.year}"
+
+
+def _render_compact(d: _dt.datetime) -> str:
+    return d.strftime("%Y%m%d%H%M%S")
+
+
+def _render_epoch(d: _dt.datetime) -> str:
+    return str(int((d - _dt.datetime(1970, 1, 1)).total_seconds()))
+
+
+def _render_iso_week(d: _dt.datetime) -> str:
+    iso = d.isocalendar()
+    return f"{iso.year}-W{iso.week:02d}"
+
+
+def _counter_column(rng: random.Random, n: int) -> list[str]:
+    """A growing integer counter (row counts, cumulative metrics)."""
+    value = rng.randint(0, 10 ** rng.randint(1, 5))
+    out = []
+    for _ in range(n):
+        value += int(rng.expovariate(1.0 / (value * 0.02 + 10))) + 1
+        out.append(str(value))
+    return out
+
+
+def _session_column(rng: random.Random, n: int) -> list[str]:
+    """Sequential session ids with a zero-padded numeric suffix."""
+    counter = rng.randint(0, 99_000_000 - n * 3)
+    out = []
+    for _ in range(n):
+        counter += rng.randint(1, 3)
+        out.append(f"sess-{counter:08d}")
+    return out
+
+
+def _order_column(rng: random.Random, n: int) -> list[str]:
+    """Sequential order ids; ~30% of columns cross a year boundary mid-way
+    (the corpus evidence that keeps Const(year) patterns impure)."""
+    dates = _stream_datetimes(rng, n, date_only=True)
+    seq = rng.randint(0, 900_000 - 3 * n)
+    out = []
+    for d in dates:
+        seq += rng.randint(1, 3)
+        out.append(f"ORD-{d.year}-{seq:06d}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Machine-generated domains (pattern-friendly).
+# ---------------------------------------------------------------------------
+
+def _date_slash(rng: random.Random) -> str:
+    return f"{rng.randint(1, 12)}/{rng.randint(1, 28)}/{rng.randint(2015, 2023)}"
+
+
+def _datetime_slash(rng: random.Random) -> str:
+    return (
+        f"{_date_slash(rng)} "
+        f"{rng.randint(0, 23)}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+    )
+
+
+def _datetime_ampm(rng: random.Random) -> str:
+    return (
+        f"{_date_slash(rng)} "
+        f"{rng.randint(1, 12)}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d} "
+        f"{rng.choice(['AM', 'PM'])}"
+    )
+
+
+def _date_iso(rng: random.Random) -> str:
+    return f"{rng.randint(2015, 2023)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+
+
+def _datetime_iso(rng: random.Random) -> str:
+    return (
+        f"{_date_iso(rng)}T{rng.randint(0, 23):02d}:"
+        f"{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+    )
+
+
+def _date_month_name(rng: random.Random) -> str:
+    return f"{rng.choice(_MONTHS)} {rng.randint(1, 28):02d} {rng.randint(2015, 2023)}"
+
+
+def _timestamp_compact(rng: random.Random) -> str:
+    return (
+        f"{rng.randint(2015, 2023)}{rng.randint(1, 12):02d}{rng.randint(1, 28):02d}"
+        f"{rng.randint(0, 23):02d}{rng.randint(0, 59):02d}{rng.randint(0, 59):02d}"
+    )
+
+
+def _unix_epoch(rng: random.Random) -> str:
+    return str(rng.randint(1_400_000_000, 1_700_000_000))
+
+
+def _time_hms(rng: random.Random) -> str:
+    return f"{rng.randint(0, 23)}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+
+
+def _year(rng: random.Random) -> str:
+    return str(rng.randint(1990, 2024))
+
+
+def _quarter(rng: random.Random) -> str:
+    return f"Q{rng.randint(1, 4)}"
+
+
+def _iso_week(rng: random.Random) -> str:
+    return f"{rng.randint(2015, 2023)}-W{rng.randint(1, 52):02d}"
+
+
+def _locale_lower(rng: random.Random) -> str:
+    return f"{rng.choice(_LOCALES)}-{rng.choice(_REGIONS)}"
+
+
+def _locale_mixed(rng: random.Random) -> str:
+    return f"{rng.choice(_LOCALES)}-{rng.choice(_COUNTRY2)}"
+
+
+def _country2(rng: random.Random) -> str:
+    return rng.choice(_COUNTRY2)
+
+
+def _country3(rng: random.Random) -> str:
+    return rng.choice(_COUNTRY3)
+
+
+def _status(rng: random.Random) -> str:
+    return rng.choice(_STATUSES)
+
+
+def _log_level(rng: random.Random) -> str:
+    return rng.choice(_LOG_LEVELS)
+
+
+def _int_count(rng: random.Random) -> str:
+    return str(rng.randint(0, 10 ** rng.randint(1, 6)))
+
+
+def _float_plain(rng: random.Random) -> str:
+    return f"{rng.randint(0, 999)}.{rng.randint(0, 999999):04d}"
+
+
+def _percent(rng: random.Random) -> str:
+    return f"{rng.randint(0, 99)}.{rng.randint(0, 9)}%"
+
+
+def _currency_usd(rng: random.Random) -> str:
+    return f"${rng.randint(1, 99)},{rng.randint(0, 999):03d}.{rng.randint(0, 99):02d}"
+
+
+def _zip5(rng: random.Random) -> str:
+    return _digits(rng, 5)
+
+
+def _zip9(rng: random.Random) -> str:
+    return f"{_digits(rng, 5)}-{_digits(rng, 4)}"
+
+
+def _phone_us(rng: random.Random) -> str:
+    return f"({rng.randint(200, 989)}) {rng.randint(200, 989)}-{rng.randint(0, 9999):04d}"
+
+
+def _ssn_like(rng: random.Random) -> str:
+    return f"{_digits(rng, 3)}-{_digits(rng, 2)}-{_digits(rng, 4)}"
+
+
+def _ipv4(rng: random.Random) -> str:
+    return ".".join(str(rng.randint(0, 255)) for _ in range(4))
+
+
+def _ipv4_port(rng: random.Random) -> str:
+    return f"{_ipv4(rng)}:{rng.randint(1024, 65535)}"
+
+
+def _version3(rng: random.Random) -> str:
+    return f"{rng.randint(0, 20)}.{rng.randint(0, 30)}.{rng.randint(0, 5000)}"
+
+
+def _version_v(rng: random.Random) -> str:
+    return f"v{_version3(rng)}"
+
+
+def _build_number(rng: random.Random) -> str:
+    return f"{rng.randint(6, 11)}.{rng.randint(0, 3)}.{rng.randint(10000, 26000)}.{rng.randint(0, 5000)}"
+
+
+def _event_code(rng: random.Random) -> str:
+    return f"{_upper(rng, 3)}-{_digits(rng, 5)}"
+
+
+def _order_id(rng: random.Random) -> str:
+    return f"ORD-{rng.randint(2015, 2023)}-{_digits(rng, 6)}"
+
+
+def _sku(rng: random.Random) -> str:
+    return f"{_upper(rng, 2)}-{_digits(rng, 4)}-{_upper(rng, 2)}"
+
+
+def _license_plate(rng: random.Random) -> str:
+    return f"{_upper(rng, 3)}-{_digits(rng, 4)}"
+
+
+def _flight(rng: random.Random) -> str:
+    return f"{_upper(rng, 2)}{rng.randint(1, 9999)}"
+
+
+def _session_id(rng: random.Random) -> str:
+    return f"sess-{_digits(rng, 8)}"
+
+
+def _ad_delivery(rng: random.Random) -> str:
+    return f"{rng.choice(_STATUSES)}_{_upper(rng, 2)}_{rng.randint(2015, 2023)}"
+
+
+def _duration(rng: random.Random) -> str:
+    return f"PT{rng.randint(0, 59)}M{rng.randint(0, 59)}S"
+
+
+def _size_mb(rng: random.Random) -> str:
+    return f"{rng.randint(1, 9999)} {rng.choice(['KB', 'MB', 'GB', 'TB'])}"
+
+
+def _email_simple(rng: random.Random) -> str:
+    return (
+        f"{_lower(rng, rng.randint(3, 9))}@"
+        f"{_lower(rng, rng.randint(4, 10))}.{rng.choice(_TLDS)}"
+    )
+
+
+def _unix_path(rng: random.Random) -> str:
+    return f"/{rng.choice(_WORDS)}/{rng.choice(_WORDS)}/{_lower(rng, rng.randint(3, 8))}.{rng.choice(['log', 'csv', 'txt', 'json'])}"
+
+
+def _coordinates(rng: random.Random) -> str:
+    return (
+        f"{rng.randint(10, 89)}.{rng.randint(0, 999999):06d},"
+        f"-{rng.randint(10, 179)}.{rng.randint(0, 999999):06d}"
+    )
+
+
+def _bool_str(rng: random.Random) -> str:
+    return rng.choice(["True", "False"])
+
+
+def _hex_color(rng: random.Random) -> str:
+    # Forced letter-digit mix keeps the signature stable: a hex color like
+    # "#ff0a12" still varies, so ground truth uses <alphanum>+.
+    return "#" + _hex(rng, 6)
+
+
+# -- hard machine domains (no clean ground-truth pattern) --------------------
+
+def _guid(rng: random.Random) -> str:
+    return "-".join(_hex(rng, n) for n in (8, 4, 4, 4, 12))
+
+
+def _hex16(rng: random.Random) -> str:
+    return _hex(rng, 16)
+
+
+def _mac(rng: random.Random) -> str:
+    return ":".join(_hex(rng, 2) for _ in range(6))
+
+
+def _kb_entity(rng: random.Random) -> str:
+    return f"/m/0{_lower(rng, 1)}{_digits(rng, 1)}{_lower(rng, 2)}{_digits(rng, 1)}"
+
+
+def _url_ragged(rng: random.Random) -> str:
+    depth = rng.randint(1, 3)
+    path = "/".join(rng.choice(_WORDS) for _ in range(depth))
+    maybe_query = f"?id={_digits(rng, rng.randint(2, 6))}" if rng.random() < 0.4 else ""
+    return f"https://{_lower(rng, rng.randint(4, 10))}.{rng.choice(_TLDS)}/{path}{maybe_query}"
+
+
+# ---------------------------------------------------------------------------
+# Natural-language domains (deliberately ragged; no syntactic pattern).
+# ---------------------------------------------------------------------------
+
+def _person_name(rng: random.Random) -> str:
+    first, last = rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES)
+    if rng.random() < 0.2:
+        return f"{first} {rng.choice(string.ascii_uppercase)}. {last}"
+    if rng.random() < 0.1:
+        return f"{last}-{rng.choice(_LAST_NAMES)}, {first}"
+    return f"{first} {last}"
+
+
+def _company(rng: random.Random) -> str:
+    stem = rng.choice(_COMPANY_STEMS)
+    if rng.random() < 0.7:
+        return f"{stem} {rng.choice(_COMPANY_SUFFIXES)}"
+    return stem
+
+
+def _city(rng: random.Random) -> str:
+    return rng.choice(_CITIES)
+
+
+def _street_address(rng: random.Random) -> str:
+    return f"{rng.randint(1, 9999)} {rng.choice(_STREETS)}"
+
+
+def _department(rng: random.Random) -> str:
+    return rng.choice(_DEPARTMENTS)
+
+
+def _product_name(rng: random.Random) -> str:
+    words = [rng.choice(_COMPANY_STEMS).split()[0], rng.choice(_PRODUCT_WORDS)]
+    if rng.random() < 0.4:
+        words.append(str(rng.randint(2, 15)))
+    return " ".join(words)
+
+
+def _free_text(rng: random.Random) -> str:
+    n = rng.randint(3, 8)
+    return " ".join(rng.choice(_WORDS) for _ in range(n))
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth pattern keys.
+# ---------------------------------------------------------------------------
+
+_D = Atom.digit
+_DP = Atom.digit_plus()
+_C = Atom.const
+_L = Atom.letter
+_LP = Atom.letter_plus()
+_U = Atom.upper
+_LO = Atom.lower
+_LOP_ = Atom.alnum_plus()
+
+_GT_DATE_SLASH = _key(_DP, _C("/"), _DP, _C("/"), _D(4))
+_GT_DATETIME_SLASH = _key(
+    _DP, _C("/"), _DP, _C("/"), _D(4), _C(" "), _DP, _C(":"), _D(2), _C(":"), _D(2)
+)
+_GT_DATETIME_AMPM = _key(
+    _DP, _C("/"), _DP, _C("/"), _D(4), _C(" "), _DP, _C(":"), _D(2), _C(":"), _D(2),
+    _C(" "), _U(2),
+)
+_GT_DATE_ISO = _key(_D(4), _C("-"), _D(2), _C("-"), _D(2))
+_GT_DATETIME_ISO = _key(
+    _D(4), _C("-"), _D(2), _C("-"), _D(2), _C("T"), _D(2), _C(":"), _D(2), _C(":"), _D(2)
+)
+_GT_DATE_MONTH_NAME = _key(_L(3), _C(" "), _D(2), _C(" "), _D(4))
+_GT_TS_COMPACT = _key(_D(14))
+_GT_EPOCH = _key(_D(10))
+_GT_TIME_HMS = _key(_DP, _C(":"), _D(2), _C(":"), _D(2))
+_GT_YEAR = _key(_D(4))
+_GT_QUARTER = _key(_C("Q"), _D(1))
+_GT_ISO_WEEK = _key(_D(4), _C("-"), _C("W"), _D(2))
+_GT_LOCALE_LOWER = _key(_LO(2), _C("-"), _LO(2))
+_GT_LOCALE_MIXED = _key(_LO(2), _C("-"), _U(2))
+_GT_COUNTRY2 = _key(_U(2))
+_GT_COUNTRY3 = _key(_U(3))
+_GT_STATUS = _key(_LP)
+# Log levels are all-uppercase but vary in length (WARN vs ERROR); the
+# hierarchy's case classes are fixed-length, so <letter>+ is the ideal.
+_GT_LOG_LEVEL = _key(_LP)
+_GT_INT = _key(_DP)
+# The fractional part is formatted "%04d" over 0..999999: lengths 4-6 mix.
+_GT_FLOAT = _key(_DP, _C("."), _DP)
+_GT_PERCENT = _key(_DP, _C("."), _D(1), _C("%"))
+_GT_CURRENCY = _key(_C("$"), _DP, _C(","), _D(3), _C("."), _D(2))
+_GT_ZIP5 = _key(_D(5))
+_GT_ZIP9 = _key(_D(5), _C("-"), _D(4))
+_GT_PHONE = _key(_C("("), _D(3), _C(") "), _D(3), _C("-"), _D(4))
+_GT_SSN = _key(_D(3), _C("-"), _D(2), _C("-"), _D(4))
+_GT_IPV4 = _key(_DP, _C("."), _DP, _C("."), _DP, _C("."), _DP)
+_GT_IPV4_PORT = _key(_DP, _C("."), _DP, _C("."), _DP, _C("."), _DP, _C(":"), _DP)
+_GT_VERSION3 = _key(_DP, _C("."), _DP, _C("."), _DP)
+_GT_VERSION_V = _key(_C("v"), _DP, _C("."), _DP, _C("."), _DP)
+# Sampler ranges make the 2nd field always 1 digit and the 3rd always 5.
+_GT_BUILD = _key(_DP, _C("."), _D(1), _C("."), _D(5), _C("."), _DP)
+_GT_EVENT_CODE = _key(_U(3), _C("-"), _D(5))
+_GT_ORDER_ID = _key(_C("ORD"), _C("-"), _D(4), _C("-"), _D(6))
+_GT_SKU = _key(_U(2), _C("-"), _D(4), _C("-"), _U(2))
+_GT_PLATE = _key(_U(3), _C("-"), _D(4))
+_GT_FLIGHT = _key(_U(2), _DP)
+_GT_SESSION = _key(_C("sess"), _C("-"), _D(8))
+_GT_AD_DELIVERY = _key(_LP, _C("_"), _U(2), _C("_"), _D(4))
+_GT_DURATION = _key(_C("PT"), _DP, _C("M"), _DP, _C("S"))
+_GT_SIZE = _key(_DP, _C(" "), _U(2))
+_GT_COORD = _key(
+    _D(2), _C("."), _D(6), _C(",-"), _DP, _C("."), _D(6)
+)
+_GT_BOOL = _key(_LP)
+
+# Hex-flavoured domains are structurally stable only at the merged
+# alphanumeric-run granularity: their ground truths use <alphanum>{k}.
+_A = Atom.alnum
+_GT_HEX_COLOR = _key(_C("#"), _A(6))
+_GT_GUID = _key(_A(8), _C("-"), _A(4), _C("-"), _A(4), _C("-"), _A(4), _C("-"), _A(12))
+_GT_HEX16 = _key(_A(16))
+_GT_MAC = _key(
+    _A(2), _C(":"), _A(2), _C(":"), _A(2), _C(":"), _A(2), _C(":"), _A(2), _C(":"), _A(2)
+)
+_GT_KB_ENTITY = _key(
+    _C("/"), _C("m"), _C("/"), _C("0"), _LO(1), _D(1), _LO(2), _D(1)
+)
+
+# Email/unix-path use unbounded lowercase runs; the hierarchy expresses those
+# as <letter>+ (case classes are fixed-length only, mirroring Figure 4).
+_GT_EMAIL = _key(_LP, _C("@"), _LP, _C("."), _LO(3))
+_GT_UNIX_PATH = _key(_C("/"), _LP, _C("/"), _LP, _C("/"), _LP, _C("."), _LP)
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+DOMAIN_REGISTRY: dict[str, DomainSpec] = {
+    spec.name: spec
+    for spec in [
+        # timestamps and dates
+        DomainSpec("datetime_slash", _datetime_slash, _GT_DATETIME_SLASH,
+                   variant_group="datetime_us",
+                   column_sampler=_temporal(_render_datetime_slash)),
+        DomainSpec("datetime_ampm", _datetime_ampm, _GT_DATETIME_AMPM,
+                   variant_group="datetime_us",
+                   column_sampler=_temporal(_render_datetime_ampm)),
+        DomainSpec("date_slash", _date_slash, _GT_DATE_SLASH,
+                   column_sampler=_temporal(_render_date_slash, date_only=True)),
+        DomainSpec("date_iso", _date_iso, _GT_DATE_ISO, variant_group="date_iso",
+                   column_sampler=_temporal(_render_date_iso, date_only=True)),
+        DomainSpec("datetime_iso", _datetime_iso, _GT_DATETIME_ISO,
+                   variant_group="date_iso",
+                   column_sampler=_temporal(_render_datetime_iso)),
+        DomainSpec("date_month_name", _date_month_name, _GT_DATE_MONTH_NAME,
+                   column_sampler=_temporal(_render_month_name, date_only=True)),
+        DomainSpec("timestamp_compact", _timestamp_compact, _GT_TS_COMPACT,
+                   column_sampler=_temporal(_render_compact)),
+        DomainSpec("unix_epoch", _unix_epoch, _GT_EPOCH,
+                   column_sampler=_temporal(_render_epoch)),
+        DomainSpec("time_hms", _time_hms, _GT_TIME_HMS),
+        DomainSpec("year", _year, _GT_YEAR),
+        DomainSpec("quarter", _quarter, _GT_QUARTER),
+        DomainSpec("iso_week", _iso_week, _GT_ISO_WEEK,
+                   column_sampler=_temporal(_render_iso_week, date_only=True)),
+        # locales / geo codes
+        DomainSpec("locale_lower", _locale_lower, _GT_LOCALE_LOWER,
+                   variant_group="locale"),
+        DomainSpec("locale_mixed", _locale_mixed, _GT_LOCALE_MIXED,
+                   variant_group="locale"),
+        DomainSpec("country2", _country2, _GT_COUNTRY2),
+        DomainSpec("country3", _country3, _GT_COUNTRY3),
+        # enums
+        DomainSpec("status", _status, _GT_STATUS),
+        DomainSpec("log_level", _log_level, _GT_LOG_LEVEL),
+        DomainSpec("bool_str", _bool_str, _GT_BOOL),
+        # numbers
+        DomainSpec("int_count", _int_count, _GT_INT, column_sampler=_counter_column),
+        DomainSpec("float_plain", _float_plain, _GT_FLOAT),
+        DomainSpec("percent", _percent, _GT_PERCENT),
+        DomainSpec("currency_usd", _currency_usd, _GT_CURRENCY),
+        # identifiers
+        DomainSpec("zip5", _zip5, _GT_ZIP5),
+        DomainSpec("zip9", _zip9, _GT_ZIP9),
+        DomainSpec("phone_us", _phone_us, _GT_PHONE),
+        DomainSpec("ssn_like", _ssn_like, _GT_SSN),
+        DomainSpec("ipv4", _ipv4, _GT_IPV4),
+        DomainSpec("ipv4_port", _ipv4_port, _GT_IPV4_PORT),
+        DomainSpec("version3", _version3, _GT_VERSION3),
+        DomainSpec("version_v", _version_v, _GT_VERSION_V),
+        DomainSpec("build_number", _build_number, _GT_BUILD),
+        DomainSpec("event_code", _event_code, _GT_EVENT_CODE),
+        DomainSpec("order_id", _order_id, _GT_ORDER_ID, column_sampler=_order_column),
+        DomainSpec("sku", _sku, _GT_SKU),
+        DomainSpec("license_plate", _license_plate, _GT_PLATE),
+        DomainSpec("flight", _flight, _GT_FLIGHT),
+        DomainSpec("session_id", _session_id, _GT_SESSION, column_sampler=_session_column),
+        DomainSpec("ad_delivery", _ad_delivery, _GT_AD_DELIVERY),
+        DomainSpec("duration", _duration, _GT_DURATION),
+        DomainSpec("size_mb", _size_mb, _GT_SIZE),
+        DomainSpec("email_simple", _email_simple, _GT_EMAIL),
+        DomainSpec("unix_path", _unix_path, _GT_UNIX_PATH),
+        DomainSpec("coordinates", _coordinates, _GT_COORD),
+        DomainSpec("hex_color", _hex_color, _GT_HEX_COLOR),
+        # hex identifiers (stable only at the alphanumeric-run granularity)
+        DomainSpec("guid", _guid, _GT_GUID),
+        DomainSpec("hex16", _hex16, _GT_HEX16),
+        DomainSpec("mac", _mac, _GT_MAC),
+        DomainSpec("kb_entity", _kb_entity, _GT_KB_ENTITY),
+        # hard machine domain: flexibly-formatted URLs (a failure case the
+        # paper's own error analysis calls out)
+        DomainSpec("url", _url_ragged, None),
+        # natural language (no syntactic pattern; excluded subset in Fig 10)
+        DomainSpec("person_name", _person_name, None, category="nl"),
+        DomainSpec("company", _company, None, category="nl"),
+        DomainSpec("city", _city, None, category="nl"),
+        DomainSpec("street_address", _street_address, None, category="nl"),
+        DomainSpec("department", _department, None, category="nl"),
+        DomainSpec("product_name", _product_name, None, category="nl"),
+        DomainSpec("free_text", _free_text, None, category="nl"),
+    ]
+}
+
+#: Domains grouped by their variant group (format variants of one concept).
+VARIANT_GROUPS: dict[str, list[str]] = {}
+for _spec in DOMAIN_REGISTRY.values():
+    if _spec.variant_group:
+        VARIANT_GROUPS.setdefault(_spec.variant_group, []).append(_spec.name)
+
+#: Sentinel values machine pipelines emit on error branches (Figure 9).
+SENTINEL_VALUES = ["-", "N/A", "NULL", "null", "??", "unknown", "none", "0000"]
+
+
+def get_domain(name: str) -> DomainSpec:
+    """Look up a domain by name; raises KeyError with suggestions."""
+    try:
+        return DOMAIN_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(DOMAIN_REGISTRY))
+        raise KeyError(f"unknown domain {name!r}; known domains: {known}") from None
+
+
+def machine_domains() -> list[DomainSpec]:
+    """All machine-generated domains (pattern-based validation targets)."""
+    return [d for d in DOMAIN_REGISTRY.values() if d.category == "machine"]
+
+
+def nl_domains() -> list[DomainSpec]:
+    """All natural-language domains (the pattern-free 33%)."""
+    return [d for d in DOMAIN_REGISTRY.values() if d.category == "nl"]

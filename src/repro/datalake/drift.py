@@ -1,0 +1,80 @@
+"""Drift injectors: the upstream changes data validation exists to catch.
+
+Three families of change reported for production pipelines (§1):
+
+* **schema drift** — columns added / removed / swapped upstream, so a
+  downstream consumer silently reads the wrong column;
+* **data drift** — the formatting standard of values changes silently
+  (the paper's "en-us" → "en-US" example);
+* **invalid values** — error branches start emitting sentinels or garbage.
+
+Each injector takes a column's values and returns a drifted copy, leaving
+the original untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datalake.column import Table
+from repro.datalake.domains import SENTINEL_VALUES, get_domain
+
+
+def swap_columns(table: Table, name_a: str, name_b: str) -> Table:
+    """Schema drift: swap the positions/contents of two columns.
+
+    Mirrors the Kaggle case study (§5.3), where categorical attributes are
+    swapped between train and test time.
+    """
+    columns = list(table.columns)
+    idx = {c.name: i for i, c in enumerate(columns)}
+    ia, ib = idx[name_a], idx[name_b]
+    swapped = list(columns)
+    swapped[ia], swapped[ib] = columns[ib], columns[ia]
+    out = Table(name=table.name)
+    for c in swapped:
+        out.add(c)
+    return out
+
+
+def reformat_values(
+    values: Sequence[str], target_domain: str, rng: random.Random, fraction: float = 1.0
+) -> list[str]:
+    """Data drift: re-draw a fraction of values from a different format
+    variant (e.g. ``locale_lower`` → ``locale_mixed`` is "en-us" → "en-US")."""
+    spec = get_domain(target_domain)
+    out = list(values)
+    for i in range(len(out)):
+        if rng.random() < fraction:
+            out[i] = spec.sample(rng)
+    return out
+
+
+def inject_invalid(
+    values: Sequence[str],
+    rng: random.Random,
+    rate: float = 0.05,
+    sentinels: Sequence[str] = tuple(SENTINEL_VALUES),
+) -> list[str]:
+    """Invalid-value drift: replace a fraction of values with sentinels."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    out = list(values)
+    for i in range(len(out)):
+        if rng.random() < rate:
+            out[i] = rng.choice(list(sentinels))
+    return out
+
+
+def truncate_values(
+    values: Sequence[str], rng: random.Random, rate: float = 0.05
+) -> list[str]:
+    """Corruption drift: truncate a fraction of values mid-way (a classic
+    symptom of upstream encoding/size-limit changes)."""
+    out = list(values)
+    for i in range(len(out)):
+        v = out[i]
+        if len(v) > 2 and rng.random() < rate:
+            out[i] = v[: rng.randint(1, len(v) - 1)]
+    return out

@@ -1,0 +1,285 @@
+"""Synthetic data-lake generation (the substitute for ``T_E`` and ``T_G``).
+
+A :class:`LakeProfile` controls the statistical make-up of a generated
+corpus.  Five column archetypes are produced, mirroring the phenomena the
+paper's algorithms rely on (see DESIGN.md §1 for the substitution argument):
+
+* **clean machine columns** — values of one machine-generated domain;
+  thousands of columns share each popular domain (Zipf popularity), which
+  is what gives patterns corpus-level coverage;
+* **format-mix columns** — two format variants of one logical domain in a
+  single column (12/24-hour timestamps, ISO date vs. datetime …).  These
+  are the "impure columns" of Figure 6: the corpus evidence that narrow
+  patterns have non-zero FPR;
+* **dirty columns** — a machine domain plus a small fraction of ad-hoc
+  sentinel values ("-", "NULL", …), Figure 9's motivation for FMDV-H;
+* **composite columns** — several atomic domains concatenated with a
+  separator, Figure 8's motivation for FMDV-V;
+* **natural-language columns** — ragged human text where no syntactic
+  pattern exists (~33% in the paper's lake).
+
+The government profile additionally applies manual-edit noise (case flips,
+stray whitespace, typos) to a fraction of values, reproducing the paper's
+observation that the noisier ``T_G`` depresses every method's quality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.util import stable_seed
+
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+from repro.datalake.column import Column, Table
+from repro.datalake.corpus import Corpus
+from repro.datalake.domains import (
+    DOMAIN_REGISTRY,
+    SENTINEL_VALUES,
+    VARIANT_GROUPS,
+    DomainSpec,
+    machine_domains,
+    nl_domains,
+)
+
+#: Separators used to concatenate sub-domains into composite columns.
+_COMPOSITE_SEPARATORS = [" ", "|", "_", ",", " - ", ";"]
+
+
+@dataclass(frozen=True)
+class LakeProfile:
+    """Statistical profile of a synthetic lake."""
+
+    name: str
+    n_tables: int = 600
+    columns_per_table: tuple[int, int] = (3, 10)
+    values_per_column: tuple[int, int] = (60, 220)
+    nl_fraction: float = 0.33
+    format_mix_fraction: float = 0.03
+    dirty_fraction: float = 0.14
+    dirty_value_rate: tuple[float, float] = (0.02, 0.09)
+    composite_fraction: float = 0.06
+    composite_arity: tuple[int, int] = (2, 4)
+    noise_rate: float = 0.0  # per-value manual-edit corruption probability
+    zipf_exponent: float = 0.7
+    seed_offset: int = 0
+
+
+#: Laptop-scale stand-in for the paper's 7.2M-column enterprise lake.
+ENTERPRISE_PROFILE = LakeProfile(name="enterprise")
+
+#: Smaller, noisier stand-in for the government (NationalArchives) corpus.
+GOVERNMENT_PROFILE = LakeProfile(
+    name="government",
+    n_tables=220,
+    columns_per_table=(2, 8),
+    values_per_column=(25, 90),
+    nl_fraction=0.42,
+    format_mix_fraction=0.04,
+    dirty_fraction=0.18,
+    dirty_value_rate=(0.02, 0.12),
+    composite_fraction=0.04,
+    noise_rate=0.015,
+)
+
+
+@dataclass
+class _DomainPicker:
+    """Zipf-weighted domain selection, deterministic given the rng."""
+
+    machine: list[DomainSpec] = field(default_factory=machine_domains)
+    nl: list[DomainSpec] = field(default_factory=nl_domains)
+    zipf_exponent: float = 0.7
+
+    def __post_init__(self) -> None:
+        self._machine_weights = [
+            1.0 / (rank + 1) ** self.zipf_exponent for rank in range(len(self.machine))
+        ]
+        self._nl_weights = [
+            1.0 / (rank + 1) ** self.zipf_exponent for rank in range(len(self.nl))
+        ]
+
+    def pick_machine(self, rng: random.Random) -> DomainSpec:
+        return rng.choices(self.machine, weights=self._machine_weights, k=1)[0]
+
+    def pick_nl(self, rng: random.Random) -> DomainSpec:
+        return rng.choices(self.nl, weights=self._nl_weights, k=1)[0]
+
+
+def generate_corpus(profile: LakeProfile, seed: int = 0) -> Corpus:
+    """Generate a corpus according to ``profile``, reproducibly."""
+    rng = random.Random(stable_seed(seed + profile.seed_offset, profile.name))
+    picker = _DomainPicker(zipf_exponent=profile.zipf_exponent)
+    tables: list[Table] = []
+    for t in range(profile.n_tables):
+        table = Table(name=f"{profile.name}_table_{t:05d}")
+        n_cols = rng.randint(*profile.columns_per_table)
+        for c in range(n_cols):
+            n_values = rng.randint(*profile.values_per_column)
+            column = _generate_column(f"col_{c}", n_values, profile, picker, rng)
+            table.add(column)
+        tables.append(table)
+    return Corpus(tables, name=profile.name)
+
+
+def _generate_column(
+    name: str,
+    n_values: int,
+    profile: LakeProfile,
+    picker: _DomainPicker,
+    rng: random.Random,
+) -> Column:
+    """Generate one column by drawing an archetype, then its values."""
+    archetype = rng.random()
+    if archetype < profile.nl_fraction:
+        column = _nl_column(name, n_values, picker, rng)
+    elif archetype < profile.nl_fraction + profile.format_mix_fraction:
+        column = _format_mix_column(name, n_values, rng)
+    elif archetype < (
+        profile.nl_fraction + profile.format_mix_fraction + profile.composite_fraction
+    ):
+        column = _composite_column(name, n_values, picker, rng)
+    else:
+        column = _machine_column(name, n_values, picker, rng)
+        if rng.random() < profile.dirty_fraction:
+            _inject_sentinels(column, profile, rng)
+    if profile.noise_rate > 0:
+        _apply_noise(column, profile.noise_rate, rng)
+    return column
+
+
+def _machine_column(
+    name: str, n: int, picker: _DomainPicker, rng: random.Random
+) -> Column:
+    spec = picker.pick_machine(rng)
+    return Column(
+        name=f"{name}_{spec.name}",
+        values=spec.sample_many(rng, n),
+        domain=spec.name,
+        ground_truth=spec.ground_truth,
+    )
+
+
+def _nl_column(name: str, n: int, picker: _DomainPicker, rng: random.Random) -> Column:
+    spec = picker.pick_nl(rng)
+    return Column(
+        name=f"{name}_{spec.name}",
+        values=spec.sample_many(rng, n),
+        domain=spec.name,
+        ground_truth=None,
+    )
+
+
+def _format_mix_column(name: str, n: int, rng: random.Random) -> Column:
+    """Two format variants of one logical domain in a single column.
+
+    These columns are the impurity evidence of Figure 6: a pattern that
+    describes only one variant is "impure" on them, raising its corpus FPR.
+    """
+    group = rng.choice(sorted(VARIANT_GROUPS))
+    names = VARIANT_GROUPS[group]
+    primary, secondary = rng.sample(names, 2) if len(names) >= 2 else (names[0], names[0])
+    primary_spec, secondary_spec = DOMAIN_REGISTRY[primary], DOMAIN_REGISTRY[secondary]
+    # Kept deliberately small: each mixed column contributes its secondary
+    # share as impurity to the primary variant's patterns.  At lake scale
+    # (paper: 7M columns) canonical patterns keep FPRs near 0.04% (Example
+    # 5); a laptop-scale corpus must bound per-column impurity accordingly
+    # or mixed columns would dominate the average of Definition 3.
+    mix = rng.uniform(0.02, 0.09)
+    values = [
+        (secondary_spec if rng.random() < mix else primary_spec).sample(rng)
+        for _ in range(n)
+    ]
+    return Column(
+        name=f"{name}_{group}_mixed",
+        values=values,
+        domain=f"mix:{primary}+{secondary}",
+        ground_truth=None,
+    )
+
+
+def _composite_column(
+    name: str, n: int, picker: _DomainPicker, rng: random.Random
+) -> Column:
+    """Concatenate 2-4 atomic machine domains with one separator (Fig. 8)."""
+    arity = rng.randint(2, 4)
+    parts = [picker.pick_machine(rng) for _ in range(arity)]
+    separator = rng.choice(_COMPOSITE_SEPARATORS)
+    values = [
+        separator.join(spec.sample(rng) for spec in parts) for _ in range(n)
+    ]
+    ground_truth = _composite_ground_truth(parts, separator)
+    return Column(
+        name=f"{name}_composite",
+        values=values,
+        domain="composite:" + "+".join(spec.name for spec in parts),
+        ground_truth=ground_truth,
+    )
+
+
+def _composite_ground_truth(parts: list[DomainSpec], separator: str) -> str | None:
+    """Ground truth of a composite column: sub-patterns joined by the
+    separator constant — None as soon as any part lacks a ground truth."""
+    sub_patterns = []
+    for spec in parts:
+        gt = spec.ground_truth_pattern()
+        if gt is None:
+            return None
+        sub_patterns.append(gt)
+    atoms: list[Atom] = []
+    for i, sub in enumerate(sub_patterns):
+        if i:
+            atoms.append(Atom.const(separator))
+        atoms.extend(sub.atoms)
+    return _merge_adjacent_consts(atoms)
+
+
+def _merge_adjacent_consts(atoms: list[Atom]) -> str:
+    """Merge adjacent constant atoms (a separator next to a constant edge
+    of a sub-pattern forms a single symbol run after concatenation)."""
+    merged: list[Atom] = []
+    for atom in atoms:
+        if (
+            atom.is_const
+            and merged
+            and merged[-1].is_const
+            and _is_symbol_text(merged[-1].text[-1])
+            and _is_symbol_text(atom.text[0])
+        ):
+            merged[-1] = Atom.const(merged[-1].text + atom.text)
+        else:
+            merged.append(atom)
+    return Pattern(merged).key()
+
+
+def _is_symbol_text(ch: str) -> bool:
+    return not ch.isalnum()
+
+
+def _inject_sentinels(column: Column, profile: LakeProfile, rng: random.Random) -> None:
+    """Replace a small fraction of values with ad-hoc sentinels (Fig. 9)."""
+    rate = rng.uniform(*profile.dirty_value_rate)
+    sentinel = rng.choice(SENTINEL_VALUES)
+    dirty = 0
+    for i in range(len(column.values)):
+        if rng.random() < rate:
+            column.values[i] = sentinel
+            dirty += 1
+    column.dirty_fraction = dirty / len(column.values)
+
+
+def _apply_noise(column: Column, rate: float, rng: random.Random) -> None:
+    """Manual-edit corruption for the government profile."""
+    for i, value in enumerate(column.values):
+        if not value or rng.random() >= rate:
+            continue
+        kind = rng.random()
+        if kind < 0.4:  # stray whitespace
+            column.values[i] = f" {value}" if rng.random() < 0.5 else f"{value} "
+        elif kind < 0.7:  # case flip of one character
+            j = rng.randrange(len(value))
+            column.values[i] = value[:j] + value[j].swapcase() + value[j + 1 :]
+        else:  # typo: duplicate one character
+            j = rng.randrange(len(value))
+            column.values[i] = value[:j] + value[j] + value[j:]

@@ -1,0 +1,89 @@
+"""Disk persistence of corpora: a directory of CSV files, one per table.
+
+Provenance (domain, ground truth) travels in a sidecar ``_meta.json`` so a
+saved corpus round-trips exactly — the on-disk layout mirrors how a real
+lake stores pipeline outputs as flat files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.datalake.column import Column, Table
+from repro.datalake.corpus import Corpus
+
+_META_FILE = "_meta.json"
+
+
+def save_corpus(corpus: Corpus, directory: str | Path) -> None:
+    """Write ``corpus`` as one CSV per table plus a provenance sidecar."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    meta: dict[str, object] = {"name": corpus.name, "tables": {}}
+    for table in corpus:
+        path = root / f"{table.name}.csv"
+        n_rows = table.n_rows
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([c.name for c in table.columns])
+            for i in range(n_rows):
+                writer.writerow(
+                    [c.values[i] if i < len(c.values) else "" for c in table.columns]
+                )
+        meta["tables"][table.name] = {  # type: ignore[index]
+            c.name: {
+                "domain": c.domain,
+                "ground_truth": c.ground_truth,
+                "dirty_fraction": c.dirty_fraction,
+                "n_values": len(c.values),
+            }
+            for c in table.columns
+        }
+    (root / _META_FILE).write_text(json.dumps(meta, indent=1), encoding="utf-8")
+
+
+def load_corpus(directory: str | Path) -> Corpus:
+    """Load a corpus previously written by :func:`save_corpus`.
+
+    Also loads plain CSV directories without a sidecar (all provenance
+    fields default to None) so external data can be dropped in directly.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"corpus directory not found: {root}")
+    meta: dict = {"name": root.name, "tables": {}}
+    meta_path = root / _META_FILE
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+
+    tables: list[Table] = []
+    for path in sorted(root.glob("*.csv")):
+        table_name = path.stem
+        column_meta = meta.get("tables", {}).get(table_name, {})
+        with path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                continue  # empty file
+            rows = list(reader)
+        table = Table(name=table_name)
+        for j, col_name in enumerate(header):
+            info = column_meta.get(col_name, {})
+            n_values = info.get("n_values")
+            values = [row[j] for row in rows if j < len(row)]
+            if n_values is not None:
+                values = values[: int(n_values)]
+            table.add(
+                Column(
+                    name=col_name,
+                    values=values,
+                    domain=info.get("domain"),
+                    ground_truth=info.get("ground_truth"),
+                    dirty_fraction=float(info.get("dirty_fraction", 0.0)),
+                )
+            )
+        tables.append(table)
+    return Corpus(tables, name=str(meta.get("name", root.name)))

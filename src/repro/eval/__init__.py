@@ -1,0 +1,26 @@
+"""Evaluation harness implementing the paper's benchmark methodology (§5.1).
+
+Columns sampled from a corpus are split 10%/90% into observed training
+values and future test values; a method's rule is tested for precision
+against the held-out 90% of the *same* column (any alarm is a false
+positive) and for recall against *other* benchmark columns (each unflagged
+other column is a miss, simulating schema-drift).  Recall is squashed to
+zero on columns where the method false-alarms.
+"""
+
+from repro.eval.benchmark import Benchmark, BenchmarkCase, build_benchmark
+from repro.eval.metrics import CaseResult, MethodResult
+from repro.eval.runner import AutoValidateMethod, EvaluationRunner
+from repro.eval.significance import paired_sign_test, paired_t_test
+
+__all__ = [
+    "AutoValidateMethod",
+    "Benchmark",
+    "BenchmarkCase",
+    "CaseResult",
+    "EvaluationRunner",
+    "MethodResult",
+    "build_benchmark",
+    "paired_sign_test",
+    "paired_t_test",
+]

@@ -1,0 +1,89 @@
+"""Precision/recall metrics exactly as defined in §5.1.
+
+Per case ``C_i``:
+
+* precision ``P_A(C_i)`` is 1 when no value of the held-out test portion is
+  flagged, else 0 (Auto-Validate targets near-zero false alarms, so a
+  single false alarm zeroes the case);
+* recall ``R_A(C_i)`` is the fraction of other benchmark columns the rule
+  flags (Equation 17) — and is squashed to 0 when the case false-alarms;
+* a method that produces no rule for a case has perfect precision there
+  (it can never alarm) and zero recall.
+
+The ground-truth adjustment of Table 2 excludes, from the recall
+denominator, other columns drawn from the same domain with the identical
+ground-truth pattern (flagging those is not actually desirable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Evaluation outcome of one method on one benchmark case."""
+
+    case_id: int
+    rule_found: bool
+    precision: float  # 0 or 1 per the paper's definition
+    recall: float
+    seconds: float = 0.0  # wall-clock inference time (drives Figure 14)
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Aggregate evaluation outcome of one method on a benchmark."""
+
+    name: str
+    per_case: tuple[CaseResult, ...]
+
+    @property
+    def precision(self) -> float:
+        return _mean([c.precision for c in self.per_case])
+
+    @property
+    def recall(self) -> float:
+        return _mean([c.recall for c in self.per_case])
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def rules_found(self) -> int:
+        return sum(1 for c in self.per_case if c.rule_found)
+
+    @property
+    def mean_seconds(self) -> float:
+        return _mean([c.seconds for c in self.per_case])
+
+    def case_f1s(self) -> list[float]:
+        return [c.f1 for c in self.per_case]
+
+    def summary_row(self) -> dict[str, object]:
+        return {
+            "method": self.name,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "F1": round(self.f1, 3),
+            "rules": f"{self.rules_found}/{len(self.per_case)}",
+            "ms/col": round(1000 * self.mean_seconds, 1),
+        }
+
+
+def squash_recall(precision: float, recall: float) -> float:
+    """§5.1: a false-alarming case contributes zero recall."""
+    return recall if precision > 0 else 0.0
+
+
+def _mean(xs: Sequence[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0

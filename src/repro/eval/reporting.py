@@ -1,0 +1,100 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness is terminal-first: every table is an aligned text
+table and every scatter/series figure an ASCII plot, so results are
+readable in CI logs and the ``bench_output.txt`` artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table (column order from row 0)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    cells = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_scatter(
+    points: Mapping[str, tuple[float, float]],
+    x_label: str = "recall",
+    y_label: str = "precision",
+    width: int = 61,
+    height: int = 21,
+    title: str = "",
+) -> str:
+    """ASCII scatter of labelled (x, y) points in the unit square.
+
+    Each point is marked with an index digit/letter and listed in a legend;
+    this is the Figure 10 precision/recall plane.
+    """
+    grid = [[" "] * width for _ in range(height)]
+    marks = "0123456789abcdefghijklmnopqrstuvwxyz"
+    legend: list[str] = []
+    for idx, (label, (x, y)) in enumerate(points.items()):
+        mark = marks[idx % len(marks)]
+        col = min(width - 1, max(0, round(x * (width - 1))))
+        row = min(height - 1, max(0, round((1.0 - y) * (height - 1))))
+        grid[row][col] = mark
+        legend.append(f"  {mark} = {label} ({x:.2f}, {y:.2f})")
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} ^")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_ticks: Sequence[object],
+    title: str = "",
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render named series over shared x ticks as an aligned table
+    (the Figure 12 sensitivity panels)."""
+    rows = []
+    for name, values in series.items():
+        row: dict[str, object] = {"series": name}
+        for tick, value in zip(x_ticks, values):
+            row[str(tick)] = value_format.format(value)
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def render_histogram(
+    counts: Mapping[int, int],
+    title: str = "",
+    max_bar: int = 50,
+    bucket_label: str = "bucket",
+) -> str:
+    """Render an integer-keyed histogram with proportional bars
+    (the Figure 13 index distributions)."""
+    if not counts:
+        return f"{title}\n(empty)"
+    peak = max(counts.values())
+    lines = [title] if title else []
+    lines.append(f"{bucket_label:>10}  count")
+    for key in sorted(counts):
+        count = counts[key]
+        bar = "#" * max(1, round(max_bar * count / peak)) if count else ""
+        lines.append(f"{key:>10}  {count:>8}  {bar}")
+    return "\n".join(lines)

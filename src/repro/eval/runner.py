@@ -1,0 +1,127 @@
+"""The evaluation runner: fit every method on every case, score per §5.1.
+
+Recall is evaluated against other benchmark columns; on large benchmarks a
+fixed-size random sample of other columns (``recall_sample``) keeps the
+quadratic cost bounded — the estimate is unbiased and the sample is shared
+across methods for fairness.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.config import AutoValidateConfig
+from repro.eval.benchmark import Benchmark, BenchmarkCase
+from repro.eval.metrics import CaseResult, MethodResult, squash_recall
+from repro.index.index import PatternIndex
+from repro.validate.fmdv import FMDV
+
+
+class _RuleAdapter(BaselineRule):
+    """Adapts an Auto-Validate :class:`ValidationRule` to the baseline
+    protocol used by the runner."""
+
+    def __init__(self, rule):
+        self._rule = rule
+        self.description = rule.pattern.display()
+
+    def flags(self, values: Sequence[str]) -> bool:
+        return self._rule.validate(list(values)).flagged
+
+
+class AutoValidateMethod(Validator):
+    """Wraps an FMDV-family solver class as an evaluation method."""
+
+    def __init__(
+        self,
+        solver_cls: type[FMDV],
+        index: PatternIndex,
+        config: AutoValidateConfig,
+        name: str | None = None,
+    ):
+        self._solver = solver_cls(index, config)
+        self.name = name or solver_cls.variant.upper()
+
+    def fit(
+        self, train_values: Sequence[str], context: FitContext | None = None
+    ) -> BaselineRule | None:
+        result = self._solver.infer(list(train_values))
+        if result.rule is None:
+            return None
+        return _RuleAdapter(result.rule)
+
+
+class EvaluationRunner:
+    """Evaluates methods over a benchmark with shared recall samples."""
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        recall_sample: int | None = 50,
+        seed: int = 0,
+        context: FitContext | None = None,
+    ):
+        self.benchmark = benchmark
+        self.context = context
+        rng = random.Random(seed)
+        self._recall_targets: dict[int, list[BenchmarkCase]] = {}
+        cases = list(benchmark.cases)
+        for case in cases:
+            others = [c for c in cases if c.case_id != case.case_id]
+            if recall_sample is not None and len(others) > recall_sample:
+                others = rng.sample(others, recall_sample)
+            self._recall_targets[case.case_id] = others
+
+    def evaluate(
+        self, method: Validator, ground_truth_mode: bool = False
+    ) -> MethodResult:
+        """Score one method on all cases.
+
+        ``ground_truth_mode`` applies the Table 2 adjustment: other columns
+        sharing the case's ground-truth pattern are excluded from recall.
+        """
+        results = []
+        for case in self.benchmark.cases:
+            results.append(self._evaluate_case(method, case, ground_truth_mode))
+        return MethodResult(name=method.name, per_case=tuple(results))
+
+    def _evaluate_case(
+        self, method: Validator, case: BenchmarkCase, ground_truth_mode: bool
+    ) -> CaseResult:
+        start = time.perf_counter()
+        try:
+            rule = method.fit(list(case.train), self.context)
+        except Exception:
+            rule = None  # a crashing method abstains (never alarms)
+        elapsed = time.perf_counter() - start
+
+        if rule is None:
+            return CaseResult(
+                case_id=case.case_id,
+                rule_found=False,
+                precision=1.0,
+                recall=0.0,
+                seconds=elapsed,
+            )
+
+        precision = 0.0 if rule.flags(list(case.test)) else 1.0
+
+        others = self._recall_targets[case.case_id]
+        if ground_truth_mode and case.ground_truth is not None:
+            others = [o for o in others if o.ground_truth != case.ground_truth]
+        if others:
+            flagged = sum(1 for o in others if rule.flags(list(o.test)))
+            recall = flagged / len(others)
+        else:
+            recall = 0.0
+
+        return CaseResult(
+            case_id=case.case_id,
+            rule_found=True,
+            precision=precision,
+            recall=squash_recall(precision, recall),
+            seconds=elapsed,
+        )

@@ -1,0 +1,23 @@
+"""Offline corpus index (Section 2.4).
+
+The offline stage scans every column ``D`` of the corpus ``T`` once,
+enumerates its retained pattern space ``P(D)`` and aggregates two summary
+statistics per pattern: the corpus-level expected false positive rate
+``FPR_T(p)`` (the average impurity over columns containing the pattern,
+Definition 3) and the coverage ``Cov_T(p)`` (number of columns containing
+the pattern).  The result is a lookup table orders of magnitude smaller than
+the corpus, which makes online inference interactive.
+"""
+
+from repro.index.builder import IndexBuilder, build_index, build_index_parallel
+from repro.index.index import IndexEntry, IndexMeta, IndexStats, PatternIndex
+
+__all__ = [
+    "IndexBuilder",
+    "IndexEntry",
+    "IndexMeta",
+    "IndexStats",
+    "PatternIndex",
+    "build_index",
+    "build_index_parallel",
+]

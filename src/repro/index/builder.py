@@ -1,0 +1,131 @@
+"""Offline index construction: one streaming pass over the corpus.
+
+For each column ``D`` the builder enumerates the retained pattern space
+``P(D)`` (Algorithm 1, bounded by τ and the coverage threshold) and folds
+each pattern's local impurity ``Imp_D(p)`` into the global aggregates of
+Definition 3.  The whole scan is a pure aggregation, so large corpora can be
+split across workers and the partial indexes merged
+(:meth:`repro.index.index.PatternIndex.merge`) — the same shape as the
+paper's SCOPE map-reduce deployment; :func:`build_index_parallel` does it
+with a local process pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Iterable, Sequence
+
+from repro.core.enumeration import EnumerationConfig, enumerate_column_patterns
+from repro.index.index import IndexEntry, IndexMeta, PatternIndex
+
+
+class IndexBuilder:
+    """Accumulates per-pattern statistics column by column."""
+
+    def __init__(
+        self,
+        config: EnumerationConfig | None = None,
+        corpus_name: str = "",
+    ):
+        self.config = config or EnumerationConfig()
+        self.corpus_name = corpus_name
+        self._fpr_sums: dict[str, float] = {}
+        self._coverages: dict[str, int] = {}
+        self._columns_scanned = 0
+        self._values_scanned = 0
+
+    def add_column(self, values: Sequence[str]) -> int:
+        """Scan one data column; returns the number of patterns retained."""
+        n = len(values)
+        if n == 0:
+            return 0
+        stats = enumerate_column_patterns(values, self.config)
+        for ps in stats:
+            key = ps.pattern.key()
+            impurity = ps.impurity(n)
+            self._fpr_sums[key] = self._fpr_sums.get(key, 0.0) + impurity
+            self._coverages[key] = self._coverages.get(key, 0) + 1
+        self._columns_scanned += 1
+        self._values_scanned += n
+        return len(stats)
+
+    def add_columns(self, columns: Iterable[Sequence[str]]) -> None:
+        """Scan many columns (any iterable of value sequences)."""
+        for values in columns:
+            self.add_column(values)
+
+    @property
+    def columns_scanned(self) -> int:
+        return self._columns_scanned
+
+    def build(self) -> PatternIndex:
+        """Freeze the aggregates into a queryable :class:`PatternIndex`."""
+        entries = {
+            key: IndexEntry(fpr_sum=self._fpr_sums[key], coverage=self._coverages[key])
+            for key in self._fpr_sums
+        }
+        meta = IndexMeta(
+            columns_scanned=self._columns_scanned,
+            values_scanned=self._values_scanned,
+            tau=self.config.tau,
+            min_coverage=self.config.min_coverage,
+            corpus_name=self.corpus_name,
+        )
+        return PatternIndex(entries, meta)
+
+
+def build_index(
+    columns: Iterable[Sequence[str]],
+    config: EnumerationConfig | None = None,
+    corpus_name: str = "",
+) -> PatternIndex:
+    """One-shot convenience: scan ``columns`` and build the index."""
+    builder = IndexBuilder(config=config, corpus_name=corpus_name)
+    builder.add_columns(columns)
+    return builder.build()
+
+
+def _build_shard(
+    columns: list[list[str]], config: EnumerationConfig | None, corpus_name: str
+) -> PatternIndex:
+    return build_index(columns, config, corpus_name)
+
+
+def build_index_parallel(
+    columns: Iterable[Sequence[str]],
+    config: EnumerationConfig | None = None,
+    corpus_name: str = "",
+    workers: int = 2,
+) -> PatternIndex:
+    """Build the index with a local process pool (map-reduce style).
+
+    Columns are split into ``workers`` round-robin shards, each shard is
+    scanned in its own process, and the partial indexes are merged — the
+    result is bit-identical to the serial :func:`build_index` because the
+    aggregates of Definition 3 are sums of column-local quantities.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    materialized = [list(c) for c in columns]
+    if workers == 1 or len(materialized) < 2 * workers:
+        return build_index(materialized, config, corpus_name)
+
+    shards = [materialized[i::workers] for i in range(workers)]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        parts = list(
+            pool.map(_build_shard, shards, [config] * workers, [corpus_name] * workers)
+        )
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    # Merging concatenates meta counts correctly, but keep one corpus name.
+    return PatternIndex(
+        dict(merged.items()),
+        IndexMeta(
+            columns_scanned=merged.meta.columns_scanned,
+            values_scanned=merged.meta.values_scanned,
+            tau=merged.meta.tau,
+            min_coverage=merged.meta.min_coverage,
+            corpus_name=corpus_name,
+        ),
+    )

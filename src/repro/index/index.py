@@ -1,0 +1,182 @@
+"""The pattern index: pattern key → (FPR_T, Cov_T) with statistics and I/O.
+
+Entries store the aggregate *sum* of per-column impurities rather than the
+final average; this keeps indexes mergeable (the map-reduce style build the
+paper runs on a SCOPE cluster corresponds to :meth:`PatternIndex.merge`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.pattern import Pattern
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Aggregated statistics of one pattern across the corpus."""
+
+    fpr_sum: float  # sum of Imp_D(p) over columns with p in P(D)
+    coverage: int   # Cov_T(p): number of columns with p in P(D)
+
+    @property
+    def fpr(self) -> float:
+        """``FPR_T(p)`` of Definition 3 — the mean impurity."""
+        return self.fpr_sum / self.coverage if self.coverage else 1.0
+
+
+@dataclass(frozen=True)
+class IndexMeta:
+    """Provenance of an index: what was scanned and with which knobs."""
+
+    columns_scanned: int = 0
+    values_scanned: int = 0
+    tau: int = 13
+    min_coverage: float = 0.1
+    corpus_name: str = ""
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Aggregate index statistics backing Figure 13.
+
+    Attributes:
+        by_token_length: histogram of pattern frequency keyed by the number
+            of atoms in the pattern (Figure 13a).
+        by_column_frequency: histogram keyed by coverage — how many patterns
+            are contained in exactly ``k`` columns (Figure 13b).
+    """
+
+    total_patterns: int
+    by_token_length: dict[int, int]
+    by_column_frequency: dict[int, int]
+
+    def head_patterns(self) -> int:
+        """Patterns covering at least 100 columns ("head" domains, §5.3)."""
+        return sum(c for cov, c in self.by_column_frequency.items() if cov >= 100)
+
+
+class PatternIndex:
+    """Immutable-after-build lookup table from pattern keys to statistics."""
+
+    def __init__(self, entries: dict[str, IndexEntry], meta: IndexMeta):
+        self._entries = entries
+        self.meta = meta
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, pattern: Pattern) -> IndexEntry | None:
+        """Statistics for ``pattern``, or None when unseen in the corpus."""
+        return self._entries.get(pattern.key())
+
+    def lookup_key(self, key: str) -> IndexEntry | None:
+        return self._entries.get(key)
+
+    def __contains__(self, pattern: Pattern) -> bool:
+        return pattern.key() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        return list(self._entries.keys())
+
+    def items(self) -> list[tuple[str, IndexEntry]]:
+        return list(self._entries.items())
+
+    # -- analytics (Figure 13 and the §5.3 pattern analysis) ----------------
+
+    def stats(self) -> IndexStats:
+        by_length: Counter[int] = Counter()
+        by_frequency: Counter[int] = Counter()
+        for key, entry in self._entries.items():
+            by_length[_token_length_of_key(key)] += 1
+            by_frequency[entry.coverage] += 1
+        return IndexStats(
+            total_patterns=len(self._entries),
+            by_token_length=dict(by_length),
+            by_column_frequency=dict(by_frequency),
+        )
+
+    def common_domains(self, min_coverage: int = 100, max_fpr: float = 0.01) -> list[tuple[str, IndexEntry]]:
+        """High-coverage, low-FPR patterns — the corpus's common data domains.
+
+        This is the "head pattern" inspection of Section 5.3 that surfaces
+        domains like those in Figure 3.
+        """
+        found = [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if entry.coverage >= min_coverage and entry.fpr <= max_fpr
+        ]
+        found.sort(key=lambda item: (-item[1].coverage, item[1].fpr, item[0]))
+        return found
+
+    # -- persistence and merging -------------------------------------------
+
+    def merge(self, other: "PatternIndex") -> "PatternIndex":
+        """Combine two partial indexes (distributed/offline build support)."""
+        merged = dict(self._entries)
+        for key, entry in other._entries.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = entry
+            else:
+                merged[key] = IndexEntry(
+                    fpr_sum=existing.fpr_sum + entry.fpr_sum,
+                    coverage=existing.coverage + entry.coverage,
+                )
+        meta = IndexMeta(
+            columns_scanned=self.meta.columns_scanned + other.meta.columns_scanned,
+            values_scanned=self.meta.values_scanned + other.meta.values_scanned,
+            tau=self.meta.tau,
+            min_coverage=self.meta.min_coverage,
+            corpus_name=self.meta.corpus_name or other.meta.corpus_name,
+        )
+        return PatternIndex(merged, meta)
+
+    def save(self, path: str | Path) -> None:
+        """Persist to a gzip-compressed JSON file."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "meta": asdict(self.meta),
+            "entries": {
+                key: [entry.fpr_sum, entry.coverage]
+                for key, entry in self._entries.items()
+            },
+        }
+        with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PatternIndex":
+        """Load an index previously written by :meth:`save`."""
+        with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported index format: {payload.get('version')!r}")
+        entries = {
+            key: IndexEntry(fpr_sum=float(raw[0]), coverage=int(raw[1]))
+            for key, raw in payload["entries"].items()
+        }
+        return cls(entries, IndexMeta(**payload["meta"]))
+
+
+def _token_length_of_key(key: str) -> int:
+    """Number of atoms in a canonical pattern key (cheap, no full parse)."""
+    count = 1
+    i = 0
+    while i < len(key):
+        if key[i] == "\\":
+            i += 2
+            continue
+        if key[i] == "|":
+            count += 1
+        i += 1
+    return count

@@ -1,0 +1,24 @@
+"""Minimal ML substrate for the Kaggle schema-drift case study (Figure 15).
+
+The paper trains XGBoost on 11 Kaggle tasks and measures how silently
+swapped categorical columns degrade model quality, and how data validation
+catches the swap.  XGBoost is unavailable offline, so this subpackage
+provides a from-scratch NumPy gradient-boosted-tree learner (squared and
+logistic losses), label encoding for string categoricals, and the two
+quality metrics the paper reports (R² for regression, average precision
+for classification).  See DESIGN.md for the substitution argument.
+"""
+
+from repro.ml.encoding import LabelEncoder, encode_frame
+from repro.ml.gbdt import GradientBoostingModel
+from repro.ml.metrics import average_precision, r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GradientBoostingModel",
+    "LabelEncoder",
+    "average_precision",
+    "encode_frame",
+    "r2_score",
+]

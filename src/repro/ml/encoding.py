@@ -1,0 +1,63 @@
+"""Categorical encoding for string-valued features.
+
+The case study label-encodes string categoricals the way a typical Kaggle
+pipeline does.  Unseen values at test time map to ``-1`` — which is exactly
+why silent schema drift is so damaging: a swapped column full of unseen
+values collapses to a constant, and the model's learned splits become
+noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class LabelEncoder:
+    """Maps string categories to integer codes; unseen values become -1."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+
+    def fit(self, values: Sequence[str]) -> "LabelEncoder":
+        for v in values:
+            if v not in self._codes:
+                self._codes[v] = len(self._codes)
+        return self
+
+    def transform(self, values: Sequence[str]) -> np.ndarray:
+        return np.array([self._codes.get(v, -1) for v in values], dtype=np.float64)
+
+    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._codes)
+
+
+def encode_frame(
+    columns: dict[str, list[str]],
+    numeric: dict[str, np.ndarray],
+    encoders: dict[str, LabelEncoder] | None = None,
+) -> tuple[np.ndarray, dict[str, LabelEncoder]]:
+    """Assemble a feature matrix from string columns + numeric columns.
+
+    When ``encoders`` is None new encoders are fitted (training); otherwise
+    the given encoders transform (testing).  Column order is deterministic:
+    sorted categorical names, then sorted numeric names.
+    """
+    fitted: dict[str, LabelEncoder] = {}
+    features: list[np.ndarray] = []
+    for name in sorted(columns):
+        if encoders is None:
+            encoder = LabelEncoder()
+            features.append(encoder.fit_transform(columns[name]))
+            fitted[name] = encoder
+        else:
+            features.append(encoders[name].transform(columns[name]))
+            fitted[name] = encoders[name]
+    for name in sorted(numeric):
+        features.append(np.asarray(numeric[name], dtype=np.float64))
+    return np.column_stack(features), fitted

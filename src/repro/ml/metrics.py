@@ -1,0 +1,39 @@
+"""Quality metrics of the case study: R² and average precision (Figure 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0.0 for a constant target."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between targets and predictions")
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    return 1.0 - ss_res / ss_tot
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise AP).
+
+    Ranks by score descending; AP = mean over positives of the precision
+    at each positive's rank.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("shape mismatch between targets and scores")
+    n_pos = float(y_true.sum())
+    if n_pos == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    hits = y_true[order]
+    cum_hits = np.cumsum(hits)
+    ranks = np.arange(1, len(hits) + 1)
+    precision_at_hit = (cum_hits / ranks)[hits > 0]
+    return float(precision_at_hit.mean())

@@ -1,0 +1,151 @@
+"""Pipeline monitoring: stateful validation of recurring feeds.
+
+The paper's motivating deployment (§1) is a *recurring* pipeline: the same
+feed lands daily, and data validation must (a) learn rules once from an
+early snapshot, (b) check every refresh, (c) keep enough state to report
+what happened and to re-arm after incidents.  This module packages that
+loop around the inference engines:
+
+* :class:`FeedMonitor` learns one rule per column of a feed (pattern rules
+  via FMDV-VH, with optional dictionary/numeric fallbacks via
+  :class:`~repro.validate.hybrid.HybridValidator` semantics),
+* :meth:`FeedMonitor.check` validates a refresh and returns a
+  :class:`FeedReport` with per-column alerts,
+* alert history is retained for auditing (``monitor.history``), and columns
+  can be *re-learned* after an intentional upstream change is confirmed
+  (:meth:`FeedMonitor.relearn`), the human-in-the-loop step the paper's
+  production story requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.index.index import PatternIndex
+from repro.validate.hybrid import HybridResult, HybridValidator
+from repro.validate.rule import ValidationReport
+
+
+@dataclass(frozen=True)
+class ColumnAlert:
+    """One alert: a column of one refresh failed validation."""
+
+    refresh_id: int
+    column: str
+    report: ValidationReport
+
+    def describe(self) -> str:
+        return f"refresh {self.refresh_id}: column {self.column!r} — {self.report.reason}"
+
+
+@dataclass(frozen=True)
+class FeedReport:
+    """Validation outcome of one refresh across all monitored columns."""
+
+    refresh_id: int
+    alerts: tuple[ColumnAlert, ...]
+    columns_checked: int
+    columns_skipped: tuple[str, ...]  # columns without a learned rule
+
+    @property
+    def ok(self) -> bool:
+        return not self.alerts
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"refresh {self.refresh_id}: {self.columns_checked} columns clean"
+        lines = [a.describe() for a in self.alerts]
+        return "\n".join(lines)
+
+
+@dataclass
+class _MonitoredColumn:
+    rule: HybridResult
+    alerts: int = 0
+
+
+class FeedMonitor:
+    """Learns rules for a feed's columns and validates its refreshes."""
+
+    def __init__(
+        self,
+        index: PatternIndex,
+        corpus_columns: Sequence[Sequence[str]] = (),
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+    ):
+        self._validator = HybridValidator(index, corpus_columns, config)
+        self._columns: dict[str, _MonitoredColumn] = {}
+        self._unlearnable: dict[str, str] = {}
+        self._refresh_id = 0
+        self.history: list[ColumnAlert] = []
+
+    # -- learning ------------------------------------------------------------
+
+    def learn(self, feed: Mapping[str, Sequence[str]]) -> dict[str, str]:
+        """Learn one rule per column from a training snapshot.
+
+        Returns a per-column outcome summary: the rule kind ("pattern" /
+        "dictionary") or the abstention reason.
+        """
+        outcomes: dict[str, str] = {}
+        for column, values in feed.items():
+            result = self._validator.infer(list(values))
+            if result.found:
+                self._columns[column] = _MonitoredColumn(rule=result)
+                outcomes[column] = result.kind
+            else:
+                self._unlearnable[column] = result.reason
+                outcomes[column] = f"unmonitored ({result.reason})"
+        return outcomes
+
+    def relearn(self, column: str, values: Sequence[str]) -> str:
+        """Replace a column's rule after a confirmed upstream change."""
+        result = self._validator.infer(list(values))
+        if result.found:
+            self._columns[column] = _MonitoredColumn(rule=result)
+            self._unlearnable.pop(column, None)
+            return result.kind
+        self._columns.pop(column, None)
+        self._unlearnable[column] = result.reason
+        return f"unmonitored ({result.reason})"
+
+    @property
+    def monitored_columns(self) -> list[str]:
+        return sorted(self._columns)
+
+    def rule_kind(self, column: str) -> str | None:
+        monitored = self._columns.get(column)
+        return monitored.rule.kind if monitored else None
+
+    # -- validation ------------------------------------------------------------
+
+    def check(self, feed: Mapping[str, Sequence[str]]) -> FeedReport:
+        """Validate one refresh; records alerts into ``history``."""
+        self._refresh_id += 1
+        alerts: list[ColumnAlert] = []
+        skipped: list[str] = []
+        checked = 0
+        for column, values in feed.items():
+            monitored = self._columns.get(column)
+            if monitored is None:
+                skipped.append(column)
+                continue
+            checked += 1
+            report = monitored.rule.validate(list(values))
+            if report.flagged:
+                alert = ColumnAlert(self._refresh_id, column, report)
+                alerts.append(alert)
+                monitored.alerts += 1
+        self.history.extend(alerts)
+        return FeedReport(
+            refresh_id=self._refresh_id,
+            alerts=tuple(alerts),
+            columns_checked=checked,
+            columns_skipped=tuple(sorted(skipped)),
+        )
+
+    def alert_counts(self) -> dict[str, int]:
+        """Lifetime alert count per monitored column (auditing view)."""
+        return {name: mc.alerts for name, mc in sorted(self._columns.items())}

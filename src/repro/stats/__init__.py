@@ -1,0 +1,19 @@
+"""Statistical substrate: two-sample homogeneity tests (Section 4).
+
+Auto-Validate models conforming/non-conforming draws as two binomial
+distributions and applies a two-sample homogeneity test at validation time.
+The paper uses Fisher's exact test and Pearson's chi-squared test with Yates
+correction; both are implemented here from scratch (log-factorial and
+``erfc`` based respectively) so the library has no hard SciPy dependency.
+"""
+
+from repro.stats.chisquare import chi2_sf, chisquare_yates
+from repro.stats.contingency import ContingencyTable
+from repro.stats.fisher import fisher_exact
+
+__all__ = [
+    "ContingencyTable",
+    "chi2_sf",
+    "chisquare_yates",
+    "fisher_exact",
+]

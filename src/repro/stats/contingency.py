@@ -1,0 +1,69 @@
+"""2×2 contingency tables for the drift tests of Section 4.
+
+The table always has the layout::
+
+                conforming   non-conforming
+    training        a              b
+    testing         c              d
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """An immutable 2×2 contingency table of non-negative counts."""
+
+    a: int  # training, conforming
+    b: int  # training, non-conforming
+    c: int  # testing, conforming
+    d: int  # testing, non-conforming
+
+    def __post_init__(self) -> None:
+        for name in ("a", "b", "c", "d"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"count {name} must be non-negative, got {value}")
+        if self.total == 0:
+            raise ValueError("contingency table must contain at least one count")
+
+    @classmethod
+    def from_fractions(
+        cls, train_size: int, train_bad_fraction: float, test_size: int, test_bad_fraction: float
+    ) -> "ContingencyTable":
+        """Build a table from sample sizes and non-conforming fractions.
+
+        This is the form the validator naturally produces: ``θ_C(h)`` and
+        ``θ_C'(h)`` with their sample sizes ``|C|`` and ``|C'|``.
+        """
+        b = round(train_bad_fraction * train_size)
+        d = round(test_bad_fraction * test_size)
+        return cls(a=train_size - b, b=b, c=test_size - d, d=d)
+
+    @property
+    def total(self) -> int:
+        return self.a + self.b + self.c + self.d
+
+    @property
+    def row_totals(self) -> tuple[int, int]:
+        return (self.a + self.b, self.c + self.d)
+
+    @property
+    def col_totals(self) -> tuple[int, int]:
+        return (self.a + self.c, self.b + self.d)
+
+    @property
+    def train_bad_fraction(self) -> float:
+        row = self.a + self.b
+        return self.b / row if row else 0.0
+
+    @property
+    def test_bad_fraction(self) -> float:
+        row = self.c + self.d
+        return self.d / row if row else 0.0
+
+    def is_degenerate(self) -> bool:
+        """True when a full row or column is zero (tests are uninformative)."""
+        return 0 in self.row_totals or 0 in self.col_totals

@@ -1,0 +1,19 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent 32-bit seed derived from the given parts.
+
+    ``hash(str)`` is randomized per interpreter process (PYTHONHASHSEED),
+    so seeding RNGs with tuple hashes silently breaks cross-run
+    reproducibility; every seeded component in this library derives its
+    seed here instead.
+    """
+    digest = hashlib.blake2s(
+        "".join(repr(p) for p in parts).encode("utf-8"), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big")

@@ -1,0 +1,90 @@
+"""Auto-Tag — the dual formulation for tagging-by-example (Sections 1, 2.3).
+
+Validation wants the *safest* pattern (minimum FPR); tagging wants the most
+*restrictive* pattern that still describes the underlying domain, so that it
+can be used to discover and tag related columns of the same type in a data
+lake (the feature that ships in Microsoft Azure Purview).  The paper states
+the dual as: find the smallest-coverage pattern subject to a target
+false-negative rate.  With the offline index, the corpus FPR of a pattern is
+exactly the expected miss rate on in-domain columns, so it doubles as the
+FNR estimate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.core.pattern import Pattern
+from repro.index.index import PatternIndex
+from repro.validate.fmdv import FMDV, Candidate
+
+
+@dataclass(frozen=True)
+class TagResult:
+    """A domain tag inferred from example values."""
+
+    pattern: Pattern
+    est_fnr: float   # expected miss rate on in-domain columns
+    coverage: int    # corpus columns carrying the pattern
+
+    def display(self) -> str:
+        return self.pattern.display()
+
+
+class AutoTagger:
+    """Infer the most restrictive domain pattern under an FNR budget."""
+
+    def __init__(
+        self,
+        index: PatternIndex,
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+        fnr_target: float = 0.05,
+    ):
+        if not 0.0 <= fnr_target <= 1.0:
+            raise ValueError("fnr_target must be within [0, 1]")
+        self.fnr_target = fnr_target
+        # Reuse FMDV's enumeration/lookup machinery with the FNR budget in
+        # the FPR slot — the constraint structure is identical, only the
+        # objective flips (minimize coverage instead of FPR).
+        self._solver = FMDV(
+            index, config.with_overrides(fpr_target=fnr_target)
+        )
+
+    def tag(self, example_values: Sequence[str]) -> TagResult | None:
+        """Infer a tag pattern from example values of the target domain."""
+        if not example_values:
+            return None
+        candidates = self._solver.feasible_candidates(example_values, min_coverage=1.0)
+        if not candidates:
+            return None
+        best = min(candidates, key=self._restrictiveness)
+        return TagResult(pattern=best.pattern, est_fnr=best.fpr, coverage=best.coverage)
+
+    @staticmethod
+    def _restrictiveness(candidate: Candidate) -> tuple:
+        """Smallest coverage first; FPR then key break ties."""
+        return (candidate.coverage, candidate.fpr, candidate.pattern.key())
+
+    def find_matching_columns(
+        self,
+        tag: TagResult,
+        columns: Iterable[tuple[str, Sequence[str]]],
+        min_match_fraction: float = 0.9,
+    ) -> list[str]:
+        """Names of columns whose values predominantly match the tag.
+
+        ``columns`` yields ``(name, values)`` pairs; a column is tagged when
+        at least ``min_match_fraction`` of its values match the tag pattern.
+        """
+        regex = tag.pattern.compiled()
+        tagged: list[str] = []
+        for name, values in columns:
+            values = list(values)
+            if not values:
+                continue
+            matched = sum(1 for v in values if regex.fullmatch(v) is not None)
+            if matched / len(values) >= min_match_fraction:
+                tagged.append(name)
+        return tagged

@@ -1,0 +1,127 @@
+"""Dictionary-based validation for natural-language columns (§6 extension).
+
+The paper's related-work section points out that pattern-based validation
+suits machine-generated data, while "for natural-language data drawn from a
+fixed vocabulary (e.g., countries or airport-codes), dictionary-based
+validation learned from examples (set expansion) is applicable".  This
+module implements that direction with the same corpus-driven philosophy as
+FMDV:
+
+* the training dictionary is **expanded** with the vocabularies of corpus
+  columns that overlap it substantially (a lightweight set-expansion à la
+  SEISA: columns of the same NL domain share vocabulary even when a single
+  column's sample is incomplete);
+* a rule is only emitted when the column actually looks categorical
+  (bounded distinct count, repeating values) — high-cardinality columns
+  would yield the stale dictionaries that make TFDV false-alarm;
+* at validation time the out-of-vocabulary fraction is compared to its
+  training level with the same two-sample test FMDV-H uses, so a few novel
+  values never alarm but a vocabulary shift does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.validate.drift import drift_detected
+
+#: A column "looks categorical" when its distinct/total ratio is below this.
+_MAX_DISTINCT_RATIO = 0.6
+#: …and it has at most this many distinct training values.
+_MAX_DISTINCT = 500
+#: A corpus column joins the expansion when at least this fraction of the
+#: training vocabulary appears in it.
+_MIN_EXPANSION_OVERLAP = 0.3
+
+
+@dataclass(frozen=True)
+class DictionaryRule:
+    """A vocabulary rule with distributional out-of-vocabulary testing."""
+
+    vocabulary: frozenset[str]
+    theta_train: float
+    train_size: int
+    significance: float = 0.01
+    drift_test: str = "fisher"
+    expanded_from: int = 0  # corpus columns merged into the vocabulary
+
+    def conforms(self, value: str) -> bool:
+        return value in self.vocabulary
+
+    def validate(self, values: Sequence[str]):
+        """Two-sample test on the out-of-vocabulary fraction; returns the
+        same :class:`~repro.validate.rule.ValidationReport` shape."""
+        from repro.validate.rule import ValidationReport
+
+        n_test = len(values)
+        if n_test == 0:
+            return ValidationReport(
+                flagged=False, p_value=None, train_bad_fraction=self.theta_train,
+                test_bad_fraction=0.0, n_test=0, reason="empty test column",
+            )
+        bad = sum(1 for v in values if v not in self.vocabulary)
+        flagged, p_value = drift_detected(
+            train_size=self.train_size,
+            train_bad=round(self.theta_train * self.train_size),
+            test_size=n_test,
+            test_bad=bad,
+            significance=self.significance,
+            method=self.drift_test,
+        )
+        return ValidationReport(
+            flagged=flagged,
+            p_value=p_value,
+            train_bad_fraction=self.theta_train,
+            test_bad_fraction=bad / n_test,
+            n_test=n_test,
+            reason=(
+                f"out-of-vocabulary fraction moved {self.theta_train:.4f} -> "
+                f"{bad / n_test:.4f} (p={p_value:.4g})"
+            ),
+        )
+
+
+class DictionaryValidator:
+    """Set-expansion dictionary inference for categorical columns."""
+
+    variant = "dictionary"
+
+    def __init__(
+        self,
+        corpus_columns: Sequence[Sequence[str]] = (),
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+    ):
+        self.config = config
+        self._corpus_vocabularies = [frozenset(c) for c in corpus_columns if c]
+
+    def infer(self, values: Sequence[str]) -> DictionaryRule | None:
+        """Infer a dictionary rule, or None when the column is not
+        categorical enough for vocabularies to generalize."""
+        if not values:
+            return None
+        train_vocab = set(values)
+        if len(train_vocab) > _MAX_DISTINCT:
+            return None
+        if len(train_vocab) / len(values) > _MAX_DISTINCT_RATIO:
+            return None
+
+        expanded = set(train_vocab)
+        expanded_from = 0
+        for vocabulary in self._corpus_vocabularies:
+            overlap = len(train_vocab & vocabulary)
+            if overlap >= _MIN_EXPANSION_OVERLAP * len(train_vocab):
+                expanded |= vocabulary
+                expanded_from += 1
+
+        # θ_C: training values outside the (expanded) vocabulary — zero by
+        # construction here, but kept for symmetry with FMDV-H.
+        return DictionaryRule(
+            vocabulary=frozenset(expanded),
+            theta_train=0.0,
+            train_size=len(values),
+            significance=self.config.significance,
+            drift_test=self.config.drift_test,
+            expanded_from=expanded_from,
+        )

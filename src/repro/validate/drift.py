@@ -1,0 +1,55 @@
+"""Distributional test of non-conforming values (Section 4).
+
+Drawing a conforming vs. non-conforming value in the training column ``C``
+and a future column ``C'`` is modelled as sampling two binomial
+distributions; a two-sample homogeneity test decides whether the
+non-conforming fraction changed significantly.  The paper uses Fisher's
+exact test and Pearson's chi-squared with Yates correction interchangeably
+("little difference in terms of validation quality") — both are offered.
+"""
+
+from __future__ import annotations
+
+from repro.stats.chisquare import chisquare_yates
+from repro.stats.contingency import ContingencyTable
+from repro.stats.fisher import fisher_exact
+
+_TESTS = {
+    "fisher": fisher_exact,
+    "chisquare": chisquare_yates,
+}
+
+
+def homogeneity_pvalue(table: ContingencyTable, method: str = "fisher") -> float:
+    """P-value of the two-sample homogeneity test on a 2×2 table."""
+    try:
+        test = _TESTS[method]
+    except KeyError:
+        raise ValueError(f"unknown drift test {method!r}; expected one of {sorted(_TESTS)}") from None
+    return test(table)
+
+
+def drift_detected(
+    train_size: int,
+    train_bad: int,
+    test_size: int,
+    test_bad: int,
+    significance: float = 0.01,
+    method: str = "fisher",
+) -> tuple[bool, float]:
+    """Decide whether the non-conforming rate rose significantly.
+
+    Returns ``(flagged, p_value)``.  Only an *increase* of the
+    non-conforming fraction is actionable for validation (a decrease means
+    the future data is cleaner than the training data), so the significant
+    two-tailed p-value only flags when the test fraction exceeds the
+    training fraction.
+    """
+    if test_size == 0:
+        return (False, 1.0)
+    table = ContingencyTable(
+        a=train_size - train_bad, b=train_bad, c=test_size - test_bad, d=test_bad
+    )
+    p_value = homogeneity_pvalue(table, method)
+    worsened = table.test_bad_fraction > table.train_bad_fraction
+    return (worsened and p_value <= significance, p_value)

@@ -1,0 +1,52 @@
+"""FMDV-H — horizontal cuts for columns with non-conforming values (Section 4).
+
+Columns can contain ad-hoc special values (nulls, sentinels, try/except
+branches) that break the homogeneity assumption and empty the intersection
+space ``H(C)``.  FMDV-H draws hypotheses from the *union* of per-value
+pattern spaces and requires a chosen pattern to cover at least ``1 - θ`` of
+the column (Equations 12-16)::
+
+    (FMDV-H)  min   FPR_T(h)
+              s.t.  h ∈ ∪_v P(v) \\ ".*"
+                    FPR_T(h) <= r,  Cov_T(h) >= m
+                    |{v : h ∈ P(v)}| >= (1 - θ)|C|
+
+The decision version is NP-hard in general (Theorem 2); in practice
+non-conforming values have disjoint coarse structure, so the greedy strategy
+of enumerating patterns per signature group with a column-level coverage
+threshold — exactly what :func:`repro.core.enumeration.hypothesis_space`
+implements — solves the instances that arise.
+
+Rules produced here are *distributional*: the training non-conforming
+fraction ``θ_C(h)`` is remembered, and future columns are flagged via the
+two-sample homogeneity test rather than on the first stray value.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.validate.fmdv import FMDV, InferenceResult
+
+
+class FMDVHorizontal(FMDV):
+    """FMDV with the non-conforming tolerance θ."""
+
+    variant = "fmdv-h"
+    strict_rules = False
+
+    def infer(self, values: Sequence[str]) -> InferenceResult:
+        if not values:
+            return InferenceResult(None, self.variant, 0, "empty training column")
+        min_coverage = max(1.0 - self.config.theta, 1e-9)
+        candidates = self.feasible_candidates(values, min_coverage=min_coverage)
+        if not candidates:
+            return InferenceResult(
+                None,
+                self.variant,
+                0,
+                f"no pattern covers >= {min_coverage:.2f} of the column and meets r, m",
+            )
+        best = min(candidates, key=self._objective)
+        rule = self._make_rule(best, values)
+        return InferenceResult(rule, self.variant, len(candidates), "ok")

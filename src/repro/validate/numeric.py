@@ -1,0 +1,147 @@
+"""Numeric-column validation (§7 future-work extension).
+
+The paper's conclusion names "extending the same validation principle also
+to numeric data" as future work.  This module applies the identical
+architecture one level up: learn a conservative *envelope* of the training
+distribution, remember how often training data itself leaves the envelope
+(θ), and at validation time run the same two-sample homogeneity test on the
+out-of-envelope fraction — so a single outlier never alarms but a
+distribution shift does.
+
+The envelope is a Tukey fence (quartiles ± k·IQR), the standard robust
+choice: insensitive to the outliers that are precisely the values being
+screened.  Non-numeric strings count as out-of-envelope, which catches
+type drift (a numeric feed suddenly delivering text) for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.validate.drift import drift_detected
+from repro.validate.rule import ValidationReport
+
+#: Tukey fence multiplier; 3.0 is the conventional "far out" fence.
+DEFAULT_FENCE = 3.0
+
+
+def _parse(value: str) -> float | None:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(number) or math.isinf(number):
+        return None
+    return number
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile on a pre-sorted list."""
+    if not ordered:
+        raise ValueError("cannot take a quantile of no data")
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class NumericRule:
+    """An envelope rule over parsed numeric values."""
+
+    lower: float
+    upper: float
+    theta_train: float
+    train_size: int
+    significance: float = 0.01
+    drift_test: str = "fisher"
+
+    def conforms(self, value: str) -> bool:
+        number = _parse(value)
+        return number is not None and self.lower <= number <= self.upper
+
+    def validate(self, values: Sequence[str]) -> ValidationReport:
+        n_test = len(values)
+        if n_test == 0:
+            return ValidationReport(
+                flagged=False, p_value=None, train_bad_fraction=self.theta_train,
+                test_bad_fraction=0.0, n_test=0, reason="empty test column",
+            )
+        bad = sum(1 for v in values if not self.conforms(v))
+        flagged, p_value = drift_detected(
+            train_size=self.train_size,
+            train_bad=round(self.theta_train * self.train_size),
+            test_size=n_test,
+            test_bad=bad,
+            significance=self.significance,
+            method=self.drift_test,
+        )
+        return ValidationReport(
+            flagged=flagged,
+            p_value=p_value,
+            train_bad_fraction=self.theta_train,
+            test_bad_fraction=bad / n_test,
+            n_test=n_test,
+            reason=(
+                f"out-of-envelope fraction moved {self.theta_train:.4f} -> "
+                f"{bad / n_test:.4f} (envelope [{self.lower:.6g}, {self.upper:.6g}], "
+                f"p={p_value:.4g})"
+            ),
+        )
+
+
+class NumericValidator:
+    """Infer envelope rules for numeric string columns."""
+
+    variant = "numeric"
+
+    def __init__(
+        self,
+        fence: float = DEFAULT_FENCE,
+        significance: float = 0.01,
+        drift_test: str = "fisher",
+        min_numeric_fraction: float = 0.95,
+    ):
+        if fence <= 0:
+            raise ValueError("fence must be positive")
+        self.fence = fence
+        self.significance = significance
+        self.drift_test = drift_test
+        self.min_numeric_fraction = min_numeric_fraction
+
+    def infer(self, values: Sequence[str]) -> NumericRule | None:
+        """Infer an envelope, or None when the column is not numeric."""
+        if not values:
+            return None
+        numbers = [n for n in (_parse(v) for v in values) if n is not None]
+        if len(numbers) < self.min_numeric_fraction * len(values):
+            return None
+
+        ordered = sorted(numbers)
+        q1, q3 = _quantile(ordered, 0.25), _quantile(ordered, 0.75)
+        iqr = q3 - q1
+        if iqr == 0.0:
+            # Near-constant column: allow symmetric slack around the value.
+            slack = max(abs(q1) * 0.01, 1e-9)
+            lower, upper = q1 - slack, q3 + slack
+        else:
+            lower, upper = q1 - self.fence * iqr, q3 + self.fence * iqr
+
+        bad = sum(
+            1
+            for v in values
+            if (n := _parse(v)) is None or not lower <= n <= upper
+        )
+        return NumericRule(
+            lower=lower,
+            upper=upper,
+            theta_train=bad / len(values),
+            train_size=len(values),
+            significance=self.significance,
+            drift_test=self.drift_test,
+        )

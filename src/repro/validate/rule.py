@@ -1,0 +1,145 @@
+"""Validation rules — the artifact FMDV inference produces.
+
+A rule couples a domain pattern with how it should be enforced:
+
+* **strict** rules (FMDV, FMDV-V — θ = 0) flag a future column as soon as a
+  single value fails the pattern, matching the paper's evaluation of the
+  tolerance-free variants;
+* **distributional** rules (FMDV-H, FMDV-VH) carry the training
+  non-conforming fraction ``θ_C(h)`` and flag only when a two-sample
+  homogeneity test rejects at the configured significance (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.pattern import Pattern
+from repro.validate.drift import drift_detected
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one future column against a rule."""
+
+    flagged: bool
+    p_value: float | None
+    train_bad_fraction: float
+    test_bad_fraction: float
+    n_test: int
+    reason: str
+
+    def __bool__(self) -> bool:  # truthiness == "an alarm was raised"
+        return self.flagged
+
+
+@dataclass(frozen=True)
+class ValidationRule:
+    """A single-column data-validation rule inferred by Auto-Validate.
+
+    Attributes:
+        pattern: the inferred domain pattern ``h(C)``.
+        theta_train: the training non-conforming fraction ``θ_C(h)``.
+        train_size: ``|C|`` — needed by the two-sample test.
+        strict: when True, any non-conforming test value raises an alarm;
+            when False the distributional test of Section 4 is applied.
+        significance: significance level of the two-sample test.
+        drift_test: ``"fisher"`` or ``"chisquare"``.
+        est_fpr: the corpus-estimated ``FPR_T(h)`` at inference time.
+        coverage: the corpus coverage ``Cov_T(h)`` at inference time.
+        variant: which solver produced the rule ("fmdv", "fmdv-v", …).
+    """
+
+    pattern: Pattern
+    theta_train: float
+    train_size: int
+    strict: bool = True
+    significance: float = 0.01
+    drift_test: str = "fisher"
+    est_fpr: float = 0.0
+    coverage: int = 0
+    variant: str = "fmdv"
+
+    def conforms(self, value: str) -> bool:
+        """True when a single value matches the rule's pattern."""
+        return self.pattern.matches(value)
+
+    def non_conforming(self, values: Iterable[str]) -> list[str]:
+        """The subset of ``values`` failing the pattern (order preserved)."""
+        regex = self.pattern.compiled()
+        return [v for v in values if regex.fullmatch(v) is None]
+
+    def validate(self, values: Sequence[str]) -> ValidationReport:
+        """Validate a future column; returns a :class:`ValidationReport`."""
+        n_test = len(values)
+        if n_test == 0:
+            return ValidationReport(
+                flagged=False,
+                p_value=None,
+                train_bad_fraction=self.theta_train,
+                test_bad_fraction=0.0,
+                n_test=0,
+                reason="empty test column",
+            )
+        regex = self.pattern.compiled()
+        bad = sum(1 for v in values if regex.fullmatch(v) is None)
+        test_fraction = bad / n_test
+
+        if self.strict:
+            flagged = bad > 0
+            return ValidationReport(
+                flagged=flagged,
+                p_value=None,
+                train_bad_fraction=self.theta_train,
+                test_bad_fraction=test_fraction,
+                n_test=n_test,
+                reason=(
+                    f"{bad}/{n_test} values do not match {self.pattern.display()}"
+                    if flagged
+                    else "all values conform"
+                ),
+            )
+
+        train_bad = round(self.theta_train * self.train_size)
+        flagged, p_value = drift_detected(
+            train_size=self.train_size,
+            train_bad=train_bad,
+            test_size=n_test,
+            test_bad=bad,
+            significance=self.significance,
+            method=self.drift_test,
+        )
+        reason = (
+            f"non-conforming fraction moved {self.theta_train:.4f} -> "
+            f"{test_fraction:.4f} (p={p_value:.4g})"
+        )
+        return ValidationReport(
+            flagged=flagged,
+            p_value=p_value,
+            train_bad_fraction=self.theta_train,
+            test_bad_fraction=test_fraction,
+            n_test=n_test,
+            reason=reason,
+        )
+
+    # -- serialization (used by the examples / persistence of rules) --------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pattern": self.pattern.key(),
+            "theta_train": self.theta_train,
+            "train_size": self.train_size,
+            "strict": self.strict,
+            "significance": self.significance,
+            "drift_test": self.drift_test,
+            "est_fpr": self.est_fpr,
+            "coverage": self.coverage,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ValidationRule":
+        data = dict(payload)
+        data["pattern"] = Pattern.from_key(str(data["pattern"]))
+        return cls(**data)  # type: ignore[arg-type]

@@ -1,0 +1,117 @@
+"""Tests for multi-sequence alignment (repro.core.alignment)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import AlignedColumn, align_column
+from repro.core.tokenizer import tokenize
+
+
+class TestIdenticalStructure:
+    def test_trivial_alignment(self):
+        """Example 7: homogeneous columns align with no gaps."""
+        values = ["1/2/2019 10:11:12", "3/4/2020 5:06:07"]
+        aligned = align_column(values)
+        assert aligned.gap_free()
+        assert aligned.width == len(tokenize(values[0]))
+
+    def test_weights_preserved(self):
+        values = ["1:2", "1:2", "3:4"]
+        aligned = align_column(values)
+        assert aligned.total == 3
+        assert sorted(aligned.weights) == [1, 2]
+
+
+class TestGaps:
+    def test_suffix_gap(self):
+        values = ["1:02:03 AM", "4:05:06"]
+        aligned = align_column(values)
+        # the shorter value gets gaps at the suffix positions
+        assert not aligned.gap_free()
+        assert aligned.width == len(tokenize(values[0]))
+
+    def test_segment_values_skip_gaps(self):
+        values = ["1:02:03 AM", "4:05:06"]
+        aligned = align_column(values)
+        seg = aligned.segment_values(0, aligned.width - 1)
+        assert sorted(seg) == sorted(values)
+
+    def test_prefix_alignment_of_shared_core(self):
+        values = ["a-1", "b-2", "c-3", "d-4x"]
+        aligned = align_column(values)
+        seg = aligned.segment_values(0, 2)
+        assert set(seg) >= {"a-1", "b-2", "c-3"}
+
+
+class TestSegmentValues:
+    def test_full_range_reconstructs_values(self):
+        values = ["02/18/2015 00:00:00", "03/19/2016 01:02:03"]
+        aligned = align_column(values)
+        full = aligned.segment_values(0, aligned.width - 1)
+        assert sorted(full) == sorted(values)
+
+    def test_sub_segment(self):
+        values = ["02/18/2015 00:00:00"] * 3
+        aligned = align_column(values)
+        # tokens: [02][/][18][/][2015][ ][00][:][00][:][00] — positions 0-2
+        assert aligned.segment_values(0, 2) == ["02/18"] * 3
+
+    def test_out_of_range_raises(self):
+        aligned = align_column(["1:2"])
+        with pytest.raises(IndexError):
+            aligned.segment_values(0, 99)
+
+    def test_multiplicities_expand(self):
+        aligned = align_column(["1:2", "1:2"])
+        assert aligned.segment_values(0, 0) == ["1", "1"]
+
+
+class TestEmptyAndEdge:
+    def test_empty_column(self):
+        aligned = align_column([])
+        assert aligned.width == 0
+        assert aligned.total == 0
+
+    def test_single_value(self):
+        aligned = align_column(["a-b-c"])
+        assert aligned.gap_free()
+        assert aligned.width == 5
+
+
+class TestAlignedColumnValidation:
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(ValueError):
+            AlignedColumn(["a"], [], [1])
+
+    def test_uniform_width_enforced(self):
+        t = tokenize("a")
+        with pytest.raises(ValueError):
+            AlignedColumn(["a", "b:c"], [tuple(t), tuple(tokenize("b:c"))], [1, 1])
+
+
+@st.composite
+def structured_values(draw):
+    """Values of the shape <digits>(:<digits>)* with varying depth."""
+    depth = draw(st.integers(1, 4))
+    return ":".join(str(draw(st.integers(0, 99))) for _ in range(depth))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(structured_values(), min_size=1, max_size=10))
+def test_alignment_preserves_all_values(values):
+    aligned = align_column(values)
+    reconstructed = aligned.segment_values(0, aligned.width - 1)
+    assert sorted(reconstructed) == sorted(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(structured_values(), min_size=1, max_size=10))
+def test_alignment_rows_match_token_counts(values):
+    aligned = align_column(values)
+    for value, row in zip(aligned.values, aligned.rows):
+        non_gap = [t for t in row if t is not None]
+        assert len(non_gap) == len(tokenize(value))
+        assert "".join(t.text for t in non_gap) == value

@@ -1,0 +1,124 @@
+"""Tests for pattern atoms (repro.core.atoms)."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom, AtomKind
+
+
+class TestConstructors:
+    def test_const(self):
+        atom = Atom.const("Mar")
+        assert atom.kind is AtomKind.CONST
+        assert atom.text == "Mar"
+        assert atom.is_const
+
+    def test_const_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Atom.const("")
+
+    @pytest.mark.parametrize(
+        "factory", [Atom.digit, Atom.letter, Atom.upper, Atom.lower, Atom.alnum]
+    )
+    def test_fixed_length_rejects_non_positive(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+    def test_fixed_length_flag(self):
+        assert Atom.digit(3).is_fixed_length
+        assert not Atom.digit_plus().is_fixed_length
+        assert not Atom.const("x").is_fixed_length
+
+
+class TestRegex:
+    @pytest.mark.parametrize(
+        "atom,matching,rejecting",
+        [
+            (Atom.const("a.b"), "a.b", "axb"),
+            (Atom.digit(2), "42", "4"),
+            (Atom.digit_plus(), "12345", "a"),
+            (Atom.num(), "-3.14", "3."),
+            (Atom.upper(2), "AM", "Am"),
+            (Atom.lower(3), "abc", "aBc"),
+            (Atom.letter(2), "aB", "a1"),
+            (Atom.letter_plus(), "hello", "hell0"),
+            (Atom.alnum(4), "a1B2", "a1B"),
+            (Atom.alnum_plus(), "a1B2c3", "a_b"),
+            (Atom.any(), "anything at all", ""),
+        ],
+    )
+    def test_fullmatch_semantics(self, atom, matching, rejecting):
+        regex = re.compile(atom.regex())
+        assert regex.fullmatch(matching)
+        assert not regex.fullmatch(rejecting)
+
+    def test_const_escapes_regex_metacharacters(self):
+        regex = re.compile(Atom.const("a+b*(c)").regex())
+        assert regex.fullmatch("a+b*(c)")
+        assert not regex.fullmatch("aab(c)")
+
+
+class TestKeys:
+    @pytest.mark.parametrize(
+        "atom",
+        [
+            Atom.const("Mar"),
+            Atom.const("with|pipe"),
+            Atom.const("back\\slash"),
+            Atom.const("C:\\x|y"),
+            Atom.digit(2),
+            Atom.digit_plus(),
+            Atom.num(),
+            Atom.upper(12),
+            Atom.lower(1),
+            Atom.letter(7),
+            Atom.letter_plus(),
+            Atom.alnum(16),
+            Atom.alnum_plus(),
+            Atom.any(),
+        ],
+    )
+    def test_key_roundtrip(self, atom):
+        assert Atom.from_key(atom.key()) == atom
+
+    def test_invalid_key_raises(self):
+        with pytest.raises(ValueError):
+            Atom.from_key("Z9")
+
+    def test_keys_are_distinct(self):
+        atoms = [
+            Atom.const("D2"),  # adversarial: const text that looks like a key
+            Atom.digit(2),
+            Atom.digit_plus(),
+            Atom.alnum(2),
+            Atom.alnum_plus(),
+        ]
+        keys = [a.key() for a in atoms]
+        assert len(set(keys)) == len(keys)
+
+
+class TestDisplay:
+    def test_paper_style(self):
+        assert Atom.digit(2).display() == "<digit>{2}"
+        assert Atom.digit_plus().display() == "<digit>+"
+        assert Atom.num().display() == "<num>"
+        assert Atom.alnum_plus().display() == "<alphanum>+"
+        assert Atom.const("Mar").display() == '"Mar"'
+        assert Atom.any().display() == "<all>"
+
+
+@given(st.text(min_size=1, max_size=20))
+def test_const_key_roundtrip_any_text(text):
+    atom = Atom.const(text)
+    assert Atom.from_key(atom.key()) == atom
+
+
+@given(st.text(min_size=1, max_size=20))
+def test_const_regex_matches_exactly_its_text(text):
+    atom = Atom.const(text)
+    assert re.compile(atom.regex()).fullmatch(text)

@@ -1,0 +1,62 @@
+"""Tests for the Auto-Tag dual formulation (repro.validate.autotag)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate.autotag import AutoTagger
+from repro.datalake.domains import DOMAIN_REGISTRY
+
+
+class TestTagInference:
+    def test_tag_found_for_common_domain(self, small_index, small_config, rng):
+        tagger = AutoTagger(small_index, small_config, fnr_target=0.05)
+        examples = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 20)
+        tag = tagger.tag(examples)
+        assert tag is not None
+        assert tag.est_fnr <= 0.05
+
+    def test_tag_minimizes_coverage(self, small_index, small_config, rng):
+        """The dual objective: most restrictive ≡ smallest coverage."""
+        tagger = AutoTagger(small_index, small_config, fnr_target=0.05)
+        examples = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 20)
+        tag = tagger.tag(examples)
+        candidates = tagger._solver.feasible_candidates(examples, 1.0)
+        assert tag.coverage == min(c.coverage for c in candidates)
+
+    def test_no_examples_no_tag(self, small_index, small_config):
+        assert AutoTagger(small_index, small_config).tag([]) is None
+
+    def test_unknown_domain_no_tag(self, small_index, small_config):
+        tagger = AutoTagger(small_index, small_config)
+        assert tagger.tag(["⟦never⟧", "⟦seen⟧"]) is None
+
+    def test_invalid_fnr_target(self, small_index, small_config):
+        with pytest.raises(ValueError):
+            AutoTagger(small_index, small_config, fnr_target=2.0)
+
+
+class TestColumnTagging:
+    def test_find_matching_columns(self, small_index, small_config, rng):
+        tagger = AutoTagger(small_index, small_config, fnr_target=0.05)
+        spec = DOMAIN_REGISTRY["locale_lower"]
+        tag = tagger.tag(spec.sample_many(rng, 20))
+        columns = [
+            ("locales_a", spec.sample_many(rng, 30)),
+            ("locales_b", spec.sample_many(rng, 30)),
+            ("guids", DOMAIN_REGISTRY["guid"].sample_many(rng, 30)),
+            ("empty", []),
+        ]
+        tagged = tagger.find_matching_columns(tag, columns)
+        assert "locales_a" in tagged and "locales_b" in tagged
+        assert "guids" not in tagged
+
+    def test_min_match_fraction_respected(self, small_index, small_config, rng):
+        tagger = AutoTagger(small_index, small_config, fnr_target=0.05)
+        spec = DOMAIN_REGISTRY["locale_lower"]
+        tag = tagger.tag(spec.sample_many(rng, 20))
+        half_dirty = spec.sample_many(rng, 10) + ["???"] * 10
+        assert tagger.find_matching_columns(tag, [("c", half_dirty)]) == []
+        assert tagger.find_matching_columns(
+            tag, [("c", half_dirty)], min_match_fraction=0.4
+        ) == ["c"]

@@ -1,0 +1,199 @@
+"""Tests for the baseline validators (repro.baselines)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DeequCat,
+    DeequFra,
+    FitContext,
+    FlashProfile,
+    Grok,
+    PottersWheel,
+    SSIS,
+    SchemaMatchingInstance,
+    SchemaMatchingPattern,
+    TFDV,
+    XSystem,
+)
+from repro.baselines.base import class_signature
+from repro.datalake.domains import DOMAIN_REGISTRY
+
+
+def _dates(rng: random.Random, n: int) -> list[str]:
+    """Month-name dates à la Figure 2's C1, from a one-month window."""
+    return [f"Mar {rng.randint(1, 28):02d} 2019" for _ in range(n)]
+
+
+class TestTFDV:
+    def test_dictionary_false_alarm_on_fresh_values(self, rng):
+        """The paper's §1 demonstration: TFDV memorizes observed values and
+        false-alarms on 'Apr 01 2019'."""
+        rule = TFDV().fit(_dates(rng, 50))
+        assert rule is not None
+        assert rule.flags(["Apr 01 2019"])
+
+    def test_seen_values_pass(self, rng):
+        train = _dates(rng, 50)
+        rule = TFDV().fit(train)
+        assert not rule.flags(train)
+
+    def test_empty_train_abstains(self):
+        assert TFDV().fit([]) is None
+
+
+class TestDeequ:
+    def test_categorical_rule_on_enum(self, rng):
+        train = [rng.choice(["US", "UK", "DE"]) for _ in range(100)]
+        rule = DeequCat().fit(train)
+        assert rule is not None
+        assert not rule.flags(["US", "UK"])
+        assert rule.flags(["US", "FR"])
+
+    def test_abstains_on_high_cardinality(self, rng):
+        train = [f"id-{i}" for i in range(200)]
+        assert DeequCat().fit(train) is None
+        assert DeequFra().fit(train) is None
+
+    def test_fractional_tolerates_small_novelty(self, rng):
+        train = [rng.choice(["US", "UK", "DE"]) for _ in range(100)]
+        rule = DeequFra(coverage=0.9).fit(train)
+        mostly_known = ["US"] * 95 + ["FR"] * 5
+        assert not rule.flags(mostly_known)
+        mostly_new = ["FR"] * 50 + ["US"] * 50
+        assert rule.flags(mostly_new)
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            DeequFra(coverage=0.0)
+
+
+class TestProfilers:
+    @pytest.mark.parametrize(
+        "validator_cls", [PottersWheel, XSystem, FlashProfile]
+    )
+    def test_profiles_memorize_the_observed_month(self, validator_cls, rng):
+        """Constant-folding profilers memorize 'Mar' — the central
+        data-profiling-vs-data-validation distinction of §1."""
+        rule = validator_cls().fit(_dates(rng, 50))
+        assert rule is not None
+        assert not rule.flags(_dates(rng, 20))
+        assert rule.flags(["Apr 01 2019"])
+
+    def test_ssis_memorizes_observed_widths(self, rng):
+        """SSIS keeps char classes (no constant folding) but memorizes
+        the observed width range — a different too-narrow failure."""
+        rule = SSIS().fit(_dates(rng, 50))
+        assert not rule.flags(_dates(rng, 20))
+        assert rule.flags(["Apr 1 2019"])  # 1-digit day never observed
+
+    @pytest.mark.parametrize(
+        "validator_cls", [PottersWheel, SSIS, XSystem, FlashProfile]
+    )
+    def test_rejects_garbage(self, validator_cls, rng):
+        rule = validator_cls().fit(_dates(rng, 50))
+        assert rule.flags(["complete garbage !!!"])
+
+    @pytest.mark.parametrize(
+        "validator_cls", [PottersWheel, SSIS, XSystem, FlashProfile]
+    )
+    def test_empty_train_abstains(self, validator_cls):
+        assert validator_cls().fit([]) is None
+
+    def test_pwheel_mdl_prefers_constants_when_uniform(self, rng):
+        rule = PottersWheel().fit(["Mar 01 2019"] * 30)
+        assert '"Mar' in rule.description or "Mar" in rule.description
+
+    def test_pwheel_generalizes_varying_widths(self, rng):
+        values = [str(rng.randint(1, 10**6)) for _ in range(50)]
+        rule = PottersWheel().fit(values)
+        assert not rule.flags([str(rng.randint(1, 10**6)) for _ in range(50)])
+
+    def test_ssis_union_covers_mixed_structures(self, rng):
+        values = [f"{rng.randint(1,9)}:{rng.randint(10,59)}" for _ in range(40)]
+        values += [f"x{rng.randint(0,9)}" for _ in range(20)]
+        rule = SSIS().fit(values)
+        assert not rule.flags(["5:30", "x7"])
+
+    def test_xsystem_branches_memorize_low_cardinality(self, rng):
+        values = [f"{rng.choice(['a','b'])}-{rng.randint(10,99)}" for _ in range(50)]
+        rule = XSystem().fit(values)
+        assert rule.flags(["z-55"])  # 'z' was never a branch
+
+    def test_flashprofile_covers_all_clusters(self, rng):
+        values = [f"{rng.randint(1,9)}:{rng.randint(10,99)}" for _ in range(20)]
+        values += [f"{rng.choice('ab')}{rng.choice('xy')}-{rng.choice('cd')}{rng.choice('zw')}" for _ in range(10)]
+        rule = FlashProfile().fit(values)
+        assert not rule.flags(["5:45", "ax-cz"])
+
+
+class TestGrok:
+    def test_recognizes_common_types(self, rng):
+        ips = DOMAIN_REGISTRY["ipv4"].sample_many(rng, 30)
+        rule = Grok().fit(ips)
+        assert rule is not None
+        assert "IPV4" in rule.description
+        assert not rule.flags(DOMAIN_REGISTRY["ipv4"].sample_many(rng, 30))
+        assert rule.flags(["999.999.999.999.999.1"])
+
+    def test_abstains_on_proprietary_formats(self, rng):
+        proprietary = [f"XJ‖{rng.randint(0,999)}‖q" for _ in range(20)]
+        assert Grok().fit(proprietary) is None
+
+    def test_abstains_rather_than_use_word(self, rng):
+        """Single words match %{WORD}, but that is the trivial pattern."""
+        names = [rng.choice(["Seattle", "London", "Berlin"]) for _ in range(30)]
+        assert Grok().fit(names) is None
+
+
+class TestSchemaMatching:
+    def test_instance_matching_broadens_training(self, rng):
+        """SM-I-1: corpus columns sharing values widen the learned pattern
+        so an unseen month no longer alarms."""
+        march = _dates(rng, 30)
+        context = FitContext.from_columns(
+            [
+                [f"{m} {rng.randint(1, 28):02d} 2019" for _ in range(30)] + march[:3]
+                for m in ("Mar", "Apr", "May")
+            ]
+        )
+        bare = PottersWheel().fit(march)
+        matched = SchemaMatchingInstance(1).fit(march, context)
+        assert bare.flags(["Apr 01 2019"])
+        assert not matched.flags(["Apr 01 2019"])
+
+    def test_pattern_matching_uses_class_shape(self, rng):
+        values = _dates(rng, 30)
+        anchor = class_signature(values[0])
+        context = FitContext.from_columns(
+            [[f"Jun {rng.randint(1, 28):02d} 2021" for _ in range(30)]]
+        )
+        assert context.majority_signatures[0] == anchor
+        matched = SchemaMatchingPattern(False).fit(values, context)
+        assert not matched.flags(["Jun 05 2021"])
+
+    def test_without_context_reduces_to_pwheel(self, rng):
+        values = _dates(rng, 30)
+        sm = SchemaMatchingInstance(1).fit(values, None)
+        pw = PottersWheel().fit(values)
+        assert sm.flags(["Apr 01 2019"]) == pw.flags(["Apr 01 2019"])
+
+    def test_min_overlap_validation(self):
+        with pytest.raises(ValueError):
+            SchemaMatchingInstance(0)
+
+    def test_names(self):
+        assert SchemaMatchingInstance(10).name == "SM-I-10"
+        assert SchemaMatchingPattern(True).name == "SM-P-P"
+        assert SchemaMatchingPattern(False).name == "SM-P-M"
+
+
+class TestClassSignature:
+    def test_symbols_collapse(self):
+        assert class_signature("1-2") == class_signature("1/2") == ("D", "S", "D")
+
+    def test_classes_kept(self):
+        assert class_signature("ab12") == ("L", "D")

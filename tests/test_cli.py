@@ -1,0 +1,119 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.datalake.domains import get_domain
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A tiny end-to-end CLI workspace: lake dir + index + column files."""
+    root = tmp_path_factory.mktemp("cli")
+    rng = random.Random(4)
+
+    assert main([
+        "generate", "--profile", "enterprise", "--tables", "30",
+        "--seed", "3", "--out", str(root / "lake"),
+    ]) == 0
+    assert main([
+        "index", "--corpus", str(root / "lake"), "--out", str(root / "lake.idx.gz"),
+    ]) == 0
+
+    spec = get_domain("datetime_slash")
+    (root / "feed.txt").write_text("\n".join(spec.sample_many(rng, 50)))
+    (root / "clean.txt").write_text("\n".join(spec.sample_many(rng, 200)))
+    drifted = get_domain("datetime_iso")
+    (root / "drifted.txt").write_text("\n".join(drifted.sample_many(rng, 200)))
+    (root / "examples.txt").write_text("\n".join(
+        get_domain("locale_lower").sample_many(rng, 10)
+    ))
+    return root
+
+
+class TestGenerateAndIndex:
+    def test_lake_on_disk(self, workspace):
+        csvs = list((workspace / "lake").glob("*.csv"))
+        assert len(csvs) == 30
+        assert (workspace / "lake.idx.gz").exists()
+
+
+class TestInferAndValidate:
+    def test_infer_writes_rule(self, workspace, capsys):
+        code = main([
+            "infer", "--index", str(workspace / "lake.idx.gz"),
+            "--column", str(workspace / "feed.txt"),
+            "--rule", str(workspace / "rule.json"),
+            "--min-coverage", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pattern:" in out and "<digit>" in out
+        payload = json.loads((workspace / "rule.json").read_text())
+        assert payload["variant"] == "fmdv-vh"
+
+    def test_validate_clean_exits_zero(self, workspace, capsys):
+        code = main([
+            "validate", "--rule", str(workspace / "rule.json"),
+            "--column", str(workspace / "clean.txt"),
+        ])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_validate_drifted_exits_two(self, workspace, capsys):
+        code = main([
+            "validate", "--rule", str(workspace / "rule.json"),
+            "--column", str(workspace / "drifted.txt"),
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "ALERT" in out
+        assert "non-conforming:" in out
+
+    def test_infer_failure_exit_code(self, workspace, tmp_path, capsys):
+        weird = tmp_path / "weird.txt"
+        weird.write_text("⟦a⟧\n⟦b⟧\n")
+        code = main([
+            "infer", "--index", str(workspace / "lake.idx.gz"),
+            "--column", str(weird),
+        ])
+        assert code == 1
+
+    def test_variant_selector(self, workspace, capsys):
+        for variant in ("basic", "v", "h", "vh", "cmdv"):
+            main([
+                "infer", "--index", str(workspace / "lake.idx.gz"),
+                "--column", str(workspace / "feed.txt"),
+                "--variant", variant, "--min-coverage", "5",
+            ])  # must not raise
+
+
+class TestTag:
+    def test_tag_sweeps_corpus(self, workspace, capsys):
+        code = main([
+            "tag", "--index", str(workspace / "lake.idx.gz"),
+            "--examples", str(workspace / "examples.txt"),
+            "--corpus", str(workspace / "lake"),
+            "--min-coverage", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tag pattern:" in out
+        assert "matching columns" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_mentions_paper(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "data-lake patterns" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Tests for FMDV-VH (repro.validate.combined)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.validate.combined import FMDVCombined
+from repro.validate.fmdv import FMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.vertical import FMDVVertical
+
+
+def _composite(rng: random.Random) -> str:
+    dt = DOMAIN_REGISTRY["datetime_slash"].sample(rng)
+    loc = DOMAIN_REGISTRY["locale_lower"].sample(rng)
+    code = DOMAIN_REGISTRY["event_code"].sample(rng)
+    return f"{dt}|{loc}|{code}"
+
+
+def _dirty_composite(rng: random.Random, n: int, bad: int) -> list[str]:
+    values = [_composite(rng) for _ in range(n - bad)] + ["NULL"] * bad
+    rng.shuffle(values)
+    return values
+
+
+class TestCombined:
+    def test_handles_composite_and_dirty_simultaneously(
+        self, small_index, small_config, rng
+    ):
+        """The case only FMDV-VH can solve: wide composite + sentinels."""
+        values = _dirty_composite(rng, 40, bad=2)
+        assert not FMDV(small_index, small_config).infer(values).found
+        assert not FMDVVertical(small_index, small_config).infer(values).found
+        assert not FMDVHorizontal(small_index, small_config).infer(values).found
+        result = FMDVCombined(small_index, small_config).infer(values)
+        assert result.found
+
+    def test_rule_is_distributional_with_observed_theta(
+        self, small_index, small_config, rng
+    ):
+        values = _dirty_composite(rng, 40, bad=2)
+        result = FMDVCombined(small_index, small_config).infer(values)
+        assert not result.rule.strict
+        assert result.rule.theta_train == pytest.approx(2 / 40)
+
+    def test_validates_future_composites(self, small_index, small_config, rng):
+        values = _dirty_composite(rng, 40, bad=2)
+        result = FMDVCombined(small_index, small_config).infer(values)
+        future = _dirty_composite(rng, 200, bad=8)
+        assert not result.rule.validate(future).flagged
+
+    def test_flags_drifted_composites(self, small_index, small_config, rng):
+        values = _dirty_composite(rng, 40, bad=2)
+        result = FMDVCombined(small_index, small_config).infer(values)
+        drifted = DOMAIN_REGISTRY["guid"].sample_many(rng, 100)
+        assert result.rule.validate(drifted).flagged
+
+    def test_segment_tolerance_property(self, small_index, small_config):
+        solver = FMDVCombined(small_index, small_config)
+        assert solver.segment_min_coverage == pytest.approx(
+            1.0 - small_config.theta
+        )
+
+    def test_clean_narrow_column_agrees_with_vertical(
+        self, small_index, small_config, rng
+    ):
+        train = DOMAIN_REGISTRY["currency_usd"].sample_many(rng, 30)
+        v = FMDVVertical(small_index, small_config).infer(train)
+        vh = FMDVCombined(small_index, small_config).infer(train)
+        assert v.found and vh.found
+        assert vh.rule.pattern == v.rule.pattern
+
+    def test_variant_label(self, small_index, small_config, rng):
+        train = DOMAIN_REGISTRY["currency_usd"].sample_many(rng, 30)
+        result = FMDVCombined(small_index, small_config).infer(train)
+        assert result.variant == "fmdv-vh"

@@ -1,0 +1,136 @@
+"""Tests for corpus containers and disk persistence (repro.datalake)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.datalake import (
+    Column,
+    Corpus,
+    ENTERPRISE_PROFILE,
+    Table,
+    generate_corpus,
+    load_corpus,
+    save_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_corpus(replace(ENTERPRISE_PROFILE, n_tables=25), seed=8)
+
+
+class TestColumnAndTable:
+    def test_split_head(self):
+        column = Column(name="c", values=[str(i) for i in range(100)])
+        train, test = column.split(0.1)
+        assert train == [str(i) for i in range(10)]
+        assert len(test) == 90
+
+    def test_split_rejects_bad_fraction(self):
+        column = Column(name="c", values=["a", "b"])
+        with pytest.raises(ValueError):
+            column.split(0.0)
+
+    def test_split_always_keeps_one_train_value(self):
+        column = Column(name="c", values=["a", "b", "c"])
+        train, test = column.split(0.1)
+        assert len(train) == 1
+
+    def test_distinct_count(self):
+        assert Column(name="c", values=["a", "a", "b"]).distinct_count == 2
+
+    def test_table_lookup(self):
+        table = Table(name="t")
+        table.add(Column(name="x", values=["1"]))
+        assert table.column("x").values == ["1"]
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_table_add_sets_provenance(self):
+        table = Table(name="t")
+        column = Column(name="x", values=[])
+        table.add(column)
+        assert column.table_name == "t"
+
+    def test_qualified_name(self):
+        column = Column(name="x", values=[], table_name="t")
+        assert column.qualified_name == "t.x"
+
+
+class TestCorpus:
+    def test_column_iteration_order_is_stable(self, lake):
+        names1 = [c.qualified_name for c in lake.columns()]
+        names2 = [c.qualified_name for c in lake.columns()]
+        assert names1 == names2
+
+    def test_sample_columns_reproducible(self, lake):
+        a = lake.sample_columns(10, random.Random(5))
+        b = lake.sample_columns(10, random.Random(5))
+        assert [c.qualified_name for c in a] == [c.qualified_name for c in b]
+
+    def test_sample_too_many_raises(self, lake):
+        with pytest.raises(ValueError):
+            lake.sample_columns(10**9, random.Random(0))
+
+    def test_sample_respects_predicate(self, lake):
+        sampled = lake.sample_columns(
+            5, random.Random(0), predicate=lambda c: c.domain == "datetime_slash"
+        )
+        assert all(c.domain == "datetime_slash" for c in sampled)
+
+    def test_stats_table1_shape(self, lake):
+        stats = lake.stats()
+        assert stats.n_files == len(lake)
+        assert stats.n_columns == lake.n_columns
+        assert stats.avg_values > 0
+        assert stats.std_values >= 0
+        assert stats.avg_distinct <= stats.avg_values
+        row = stats.as_row("Enterprise (TE)")
+        assert row["Corpus"] == "Enterprise (TE)"
+
+
+class TestDiskRoundtrip:
+    def test_save_load_roundtrip(self, lake, tmp_path):
+        save_corpus(lake, tmp_path / "lake")
+        loaded = load_corpus(tmp_path / "lake")
+        assert loaded.name == lake.name
+        assert loaded.n_columns == lake.n_columns
+        original = {c.qualified_name: c for c in lake.columns()}
+        for column in loaded.columns():
+            source = original[column.qualified_name]
+            assert column.values == source.values
+            assert column.domain == source.domain
+            assert column.ground_truth == source.ground_truth
+            assert column.dirty_fraction == pytest.approx(source.dirty_fraction)
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path / "nowhere")
+
+    def test_load_plain_csv_without_sidecar(self, tmp_path):
+        (tmp_path / "plain").mkdir()
+        (tmp_path / "plain" / "t.csv").write_text("a,b\n1,x\n2,y\n")
+        corpus = load_corpus(tmp_path / "plain")
+        assert corpus.n_columns == 2
+        assert corpus.tables[0].column("a").values == ["1", "2"]
+        assert corpus.tables[0].column("a").domain is None
+
+    def test_values_with_commas_and_quotes_roundtrip(self, tmp_path):
+        table = Table(name="tricky")
+        table.add(Column(name="c", values=['a,b', 'say "hi"', "line"]))
+        save_corpus(Corpus([table], name="x"), tmp_path / "x")
+        loaded = load_corpus(tmp_path / "x")
+        assert loaded.tables[0].column("c").values == ['a,b', 'say "hi"', "line"]
+
+    def test_ragged_tables_roundtrip(self, tmp_path):
+        table = Table(name="ragged")
+        table.add(Column(name="long", values=["1", "2", "3"]))
+        table.add(Column(name="short", values=["x"]))
+        save_corpus(Corpus([table], name="r"), tmp_path / "r")
+        loaded = load_corpus(tmp_path / "r")
+        assert loaded.tables[0].column("long").values == ["1", "2", "3"]
+        assert loaded.tables[0].column("short").values == ["x"]

@@ -1,0 +1,87 @@
+"""Tests for drift injectors (repro.datalake.drift)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake.column import Column, Table
+from repro.datalake.domains import DOMAIN_REGISTRY, SENTINEL_VALUES
+from repro.datalake.drift import (
+    inject_invalid,
+    reformat_values,
+    swap_columns,
+    truncate_values,
+)
+
+
+def _table() -> Table:
+    table = Table(name="t")
+    table.add(Column(name="a", values=["a1", "a2"]))
+    table.add(Column(name="b", values=["b1", "b2"]))
+    table.add(Column(name="c", values=["c1", "c2"]))
+    return table
+
+
+class TestSwapColumns:
+    def test_swap(self):
+        swapped = swap_columns(_table(), "a", "c")
+        assert [c.name for c in swapped.columns] == ["c", "b", "a"]
+
+    def test_original_untouched(self):
+        table = _table()
+        swap_columns(table, "a", "b")
+        assert [c.name for c in table.columns] == ["a", "b", "c"]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            swap_columns(_table(), "a", "nope")
+
+
+class TestReformat:
+    def test_full_reformat_changes_format(self, rng):
+        values = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        drifted = reformat_values(values, "locale_mixed", rng, fraction=1.0)
+        assert all("-" in v for v in drifted)
+        assert any(v != o for v, o in zip(drifted, values))
+        # "en-us" -> "en-US": region is now uppercase
+        assert all(v.split("-")[1].isupper() for v in drifted)
+
+    def test_partial_reformat(self, rng):
+        values = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 200)
+        drifted = reformat_values(values, "locale_mixed", rng, fraction=0.3)
+        changed = sum(1 for v in drifted if v.split("-")[1].isupper())
+        assert 20 <= changed <= 120
+
+    def test_zero_fraction_is_identity(self, rng):
+        values = ["en-us"] * 10
+        assert reformat_values(values, "locale_mixed", rng, fraction=0.0) == values
+
+
+class TestInjectInvalid:
+    def test_sentinels_appear(self, rng):
+        values = ["x-1"] * 500
+        drifted = inject_invalid(values, rng, rate=0.1)
+        bad = [v for v in drifted if v in SENTINEL_VALUES]
+        assert 20 <= len(bad) <= 90
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            inject_invalid(["a"], rng, rate=1.5)
+
+    def test_originals_untouched(self, rng):
+        values = ["x-1"] * 50
+        inject_invalid(values, rng, rate=1.0)
+        assert values == ["x-1"] * 50
+
+
+class TestTruncate:
+    def test_truncation_shortens(self, rng):
+        values = ["abcdefgh"] * 300
+        drifted = truncate_values(values, rng, rate=0.5)
+        shorter = [v for v in drifted if len(v) < 8]
+        assert shorter
+        assert all(1 <= len(v) <= 8 for v in drifted)
+
+    def test_short_values_skipped(self, rng):
+        values = ["ab"] * 20
+        assert truncate_values(values, rng, rate=1.0) == values

@@ -1,0 +1,69 @@
+"""Tests for the drift-detection helpers (repro.validate.drift)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.contingency import ContingencyTable
+from repro.validate.drift import drift_detected, homogeneity_pvalue
+
+
+class TestHomogeneityPvalue:
+    def test_fisher_and_chisquare_agree_qualitatively(self):
+        surge = ContingencyTable(a=990, b=10, c=800, d=200)
+        stable = ContingencyTable(a=990, b=10, c=989, d=11)
+        for method in ("fisher", "chisquare"):
+            assert homogeneity_pvalue(surge, method) < 0.001
+            assert homogeneity_pvalue(stable, method) > 0.2
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown drift test"):
+            homogeneity_pvalue(ContingencyTable(1, 1, 1, 1), "bayes")
+
+
+class TestDriftDetected:
+    def test_paper_example(self):
+        """§4: 0.1% → 5% must be flagged."""
+        flagged, p = drift_detected(1000, 1, 1000, 50)
+        assert flagged
+        assert p < 0.001
+
+    def test_tiny_rise_not_flagged(self):
+        """§4: 0.1% → 0.11% must not be flagged."""
+        flagged, _ = drift_detected(10000, 10, 10000, 11)
+        assert not flagged
+
+    def test_decrease_never_flagged(self):
+        flagged, _ = drift_detected(1000, 100, 1000, 0)
+        assert not flagged
+
+    def test_empty_test_column(self):
+        flagged, p = drift_detected(100, 0, 0, 0)
+        assert not flagged
+        assert p == 1.0
+
+    def test_significance_knob(self):
+        # borderline: pick a table significant at 0.05 but not at 0.001
+        args = dict(train_size=200, train_bad=2, test_size=200, test_bad=11)
+        lax, p = drift_detected(significance=0.05, **args)
+        strict, _ = drift_detected(significance=0.0001, **args)
+        assert lax and not strict
+        assert 0.0001 < p <= 0.05
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(10, 500),
+    st.integers(0, 20),
+    st.integers(10, 500),
+    st.integers(0, 20),
+)
+def test_drift_detection_requires_worsening(train_n, train_bad, test_n, test_bad):
+    train_bad = min(train_bad, train_n)
+    test_bad = min(test_bad, test_n)
+    flagged, p = drift_detected(train_n, train_bad, test_n, test_bad)
+    assert 0.0 <= p <= 1.0
+    if flagged:
+        assert test_bad / test_n > train_bad / train_n

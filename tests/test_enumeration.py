@@ -1,0 +1,189 @@
+"""Tests for Algorithm 1 enumeration (repro.core.enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.enumeration import (
+    EnumerationConfig,
+    dominant_signature_share,
+    enumerate_column_patterns,
+    enumerate_value_patterns,
+    hypothesis_space,
+)
+from repro.core.pattern import Pattern
+
+
+class TestValuePatterns:
+    def test_simple_value_space(self):
+        patterns = enumerate_value_patterns("9:07")
+        keys = {p.key() for p in patterns}
+        assert "D1|C::|D2" in keys
+        assert "D+|C::|D+" in keys
+        assert "C:9|C::|C:07" in keys
+
+    def test_empty_value_has_no_patterns(self):
+        assert enumerate_value_patterns("") == []
+
+    def test_all_patterns_match_the_value(self):
+        value = "Mar 01"
+        for p in enumerate_value_patterns(value):
+            assert p.matches(value), p.display()
+
+    def test_budget_respected(self):
+        patterns = enumerate_value_patterns("1/2/2019 10:11:12", max_patterns=50)
+        assert len(patterns) == 50
+
+
+class TestColumnPatterns:
+    def test_match_counts_with_full_coverage(self):
+        values = ["12:34", "56:78", "90:12"]
+        stats = enumerate_column_patterns(values, EnumerationConfig(min_coverage=1.0))
+        assert stats
+        for ps in stats:
+            assert ps.match_count == 3
+
+    def test_impurity_definition(self):
+        values = ["1:23"] * 10 + ["x"] * 2
+        stats = enumerate_column_patterns(
+            values, EnumerationConfig(min_coverage=0.5)
+        )
+        by_key = {ps.pattern.key(): ps for ps in stats}
+        ps = by_key["D1|C::|D2"]
+        assert ps.match_count == 10
+        assert ps.impurity(len(values)) == pytest.approx(2 / 12)
+
+    def test_minority_group_below_coverage_is_not_enumerated(self):
+        values = ["1:23"] * 19 + ["zzz"]
+        stats = enumerate_column_patterns(values, EnumerationConfig(min_coverage=0.3))
+        assert all("L" not in ps.pattern.key().split("|")[0] for ps in stats)
+
+    def test_minority_group_above_coverage_is_enumerated(self):
+        values = ["1:23"] * 7 + ["zzz"] * 3
+        stats = enumerate_column_patterns(values, EnumerationConfig(min_coverage=0.2))
+        keys = {ps.pattern.key() for ps in stats}
+        assert "W3" in keys or "L3" in keys
+
+    def test_empty_column(self):
+        assert enumerate_column_patterns([]) == []
+
+    def test_column_of_empty_strings(self):
+        assert enumerate_column_patterns(["", "", ""]) == []
+
+    def test_wide_values_skipped_by_tau(self):
+        wide = "1:2:3:4:5:6:7:8:9"  # 17 tokens
+        stats = enumerate_column_patterns([wide] * 5, EnumerationConfig(tau=8))
+        assert stats == []
+
+    def test_alnum_run_level_for_hex(self):
+        values = ["b216-57a0", "1234-ab0d", "00ff-9c3e"]
+        stats = enumerate_column_patterns(values)
+        keys = {ps.pattern.key() for ps in stats}
+        assert "A4|C:-|A4" in keys
+        by_key = {ps.pattern.key(): ps for ps in stats}
+        assert by_key["A4|C:-|A4"].match_count == 3
+
+    def test_no_double_counting_across_granularities(self):
+        """A pattern emitted at both granularities keeps an exact count."""
+        values = ["1234", "5678", "9012"]  # fine D4 group == alnum A4 group
+        stats = enumerate_column_patterns(values)
+        for ps in stats:
+            assert ps.match_count <= len(values)
+
+    def test_budget_reduction_keeps_cross_product_symmetric(self):
+        """With a tiny budget, every position must still offer its most
+        general option (no asymmetric truncation)."""
+        values = [f"{i}/{i}/{i}/{i}/{i}/{i}" for i in (1, 22, 333)]
+        stats = enumerate_column_patterns(
+            values, EnumerationConfig(max_patterns=8, min_coverage=0.5)
+        )
+        assert stats  # something was enumerated
+        # the fully-general pattern must be present
+        keys = {ps.pattern.key() for ps in stats}
+        assert any(k.startswith(("A+", "D+")) for k in keys)
+
+
+class TestHypothesisSpace:
+    def test_intersection_semantics(self):
+        """H(C) with coverage 1.0 contains only patterns matching all."""
+        values = ["9:07", "12:30"]
+        stats = hypothesis_space(values, min_coverage=1.0)
+        for ps in stats:
+            assert ps.match_count == 2
+        keys = {ps.pattern.key() for ps in stats}
+        assert "D+|C::|D2" in keys
+        assert "D1|C::|D2" not in keys  # "12" breaks <digit>{1}
+
+    def test_heterogeneous_column_has_empty_intersection(self):
+        values = ["9:07", "hello"]
+        assert hypothesis_space(values, min_coverage=1.0) == []
+
+    def test_tolerant_union_semantics(self):
+        """FMDV-H: with θ tolerance the dominant group's patterns appear."""
+        values = ["9:07"] * 9 + ["-"]
+        stats = hypothesis_space(values, min_coverage=0.9)
+        keys = {ps.pattern.key() for ps in stats}
+        assert "D1|C::|D2" in keys
+
+    def test_trivial_pattern_never_enumerated(self):
+        values = ["abc", "12", "?!"]
+        for ps in hypothesis_space(values, min_coverage=0.3):
+            assert not ps.pattern.is_trivial()
+
+
+class TestDominantSignatureShare:
+    def test_uniform(self):
+        assert dominant_signature_share(["1:2", "3:4"]) == 1.0
+
+    def test_mixed(self):
+        assert dominant_signature_share(["1:2", "3:4", "abc", "x"]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert dominant_signature_share([]) == 0.0
+
+
+class TestConfigValidation:
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            EnumerationConfig(tau=0)
+
+    def test_bad_coverage(self):
+        with pytest.raises(ValueError):
+            EnumerationConfig(min_coverage=0.0)
+        with pytest.raises(ValueError):
+            EnumerationConfig(min_coverage=1.5)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            EnumerationConfig(max_patterns=0)
+
+
+@st.composite
+def homogeneous_columns(draw):
+    """Columns of values sharing one shape: <digits>:<digits>."""
+    n = draw(st.integers(2, 12))
+    return [
+        f"{draw(st.integers(0, 99))}:{draw(st.integers(0, 999))}" for _ in range(n)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(homogeneous_columns())
+def test_enumerated_patterns_match_counts_are_consistent(values):
+    """Every enumerated pattern's regex must match exactly match_count
+    values (regex semantics agree with the bitset computation on
+    single-signature columns)."""
+    stats = enumerate_column_patterns(values, EnumerationConfig(min_coverage=0.2))
+    for ps in stats:
+        regex_matches = sum(1 for v in values if ps.pattern.matches(v))
+        assert regex_matches == ps.match_count
+
+
+@settings(max_examples=30, deadline=None)
+@given(homogeneous_columns())
+def test_hypothesis_space_patterns_match_all_values(values):
+    for ps in hypothesis_space(values, min_coverage=1.0):
+        assert all(ps.pattern.matches(v) for v in values)

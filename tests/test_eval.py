@@ -1,0 +1,224 @@
+"""Tests for the evaluation harness (repro.eval)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro import AutoValidateConfig
+from repro.baselines import TFDV
+from repro.baselines.base import BaselineRule, Validator
+from repro.datalake import ENTERPRISE_PROFILE, generate_corpus
+from repro.eval import (
+    AutoValidateMethod,
+    Benchmark,
+    BenchmarkCase,
+    EvaluationRunner,
+    build_benchmark,
+    paired_sign_test,
+    paired_t_test,
+)
+from repro.eval.benchmark import split_values
+from repro.eval.metrics import CaseResult, MethodResult, squash_recall
+from repro.datalake.column import Column
+from repro.validate.fmdv import FMDV
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return generate_corpus(replace(ENTERPRISE_PROFILE, n_tables=40), seed=21)
+
+
+@pytest.fixture(scope="module")
+def bench_cases(lake):
+    return build_benchmark(lake, 30, random.Random(3), max_values=200)
+
+
+class TestBenchmarkConstruction:
+    def test_case_count(self, bench_cases):
+        assert len(bench_cases) == 30
+
+    def test_train_test_split_is_head_based(self, bench_cases):
+        for case in bench_cases.cases:
+            assert list(case.train) + list(case.test) == list(
+                case.column.values[: len(case.train) + len(case.test)]
+            )
+            assert len(case.train) == pytest.approx(
+                0.1 * (len(case.train) + len(case.test)), abs=1.0
+            )
+
+    def test_max_values_cap(self, lake):
+        bench = build_benchmark(lake, 10, random.Random(0), max_values=50)
+        for case in bench.cases:
+            assert len(case.train) + len(case.test) <= 50
+
+    def test_pattern_subset_excludes_nl(self, bench_cases):
+        subset = bench_cases.pattern_subset()
+        assert 0 < len(subset) < len(bench_cases)
+        from repro.datalake.domains import DOMAIN_REGISTRY
+
+        for case in subset.cases:
+            if case.column.domain in DOMAIN_REGISTRY:
+                assert DOMAIN_REGISTRY[case.column.domain].category == "machine"
+
+    def test_heuristic_subset_for_unlabelled_columns(self):
+        shapes = ["1:23", "abc def", "x-9", "no way!", "42", "a,b,c"]
+        homogeneous = Column(name="x", values=["1:23"] * 50)
+        ragged = Column(name="y", values=[shapes[i % 6] for i in range(50)])
+        cases = [
+            BenchmarkCase(0, homogeneous, tuple(homogeneous.values[:5]), tuple(homogeneous.values[5:])),
+            BenchmarkCase(1, ragged, tuple(ragged.values[:5]), tuple(ragged.values[5:])),
+        ]
+        bench = Benchmark(name="b", cases=tuple(cases))
+        ids = [c.case_id for c in bench.pattern_subset().cases]
+        assert 0 in ids and 1 not in ids
+
+    def test_split_values_helper(self):
+        train, test = split_values(list(range(100)))
+        assert len(train) == 10 and len(test) == 90
+
+
+class TestMetrics:
+    def test_squash_recall(self):
+        assert squash_recall(1.0, 0.8) == 0.8
+        assert squash_recall(0.0, 0.8) == 0.0
+
+    def test_case_f1(self):
+        assert CaseResult(0, True, 1.0, 1.0).f1 == 1.0
+        assert CaseResult(0, True, 0.0, 0.0).f1 == 0.0
+        assert CaseResult(0, True, 1.0, 0.5).f1 == pytest.approx(2 / 3)
+
+    def test_method_result_aggregates(self):
+        result = MethodResult(
+            name="m",
+            per_case=(
+                CaseResult(0, True, 1.0, 0.5),
+                CaseResult(1, False, 1.0, 0.0),
+                CaseResult(2, True, 0.0, 0.0),
+            ),
+        )
+        assert result.precision == pytest.approx(2 / 3)
+        assert result.recall == pytest.approx(0.5 / 3)
+        assert result.rules_found == 2
+        row = result.summary_row()
+        assert row["method"] == "m"
+        assert row["rules"] == "2/3"
+
+
+class _AlwaysFlag(Validator):
+    name = "always-flag"
+
+    def fit(self, train_values, context=None):
+        class _Rule(BaselineRule):
+            def flags(self, values):
+                return True
+
+        return _Rule()
+
+
+class _NeverFlag(Validator):
+    name = "never-flag"
+
+    def fit(self, train_values, context=None):
+        class _Rule(BaselineRule):
+            def flags(self, values):
+                return False
+
+        return _Rule()
+
+
+class _Abstain(Validator):
+    name = "abstain"
+
+    def fit(self, train_values, context=None):
+        return None
+
+
+class _Crash(Validator):
+    name = "crash"
+
+    def fit(self, train_values, context=None):
+        raise RuntimeError("boom")
+
+
+class TestRunnerSemantics:
+    def test_always_flagging_method_has_zero_precision_and_recall(self, bench_cases):
+        runner = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        result = runner.evaluate(_AlwaysFlag())
+        assert result.precision == 0.0
+        assert result.recall == 0.0  # squashed by false alarms
+
+    def test_never_flagging_method_is_precise_but_blind(self, bench_cases):
+        runner = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        result = runner.evaluate(_NeverFlag())
+        assert result.precision == 1.0
+        assert result.recall == 0.0
+
+    def test_abstaining_method(self, bench_cases):
+        runner = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        result = runner.evaluate(_Abstain())
+        assert result.precision == 1.0
+        assert result.recall == 0.0
+        assert result.rules_found == 0
+
+    def test_crashing_method_counts_as_abstaining(self, bench_cases):
+        runner = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        result = runner.evaluate(_Crash())
+        assert result.precision == 1.0
+        assert result.rules_found == 0
+
+    def test_recall_sample_is_shared_and_deterministic(self, bench_cases):
+        a = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        b = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        for case in bench_cases.cases:
+            assert [c.case_id for c in a._recall_targets[case.case_id]] == [
+                c.case_id for c in b._recall_targets[case.case_id]
+            ]
+
+    def test_tfdv_scores_poorly_end_to_end(self, bench_cases):
+        runner = EvaluationRunner(bench_cases, recall_sample=5, seed=0)
+        result = runner.evaluate(TFDV())
+        assert result.precision < 0.6  # dictionaries go stale
+
+
+class TestGroundTruthMode:
+    def test_ground_truth_mode_never_lowers_recall(
+        self, lake, bench_cases, small_index, small_config
+    ):
+        runner = EvaluationRunner(bench_cases, recall_sample=10, seed=0)
+        method = AutoValidateMethod(FMDV, small_index, small_config)
+        plain = runner.evaluate(method, ground_truth_mode=False)
+        adjusted = runner.evaluate(method, ground_truth_mode=True)
+        assert adjusted.recall >= plain.recall - 1e-9
+        assert adjusted.precision >= plain.precision - 1e-9
+
+
+class TestSignificance:
+    def test_t_test_detects_clear_difference(self):
+        a = [0.9] * 50 + [0.8] * 50
+        b = [0.5] * 50 + [0.4] * 50
+        assert paired_t_test(a, b) < 1e-6
+        assert paired_t_test(b, a) > 0.99
+
+    def test_t_test_no_difference(self):
+        a = [0.5, 0.6, 0.7] * 30
+        assert paired_t_test(a, list(a)) == 1.0
+
+    def test_sign_test(self):
+        a = [1.0] * 20
+        b = [0.0] * 20
+        assert paired_sign_test(a, b) == pytest.approx(0.5**20)
+        assert paired_sign_test(b, a) == pytest.approx(1.0)
+
+    def test_sign_test_ignores_ties(self):
+        a = [0.5] * 10 + [1.0]
+        b = [0.5] * 10 + [0.0]
+        assert paired_sign_test(a, b) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_sign_test([1.0], [1.0, 2.0])

@@ -1,0 +1,168 @@
+"""Tests for the future-work extensions: dictionary, hybrid, numeric."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AutoValidateConfig
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.validate.dictionary import DictionaryValidator
+from repro.validate.hybrid import HybridValidator
+from repro.validate.numeric import NumericRule, NumericValidator
+
+
+def _cities(rng: random.Random, n: int) -> list[str]:
+    return DOMAIN_REGISTRY["city"].sample_many(rng, n)
+
+
+class TestDictionaryValidator:
+    def test_categorical_column_gets_rule(self, rng):
+        rule = DictionaryValidator().infer(_cities(rng, 80))
+        assert rule is not None
+        assert rule.conforms("Seattle") or rule.conforms("Tokyo")
+
+    def test_high_cardinality_abstains(self):
+        values = [f"unique-{i}" for i in range(300)]
+        assert DictionaryValidator().infer(values) is None
+
+    def test_empty_abstains(self):
+        assert DictionaryValidator().infer([]) is None
+
+    def test_expansion_absorbs_corpus_vocabulary(self, rng):
+        """Set expansion: a corpus column of the same domain contributes
+        values the training sample missed."""
+        all_cities = [
+            "Seattle", "London", "Berlin", "Tokyo", "Paris", "Mumbai",
+        ]
+        train = [v for v in all_cities[:3] for _ in range(10)]
+        corpus = [[v for v in all_cities for _ in range(5)]]
+        bare = DictionaryValidator().infer(train)
+        expanded = DictionaryValidator(corpus).infer(train)
+        assert not bare.conforms("Tokyo")
+        assert expanded.conforms("Tokyo")
+        assert expanded.expanded_from == 1
+
+    def test_expansion_ignores_unrelated_columns(self, rng):
+        train = _cities(rng, 60)
+        corpus = [DOMAIN_REGISTRY["guid"].sample_many(rng, 40)]
+        rule = DictionaryValidator(corpus).infer(train)
+        assert rule.expanded_from == 0
+
+    def test_distributional_validation(self, rng):
+        rule = DictionaryValidator().infer(_cities(rng, 100))
+        same = _cities(rng, 300)
+        assert not rule.validate(same).flagged
+        shifted = ["Atlantis"] * 150 + _cities(rng, 150)
+        assert rule.validate(shifted).flagged
+
+    def test_few_novel_values_tolerated(self, rng):
+        """One unseen city in 300 must not alarm (the TFDV trap)."""
+        rule = DictionaryValidator().infer(_cities(rng, 100))
+        nearly_same = _cities(rng, 299) + ["Novel Town"]
+        assert not rule.validate(nearly_same).flagged
+
+
+class TestHybridValidator:
+    @pytest.fixture()
+    def hybrid(self, small_index, small_corpus_columns, small_config):
+        return HybridValidator(small_index, small_corpus_columns, small_config)
+
+    def test_machine_column_uses_pattern(self, hybrid, rng):
+        result = hybrid.infer(DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 40))
+        assert result.found
+        assert result.kind == "pattern"
+
+    def test_nl_column_falls_back_to_dictionary(self, hybrid, rng):
+        result = hybrid.infer(_cities(rng, 60))
+        assert result.found
+        assert result.kind == "dictionary"
+
+    def test_untameable_column_reports_both_reasons(self, hybrid):
+        # Heterogeneous shapes (no alignable structure) and all-distinct
+        # values (no vocabulary): neither rule family can help.
+        shapes = [
+            lambda i: f"free text number {i}",
+            lambda i: f"{i}",
+            lambda i: f"x{i}-y",
+            lambda i: f"({i}, {i})",
+            lambda i: "w " * (i % 5 + 1) + str(i),
+        ]
+        values = [shapes[i % 5](i) for i in range(100)]
+        result = hybrid.infer(values)
+        assert not result.found
+        assert "pattern infeasible" in result.reason
+        assert result.kind == "none"
+        with pytest.raises(RuntimeError):
+            result.validate(["x"])
+
+    def test_hybrid_validates_end_to_end(self, hybrid, rng):
+        result = hybrid.infer(_cities(rng, 60))
+        clean = _cities(rng, 200)
+        drifted = DOMAIN_REGISTRY["guid"].sample_many(rng, 200)
+        assert not result.validate(clean).flagged
+        assert result.validate(drifted).flagged
+
+
+class TestNumericValidator:
+    def test_envelope_on_gaussian_data(self):
+        rng = random.Random(1)
+        values = [f"{rng.gauss(100, 10):.2f}" for _ in range(500)]
+        rule = NumericValidator().infer(values)
+        assert rule is not None
+        assert rule.lower < 70 < 130 < rule.upper
+
+    def test_non_numeric_column_abstains(self, rng):
+        assert NumericValidator().infer(_cities(rng, 50)) is None
+
+    def test_mixed_column_below_threshold_abstains(self):
+        values = ["1.5"] * 50 + ["n/a"] * 10
+        assert NumericValidator().infer(values) is None
+
+    def test_shift_detected(self):
+        rng = random.Random(2)
+        train = [f"{rng.gauss(100, 10):.2f}" for _ in range(400)]
+        rule = NumericValidator().infer(train)
+        same = [f"{rng.gauss(100, 10):.2f}" for _ in range(400)]
+        shifted = [f"{rng.gauss(500, 10):.2f}" for _ in range(400)]
+        assert not rule.validate(same).flagged
+        assert rule.validate(shifted).flagged
+
+    def test_type_drift_detected(self):
+        rng = random.Random(3)
+        train = [str(rng.randint(0, 1000)) for _ in range(300)]
+        rule = NumericValidator().infer(train)
+        textual = ["not-a-number"] * 100 + [str(rng.randint(0, 1000)) for _ in range(200)]
+        report = rule.validate(textual)
+        assert report.flagged
+
+    def test_single_outlier_tolerated(self):
+        rng = random.Random(4)
+        train = [f"{rng.gauss(0, 1):.3f}" for _ in range(300)]
+        rule = NumericValidator().infer(train)
+        nearly_same = [f"{rng.gauss(0, 1):.3f}" for _ in range(299)] + ["9999999"]
+        assert not rule.validate(nearly_same).flagged
+
+    def test_constant_column(self):
+        rule = NumericValidator().infer(["5.0"] * 100)
+        assert rule is not None
+        assert rule.conforms("5.0")
+        assert not rule.conforms("6.0")
+
+    def test_nan_and_inf_rejected(self):
+        rule = NumericValidator().infer(["1.0"] * 100)
+        assert not rule.conforms("nan")
+        assert not rule.conforms("inf")
+
+    def test_fence_validation(self):
+        with pytest.raises(ValueError):
+            NumericValidator(fence=0.0)
+
+    def test_envelope_scales_with_fence(self):
+        rng = random.Random(5)
+        values = [f"{rng.gauss(0, 1):.3f}" for _ in range(400)]
+        tight = NumericValidator(fence=1.5).infer(values)
+        loose = NumericValidator(fence=4.0).infer(values)
+        assert tight.upper < loose.upper
+        assert tight.lower > loose.lower

@@ -1,0 +1,123 @@
+"""Tests for the FD-UB and AD-UB upper-bound baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.autodetect import AutoDetectUpperBound
+from repro.baselines.fd import (
+    fd_holds,
+    fd_participating_columns,
+    fd_upper_bound_recall,
+)
+from repro.datalake.column import Column, Table
+from repro.datalake.domains import DOMAIN_REGISTRY
+
+
+class TestFDHolds:
+    def test_simple_fd(self):
+        assert fd_holds(["a", "b", "a"], ["1", "2", "1"])
+
+    def test_violated_fd(self):
+        assert not fd_holds(["a", "a"], ["1", "2"])
+
+    def test_fd_is_directional(self):
+        determinant = ["a", "b", "c"]
+        dependent = ["1", "1", "2"]
+        assert fd_holds(determinant, dependent)
+        assert not fd_holds(dependent, determinant)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fd_holds(["a"], ["1", "2"])
+
+
+class TestFDParticipation:
+    def test_non_trivial_fd_found(self):
+        table = Table(name="t")
+        # city -> country is a real FD; both repeat (non-key, non-constant)
+        table.add(Column(name="city", values=["SEA", "LON", "SEA", "PAR", "LON", "SEA"]))
+        table.add(Column(name="country", values=["US", "UK", "US", "FR", "UK", "US"]))
+        table.add(Column(name="noise", values=["1", "7", "3", "9", "2", "randomly"]))
+        participating = fd_participating_columns(table)
+        assert {"city", "country"} <= participating
+
+    def test_key_determinant_is_trivial(self):
+        table = Table(name="t")
+        table.add(Column(name="id", values=["1", "2", "3", "4"]))  # all distinct
+        table.add(Column(name="x", values=["a", "a", "b", "b"]))
+        assert fd_participating_columns(table) == set()
+
+    def test_constant_dependent_is_trivial(self):
+        table = Table(name="t")
+        table.add(Column(name="x", values=["a", "b", "a", "b"]))
+        table.add(Column(name="const", values=["z", "z", "z", "z"]))
+        assert fd_participating_columns(table) == set()
+
+    def test_upper_bound_recall(self):
+        table = Table(name="t")
+        table.add(Column(name="city", values=["SEA", "LON", "SEA", "LON"]))
+        table.add(Column(name="country", values=["US", "UK", "US", "UK"]))
+        lonely = Table(name="u")
+        lonely.add(Column(name="alone", values=["1", "2", "1", "3"]))
+        columns = list(table.columns) + list(lonely.columns)
+        recall = fd_upper_bound_recall(columns, {"t": table, "u": lonely})
+        assert recall == pytest.approx(2 / 3)
+
+    def test_unknown_table_counts_as_uncovered(self):
+        column = Column(name="x", values=["1"], table_name="ghost")
+        assert fd_upper_bound_recall([column], {}) == 0.0
+
+
+class TestAutoDetectUpperBound:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = random.Random(3)
+        columns = []
+        for name in ("datetime_slash", "locale_lower", "country2"):
+            spec = DOMAIN_REGISTRY[name]
+            columns.extend(spec.sample_many(rng, 30) for _ in range(30))
+        return columns
+
+    def test_detects_common_incompatible_pair(self, corpus):
+        rng = random.Random(5)
+        ad = AutoDetectUpperBound(corpus)
+        dates = DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 30)
+        locales = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        assert ad.detectable(dates, locales)
+
+    def test_same_domain_not_detectable(self, corpus):
+        rng = random.Random(6)
+        spec = DOMAIN_REGISTRY["locale_lower"]
+        assert not ad_detect(corpus, spec.sample_many(rng, 30), spec.sample_many(rng, 30))
+
+    def test_rare_pattern_not_detectable(self, corpus):
+        """Auto-Detect only covers *common* patterns — the coverage
+        limitation the paper's AD-UB row captures."""
+        rng = random.Random(7)
+        rare = [f"⟦{rng.randint(0, 9)}⟧" for _ in range(30)]
+        locales = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        assert not ad_detect(corpus, rare, locales)
+
+    def test_upper_bound_recall_range(self, corpus):
+        rng = random.Random(8)
+        ad = AutoDetectUpperBound(corpus)
+        query = DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 30)
+        others = [
+            DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30),
+            DOMAIN_REGISTRY["country2"].sample_many(rng, 30),
+            query,
+        ]
+        recall = ad.upper_bound_recall(query, others)
+        assert 0.0 <= recall <= 1.0
+        assert recall == pytest.approx(2 / 3)
+
+    def test_empty_others(self, corpus):
+        ad = AutoDetectUpperBound(corpus)
+        assert ad.upper_bound_recall(["1:23"], []) == 0.0
+
+
+def ad_detect(corpus, a, b):
+    return AutoDetectUpperBound(corpus).detectable(a, b)

@@ -1,0 +1,124 @@
+"""Tests for the basic FMDV solver and CMDV (repro.validate.fmdv)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AutoValidateConfig, build_index
+from repro.core.enumeration import EnumerationConfig
+from repro.core.pattern import Pattern
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.validate.fmdv import CMDV, FMDV, NoIndexFMDV
+
+
+def _dt(rng: random.Random) -> str:
+    return DOMAIN_REGISTRY["datetime_slash"].sample(rng)
+
+
+class TestBasicInference:
+    def test_finds_rule_for_common_domain(self, small_index, small_config, rng):
+        solver = FMDV(small_index, small_config)
+        result = solver.infer([_dt(rng) for _ in range(30)])
+        assert result.found
+        assert result.rule.strict
+        assert result.rule.est_fpr <= small_config.fpr_target
+        assert result.rule.coverage >= small_config.min_column_coverage
+
+    def test_rule_generalizes_beyond_training(self, small_index, small_config, rng):
+        """The inferred rule must accept unseen same-domain values —
+        the paper's core requirement (Figure 2)."""
+        solver = FMDV(small_index, small_config)
+        result = solver.infer([_dt(rng) for _ in range(30)])
+        future = [_dt(rng) for _ in range(200)]
+        report = result.rule.validate(future)
+        assert not report.flagged
+
+    def test_rule_rejects_other_domains(self, small_index, small_config, rng):
+        solver = FMDV(small_index, small_config)
+        result = solver.infer([_dt(rng) for _ in range(30)])
+        other = DOMAIN_REGISTRY["event_code"].sample_many(rng, 50)
+        assert result.rule.validate(other).flagged
+
+    def test_empty_column_no_rule(self, small_index, small_config):
+        result = FMDV(small_index, small_config).infer([])
+        assert not result.found
+        assert "empty" in result.reason
+
+    def test_unknown_domain_no_rule(self, small_index, small_config):
+        """Values whose patterns have no corpus coverage yield no rule."""
+        result = FMDV(small_index, small_config).infer(
+            ["⟦weird⟧unseen⟦stuff⟧1", "⟦weird⟧unseen⟦stuff⟧2"]
+        )
+        assert not result.found
+
+    def test_heterogeneous_column_no_rule(self, small_index, small_config, rng):
+        values = [_dt(rng) for _ in range(10)] + ["hello world"] * 10
+        result = FMDV(small_index, small_config).infer(values)
+        assert not result.found  # empty H(C) under intersection semantics
+
+
+class TestConstraints:
+    def test_fpr_constraint_binds(self, small_index, rng):
+        """With r = 0 only zero-FPR patterns qualify."""
+        strict = AutoValidateConfig(fpr_target=0.0, min_column_coverage=15)
+        lax = AutoValidateConfig(fpr_target=0.5, min_column_coverage=15)
+        train = [_dt(rng) for _ in range(30)]
+        r_strict = FMDV(small_index, strict).infer(train)
+        r_lax = FMDV(small_index, lax).infer(train)
+        if r_strict.found and r_lax.found:
+            assert r_strict.rule.est_fpr <= r_lax.rule.est_fpr
+
+    def test_coverage_constraint_binds(self, small_index, rng):
+        impossible = AutoValidateConfig(fpr_target=0.1, min_column_coverage=10**9)
+        result = FMDV(small_index, impossible).infer([_dt(rng) for _ in range(30)])
+        assert not result.found
+
+    def test_objective_minimizes_fpr_first(self, small_index, small_config, rng):
+        solver = FMDV(small_index, small_config)
+        candidates = solver.feasible_candidates([_dt(rng) for _ in range(30)], 1.0)
+        assert candidates
+        best = min(candidates, key=solver._objective)
+        assert best.fpr == min(c.fpr for c in candidates)
+
+
+class TestCMDV:
+    def test_cmdv_picks_minimum_coverage(self, small_index, small_config, rng):
+        train = [_dt(rng) for _ in range(30)]
+        fmdv_candidates = FMDV(small_index, small_config).feasible_candidates(train, 1.0)
+        cmdv = CMDV(small_index, small_config)
+        result = cmdv.infer(train)
+        assert result.found
+        assert result.rule.coverage == min(c.coverage for c in fmdv_candidates)
+
+    def test_cmdv_variant_label(self, small_index, small_config, rng):
+        result = CMDV(small_index, small_config).infer([_dt(rng) for _ in range(30)])
+        assert result.variant == "cmdv"
+
+
+class TestNoIndex:
+    def test_no_index_matches_indexed_results(self, small_corpus_columns, small_config, rng):
+        """The no-index scan must reach the same decision as the index —
+        it exists purely as Figure 14's latency reference."""
+        subset = small_corpus_columns[::4]
+        indexed = FMDV(
+            build_index(subset, EnumerationConfig(min_coverage=0.1)), small_config
+        )
+        scanning = NoIndexFMDV(subset, small_config)
+        train = [_dt(rng) for _ in range(25)]
+        r1, r2 = indexed.infer(train), scanning.infer(train)
+        assert r1.found == r2.found
+        if r1.found:
+            assert r1.rule.pattern == r2.rule.pattern
+
+
+class TestInferenceResult:
+    def test_reason_present_on_failure(self, small_index, small_config):
+        result = FMDV(small_index, small_config).infer(["@@##", "plain words here"])
+        assert not result.found
+        assert result.reason
+
+    def test_found_flag(self, small_index, small_config, rng):
+        result = FMDV(small_index, small_config).infer([_dt(rng) for _ in range(30)])
+        assert result.found == (result.rule is not None)

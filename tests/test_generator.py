@@ -1,0 +1,131 @@
+"""Tests for corpus synthesis (repro.datalake.generator)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.datalake.domains import DOMAIN_REGISTRY, SENTINEL_VALUES
+from repro.datalake.generator import (
+    ENTERPRISE_PROFILE,
+    GOVERNMENT_PROFILE,
+    LakeProfile,
+    generate_corpus,
+)
+
+_SMALL = replace(ENTERPRISE_PROFILE, n_tables=40)
+
+
+@pytest.fixture(scope="module")
+def small_lake():
+    return generate_corpus(_SMALL, seed=11)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = generate_corpus(_SMALL, seed=3)
+        b = generate_corpus(_SMALL, seed=3)
+        for ta, tb in zip(a, b):
+            assert ta.name == tb.name
+            for ca, cb in zip(ta.columns, tb.columns):
+                assert ca.values == cb.values
+                assert ca.domain == cb.domain
+
+    def test_different_seed_differs(self):
+        a = generate_corpus(_SMALL, seed=3)
+        b = generate_corpus(_SMALL, seed=4)
+        assert any(
+            ca.values != cb.values
+            for ta, tb in zip(a, b)
+            for ca, cb in zip(ta.columns, tb.columns)
+        )
+
+
+class TestShape:
+    def test_table_and_column_counts(self, small_lake):
+        assert len(small_lake) == _SMALL.n_tables
+        lo, hi = _SMALL.columns_per_table
+        for table in small_lake:
+            assert lo <= len(table) <= hi
+
+    def test_value_counts(self, small_lake):
+        lo, hi = _SMALL.values_per_column
+        for column in small_lake.columns():
+            assert lo <= len(column) <= hi
+
+    def test_archetype_mix(self, small_lake):
+        kinds = {"nl": 0, "mix": 0, "composite": 0, "machine": 0}
+        for c in small_lake.columns():
+            if c.domain.startswith("mix:"):
+                kinds["mix"] += 1
+            elif c.domain.startswith("composite:"):
+                kinds["composite"] += 1
+            elif DOMAIN_REGISTRY[c.domain].category == "nl":
+                kinds["nl"] += 1
+            else:
+                kinds["machine"] += 1
+        total = sum(kinds.values())
+        assert kinds["machine"] > total * 0.4
+        assert kinds["nl"] > total * 0.2
+        assert kinds["mix"] > 0
+        assert kinds["composite"] > 0
+
+    def test_dirty_columns_present_with_sentinels(self, small_lake):
+        dirty = [c for c in small_lake.columns() if c.dirty_fraction > 0]
+        assert dirty
+        for column in dirty[:5]:
+            assert any(v in SENTINEL_VALUES for v in column.values)
+
+
+class TestProvenance:
+    def test_machine_columns_carry_ground_truth(self, small_lake):
+        for c in small_lake.columns():
+            if c.domain in DOMAIN_REGISTRY and DOMAIN_REGISTRY[c.domain].ground_truth:
+                spec = DOMAIN_REGISTRY[c.domain]
+                assert c.ground_truth == spec.ground_truth
+
+    def test_clean_column_values_match_ground_truth(self, small_lake):
+        checked = 0
+        for c in small_lake.columns():
+            if c.ground_truth and c.dirty_fraction == 0 and c.domain in DOMAIN_REGISTRY:
+                pattern = Pattern.from_key(c.ground_truth)
+                assert all(pattern.matches(v) for v in c.values), c.domain
+                checked += 1
+        assert checked > 10
+
+    def test_composite_ground_truth_matches_values(self, small_lake):
+        checked = 0
+        for c in small_lake.columns():
+            if c.domain.startswith("composite:") and c.ground_truth:
+                pattern = Pattern.from_key(c.ground_truth)
+                assert all(pattern.matches(v) for v in c.values), (
+                    c.domain,
+                    c.values[0],
+                    pattern.display(),
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_table_names_propagate(self, small_lake):
+        for table in small_lake:
+            for column in table.columns:
+                assert column.table_name == table.name
+
+
+class TestGovernmentProfile:
+    def test_noise_applied(self):
+        gov = generate_corpus(replace(GOVERNMENT_PROFILE, n_tables=60), seed=2)
+        clean = generate_corpus(
+            replace(GOVERNMENT_PROFILE, n_tables=60, noise_rate=0.0), seed=2
+        )
+        # Same seed, same draws — only the noise differs.
+        noisy_values = [v for c in gov.columns() for v in c.values]
+        clean_values = [v for c in clean.columns() for v in c.values]
+        assert noisy_values != clean_values
+
+    def test_government_is_smaller_and_noisier_by_profile(self):
+        assert GOVERNMENT_PROFILE.n_tables < ENTERPRISE_PROFILE.n_tables
+        assert GOVERNMENT_PROFILE.noise_rate > ENTERPRISE_PROFILE.noise_rate
+        assert GOVERNMENT_PROFILE.nl_fraction > ENTERPRISE_PROFILE.nl_fraction

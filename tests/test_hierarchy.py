@@ -1,0 +1,106 @@
+"""Tests for the generalization hierarchy (repro.core.hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import Atom, AtomKind
+from repro.core.hierarchy import DEFAULT_HIERARCHY, GeneralizationHierarchy
+from repro.core.tokenizer import CharClass, Token
+
+
+def _digit_token(text: str = "9") -> Token:
+    return Token(CharClass.DIGIT, text)
+
+
+def _letter_token(text: str = "Mar") -> Token:
+    return Token(CharClass.LETTER, text)
+
+
+class TestDigitChains:
+    def test_paper_seven_generalizations_with_everything_enabled(self):
+        """§1 lists 7 ways to generalize the digit '9'; with all nodes
+        enabled the chain matches (minus the excluded <all> root)."""
+        hierarchy = GeneralizationHierarchy(
+            use_num=True, use_alnum_fixed=True, use_alnum_plus=True
+        )
+        atoms = hierarchy.generalizations(_digit_token("9"))
+        kinds = {a.kind for a in atoms}
+        assert kinds == {
+            AtomKind.CONST,
+            AtomKind.DIGIT,
+            AtomKind.DIGIT_PLUS,
+            AtomKind.NUM,
+            AtomKind.ALNUM,
+            AtomKind.ALNUM_PLUS,
+        }
+
+    def test_default_chain(self):
+        atoms = DEFAULT_HIERARCHY.generalizations(_digit_token("42"))
+        assert Atom.const("42") in atoms
+        assert Atom.digit(2) in atoms
+        assert Atom.digit_plus() in atoms
+        assert Atom.alnum_plus() in atoms
+        assert Atom.num() not in atoms  # disabled by default
+
+    def test_all_root_never_emitted(self):
+        for token in (_digit_token(), _letter_token()):
+            assert Atom.any() not in DEFAULT_HIERARCHY.generalizations(token)
+
+
+class TestLetterChains:
+    def test_uniform_upper_gets_case_class(self):
+        atoms = DEFAULT_HIERARCHY.generalizations(_letter_token("AM"))
+        assert Atom.upper(2) in atoms
+        assert Atom.lower(2) not in atoms
+
+    def test_uniform_lower_gets_case_class(self):
+        atoms = DEFAULT_HIERARCHY.generalizations(_letter_token("am"))
+        assert Atom.lower(2) in atoms
+
+    def test_mixed_case_gets_no_case_class(self):
+        atoms = DEFAULT_HIERARCHY.generalizations(_letter_token("Mar"))
+        assert Atom.letter(3) in atoms
+        assert all(a.kind not in (AtomKind.UPPER, AtomKind.LOWER) for a in atoms)
+
+    def test_case_classes_disabled(self):
+        hierarchy = GeneralizationHierarchy(use_case_classes=False)
+        atoms = hierarchy.generalizations(_letter_token("AM"))
+        assert all(a.kind is not AtomKind.UPPER for a in atoms)
+
+
+class TestSymbols:
+    def test_symbols_stay_constant(self):
+        token = Token(CharClass.SYMBOL, "//")
+        assert DEFAULT_HIERARCHY.generalizations(token) == [Atom.const("//")]
+
+
+class TestConstGating:
+    def test_long_const_suppressed(self):
+        hierarchy = GeneralizationHierarchy(max_const_length=4)
+        atoms = hierarchy.generalizations(_letter_token("abcdefgh"))
+        assert all(not a.is_const for a in atoms)
+
+    def test_symbol_const_exempt_from_length_cap(self):
+        hierarchy = GeneralizationHierarchy(max_const_length=1)
+        token = Token(CharClass.SYMBOL, "----")
+        assert hierarchy.generalizations(token) == [Atom.const("----")]
+
+
+class TestChainOrdering:
+    def test_specific_to_general(self):
+        """Chains must be ordered specific → general (Const first)."""
+        atoms = DEFAULT_HIERARCHY.generalizations(_digit_token("7"))
+        specificities = [
+            {AtomKind.CONST: 3, AtomKind.DIGIT: 2, AtomKind.DIGIT_PLUS: 1, AtomKind.ALNUM_PLUS: 0}[
+                a.kind
+            ]
+            for a in atoms
+        ]
+        assert specificities == sorted(specificities, reverse=True)
+
+    def test_chain_length_helper(self):
+        token = _digit_token("7")
+        assert DEFAULT_HIERARCHY.chain_length(token) == len(
+            DEFAULT_HIERARCHY.generalizations(token)
+        )

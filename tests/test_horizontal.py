@@ -1,0 +1,85 @@
+"""Tests for FMDV-H horizontal cuts (repro.validate.horizontal)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AutoValidateConfig
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.validate.fmdv import FMDV
+from repro.validate.horizontal import FMDVHorizontal
+
+
+def _dirty_locales(rng: random.Random, n: int, bad: int) -> list[str]:
+    values = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, n - bad)
+    values.extend(["-"] * bad)
+    rng.shuffle(values)
+    return values
+
+
+class TestDirtyColumns:
+    def test_basic_fails_horizontal_succeeds(self, small_index, small_config, rng):
+        """Figure 9: ad-hoc sentinels empty H(C); FMDV-H tolerates them."""
+        values = _dirty_locales(rng, 40, bad=2)
+        assert not FMDV(small_index, small_config).infer(values).found
+        result = FMDVHorizontal(small_index, small_config).infer(values)
+        assert result.found
+
+    def test_rule_is_distributional(self, small_index, small_config, rng):
+        result = FMDVHorizontal(small_index, small_config).infer(
+            _dirty_locales(rng, 40, bad=2)
+        )
+        assert not result.rule.strict
+        assert result.rule.theta_train == pytest.approx(2 / 40)
+
+    def test_same_dirty_rate_not_flagged(self, small_index, small_config, rng):
+        """A future column with the same small sentinel rate must pass."""
+        result = FMDVHorizontal(small_index, small_config).infer(
+            _dirty_locales(rng, 40, bad=2)
+        )
+        future = _dirty_locales(rng, 400, bad=20)
+        assert not result.rule.validate(future).flagged
+
+    def test_surge_of_bad_values_flagged(self, small_index, small_config, rng):
+        """§4: a significant rise of the non-conforming fraction alarms."""
+        result = FMDVHorizontal(small_index, small_config).infer(
+            _dirty_locales(rng, 40, bad=2)
+        )
+        future = _dirty_locales(rng, 400, bad=200)
+        report = result.rule.validate(future)
+        assert report.flagged
+        assert report.p_value is not None and report.p_value <= 0.01
+
+
+class TestTolerance:
+    def test_theta_bounds_cut_fraction(self, small_index, rng):
+        """Equation 16: the pattern must cover >= (1-θ)|C|."""
+        config = AutoValidateConfig(
+            fpr_target=0.1, min_column_coverage=15, theta=0.02
+        )
+        values = _dirty_locales(rng, 40, bad=4)  # 10% dirty > θ=2%
+        assert not FMDVHorizontal(small_index, config).infer(values).found
+
+    def test_zero_theta_equals_basic(self, small_index, rng):
+        config = AutoValidateConfig(fpr_target=0.1, min_column_coverage=15, theta=0.0)
+        clean = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        basic = FMDV(small_index, config).infer(clean)
+        horizontal = FMDVHorizontal(small_index, config).infer(clean)
+        assert basic.found and horizontal.found
+        assert basic.rule.pattern == horizontal.rule.pattern
+
+    def test_clean_column_theta_train_zero(self, small_index, small_config, rng):
+        clean = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        result = FMDVHorizontal(small_index, small_config).infer(clean)
+        assert result.rule.theta_train == 0.0
+
+
+class TestVariantLabel:
+    def test_variant(self, small_index, small_config, rng):
+        result = FMDVHorizontal(small_index, small_config).infer(
+            _dirty_locales(rng, 40, bad=2)
+        )
+        assert result.variant == "fmdv-h"
+        assert result.rule.variant == "fmdv-h"

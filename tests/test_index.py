@@ -1,0 +1,180 @@
+"""Tests for the offline index (repro.index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.enumeration import EnumerationConfig
+from repro.core.pattern import Pattern
+from repro.index import IndexBuilder, IndexEntry, PatternIndex, build_index
+
+
+def _col(value: str, n: int = 10) -> list[str]:
+    return [value] * n
+
+
+class TestBuilder:
+    def test_empty_builder(self):
+        index = IndexBuilder().build()
+        assert len(index) == 0
+        assert index.meta.columns_scanned == 0
+
+    def test_add_column_counts(self):
+        builder = IndexBuilder()
+        added = builder.add_column(["1:23", "4:56"])
+        assert added > 0
+        assert builder.columns_scanned == 1
+
+    def test_empty_column_ignored(self):
+        builder = IndexBuilder()
+        assert builder.add_column([]) == 0
+        assert builder.columns_scanned == 0
+
+    def test_coverage_counts_columns_not_values(self):
+        builder = IndexBuilder()
+        builder.add_column(["1:23"] * 50)
+        builder.add_column(["4:56"] * 50)
+        index = builder.build()
+        entry = index.lookup(Pattern([Atom.digit(1), Atom.const(":"), Atom.digit(2)]))
+        assert entry is not None
+        assert entry.coverage == 2
+
+    def test_fpr_aggregates_impurity(self):
+        """Definition 3: FPR is the mean impurity over covering columns."""
+        builder = IndexBuilder(EnumerationConfig(min_coverage=0.5))
+        builder.add_column(["1:23"] * 10)            # pure
+        builder.add_column(["4:56"] * 8 + ["x"] * 2)  # impure: 0.2
+        index = builder.build()
+        entry = index.lookup(Pattern([Atom.digit(1), Atom.const(":"), Atom.digit(2)]))
+        assert entry.coverage == 2
+        assert entry.fpr == pytest.approx(0.1)
+
+    def test_example5_paper_numbers(self):
+        """Example 5: 4800 pure + 200 columns at 1% → FPR = 0.04%."""
+        entry = IndexEntry(fpr_sum=200 * 0.01, coverage=5000)
+        assert entry.fpr == pytest.approx(0.0004)
+
+
+class TestLookup:
+    def test_lookup_missing(self, small_index):
+        missing = Pattern([Atom.const("never-seen-anywhere-xyz")])
+        assert small_index.lookup(missing) is None
+        assert missing not in small_index
+
+    def test_contains(self, small_index):
+        p = Pattern.from_key("W2|C:-|W2")  # locale_lower: <lower>{2}-<lower>{2}
+        assert p in small_index
+
+    def test_lookup_key_equivalent(self, small_index):
+        key = "W2|C:-|W2"
+        entry_by_key = small_index.lookup_key(key)
+        entry_by_pattern = small_index.lookup(Pattern.from_key(key))
+        assert entry_by_key == entry_by_pattern
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, small_index, tmp_path):
+        path = tmp_path / "index.json.gz"
+        small_index.save(path)
+        loaded = PatternIndex.load(path)
+        assert len(loaded) == len(small_index)
+        assert loaded.meta == small_index.meta
+        for key, entry in list(small_index.items())[:100]:
+            assert loaded.lookup_key(key) == entry
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        import gzip
+        import json
+
+        path = tmp_path / "bad.json.gz"
+        with gzip.open(path, "wt") as fh:
+            json.dump({"version": 999, "meta": {}, "entries": {}}, fh)
+        with pytest.raises(ValueError):
+            PatternIndex.load(path)
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        a = build_index([_col("1:23")])
+        b = build_index([_col("ab-cd")])
+        merged = a.merge(b)
+        assert len(merged) == len(a) + len(b) - _shared(a, b)
+        assert merged.meta.columns_scanned == 2
+
+    def test_merge_is_equivalent_to_single_build(self):
+        cols = [_col("1:23"), _col("4:5"), _col("9:99") ]
+        whole = build_index(cols)
+        parts = build_index(cols[:1]).merge(build_index(cols[1:]))
+        assert len(whole) == len(parts)
+        for key, entry in whole.items():
+            other = parts.lookup_key(key)
+            assert other is not None
+            assert other.coverage == entry.coverage
+            assert other.fpr_sum == pytest.approx(entry.fpr_sum)
+
+
+def _shared(a: PatternIndex, b: PatternIndex) -> int:
+    return len(set(a.keys()) & set(b.keys()))
+
+
+class TestStats:
+    def test_stats_shapes(self, small_index):
+        stats = small_index.stats()
+        assert stats.total_patterns == len(small_index)
+        assert sum(stats.by_token_length.values()) == len(small_index)
+        assert sum(stats.by_column_frequency.values()) == len(small_index)
+
+    def test_token_length_histogram_keys(self, small_index):
+        stats = small_index.stats()
+        assert all(k >= 1 for k in stats.by_token_length)
+
+    def test_common_domains_sorted_and_thresholded(self, small_index):
+        domains = small_index.common_domains(min_coverage=30, max_fpr=0.01)
+        assert domains, "popular domains must exist in the test corpus"
+        coverages = [e.coverage for _, e in domains]
+        assert coverages == sorted(coverages, reverse=True)
+        assert all(e.fpr <= 0.01 for _, e in domains)
+
+    def test_head_patterns_counts(self):
+        builder = IndexBuilder()
+        for _ in range(120):
+            builder.add_column(["7:35"] * 5)
+        stats = builder.build().stats()
+        assert stats.head_patterns() > 0
+
+
+class TestEntry:
+    def test_zero_coverage_fpr_is_one(self):
+        assert IndexEntry(fpr_sum=0.0, coverage=0).fpr == 1.0
+
+
+class TestParallelBuild:
+    def test_parallel_matches_serial(self):
+        columns = [[f"{i}:{j:02d}" for j in range(20)] for i in range(12)]
+        columns += [["ab-cd"] * 15 for _ in range(6)]
+        from repro.index.builder import build_index_parallel
+
+        serial = build_index(columns, corpus_name="x")
+        parallel = build_index_parallel(columns, corpus_name="x", workers=2)
+        assert len(parallel) == len(serial)
+        assert parallel.meta.columns_scanned == serial.meta.columns_scanned
+        assert parallel.meta.corpus_name == "x"
+        for key, entry in serial.items():
+            other = parallel.lookup_key(key)
+            assert other is not None
+            assert other.coverage == entry.coverage
+            assert abs(other.fpr_sum - entry.fpr_sum) < 1e-9
+
+    def test_single_worker_falls_back(self):
+        from repro.index.builder import build_index_parallel
+
+        columns = [["1:23"] * 5]
+        index = build_index_parallel(columns, workers=1)
+        assert len(index) > 0
+
+    def test_worker_validation(self):
+        from repro.index.builder import build_index_parallel
+
+        with pytest.raises(ValueError):
+            build_index_parallel([], workers=0)

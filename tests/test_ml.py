@@ -1,0 +1,181 @@
+"""Tests for the ML substrate (repro.ml)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingModel,
+    LabelEncoder,
+    average_precision,
+    encode_frame,
+    r2_score,
+)
+from repro.ml.tasks import (
+    KAGGLE_TASKS,
+    apply_schema_drift,
+    generate_task,
+    run_task,
+)
+
+
+class TestTree:
+    def test_fits_a_step_function(self):
+        X = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=5).fit(X, y)
+        pred = tree.predict(X)
+        assert r2_score(y, pred) > 0.95
+
+    def test_constant_target_yields_constant_leaf(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), 7.0)
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=8, min_samples_leaf=5).fit(X, y)
+        # only one split is possible with a 5-sample floor on 10 rows
+        leaves = {tree.predict(np.array([[v]]))[0] for v in X[:, 0]}
+        assert len(leaves) <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+class TestGBDT:
+    def test_regression_beats_tree_on_smooth_target(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 3))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        model = GradientBoostingModel(n_estimators=80).fit(X[:300], y[:300])
+        assert r2_score(y[300:], model.predict(X[300:])) > 0.7
+
+    def test_classification_probabilities(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = GradientBoostingModel(loss="logistic", n_estimators=50).fit(X, y)
+        proba = model.predict(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert average_precision(y, proba) > 0.9
+
+    def test_logistic_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            GradientBoostingModel(loss="logistic").fit(
+                np.zeros((3, 1)), np.array([0.0, 0.5, 1.0])
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingModel(loss="hinge")
+        with pytest.raises(ValueError):
+            GradientBoostingModel(learning_rate=0.0)
+
+
+class TestEncoding:
+    def test_label_encoder_roundtrip(self):
+        enc = LabelEncoder().fit(["a", "b", "a", "c"])
+        assert enc.n_classes == 3
+        codes = enc.transform(["a", "b", "c"])
+        assert len(set(codes.tolist())) == 3
+
+    def test_unseen_maps_to_minus_one(self):
+        enc = LabelEncoder().fit(["a"])
+        assert enc.transform(["zzz"])[0] == -1.0
+
+    def test_encode_frame_deterministic_order(self):
+        cats = {"b": ["x", "y"], "a": ["p", "q"]}
+        nums = {"n": np.array([1.0, 2.0])}
+        X1, encs = encode_frame(cats, nums, None)
+        X2, _ = encode_frame(cats, nums, encs)
+        assert np.array_equal(X1, X2)
+        assert X1.shape == (2, 3)
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_average_precision_perfect_ranking(self):
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert average_precision(y, scores) == 1.0
+
+    def test_average_precision_no_positives(self):
+        assert average_precision(np.zeros(5), np.arange(5.0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3), np.zeros(4))
+
+
+class TestKaggleTasks:
+    def test_eleven_tasks_with_paper_split(self):
+        assert len(KAGGLE_TASKS) == 11
+        kinds = [t.kind for t in KAGGLE_TASKS]
+        assert kinds.count("classification") == 7
+        assert kinds.count("regression") == 4
+
+    def test_exactly_three_undetectable(self):
+        undetectable = {t.name for t in KAGGLE_TASKS if not t.detectable}
+        assert undetectable == {"WestNile", "HomeDepot", "WalmartTrips"}
+
+    def test_generation_is_deterministic(self):
+        spec = KAGGLE_TASKS[0]
+        a = generate_task(spec, seed=5, n_train=50, n_test=20)
+        b = generate_task(spec, seed=5, n_train=50, n_test=20)
+        assert a.cat_train == b.cat_train
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_schema_drift_swaps_designated_pair(self):
+        spec = KAGGLE_TASKS[0]
+        data = generate_task(spec, seed=1, n_train=50, n_test=20)
+        drifted = apply_schema_drift(data)
+        a, b = spec.swap
+        name_a, name_b = data.cat_names[a], data.cat_names[b]
+        assert drifted[name_a] == data.cat_test[name_b]
+        assert drifted[name_b] == data.cat_test[name_a]
+
+    def test_drift_degrades_quality(self):
+        # A regression task: R² collapses hard under a categorical swap
+        # (classification AP is rank-based and degrades more gently).
+        spec = next(t for t in KAGGLE_TASKS if t.name == "HousePrice")
+        data = generate_task(spec, seed=3, n_train=400, n_test=200)
+        outcome = run_task(data, drift_detector=None,
+                           gbdt_params={"n_estimators": 30})
+        assert outcome.score_clean > 0.3
+        assert outcome.score_drifted < outcome.score_clean - 0.1
+
+    def test_detector_hook_is_called(self):
+        spec = KAGGLE_TASKS[0]
+        data = generate_task(spec, seed=3, n_train=200, n_test=100)
+        calls = []
+
+        def detector(train_values, test_values):
+            calls.append(len(train_values))
+            return True
+
+        outcome = run_task(data, drift_detector=detector,
+                           gbdt_params={"n_estimators": 10})
+        assert outcome.drift_detected
+        assert outcome.normalized_with_validation == 1.0
+        assert calls

@@ -1,0 +1,99 @@
+"""Tests for the recurring-feed monitor (repro.monitor)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.monitor import FeedMonitor
+
+
+def _feed(rng: random.Random, n: int = 120) -> dict[str, list[str]]:
+    return {
+        "event_time": DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, n),
+        "market": DOMAIN_REGISTRY["locale_lower"].sample_many(rng, n),
+        "city": DOMAIN_REGISTRY["city"].sample_many(rng, n),
+        "blob": [f"⟦{rng.random()}⟧ mixed {i} ?" + "x" * (i % 9) for i in range(n)],
+    }
+
+
+@pytest.fixture()
+def monitor(small_index, small_corpus_columns, small_config, rng):
+    monitor = FeedMonitor(small_index, small_corpus_columns, small_config)
+    monitor.learn(_feed(rng))
+    return monitor
+
+
+class TestLearning:
+    def test_learn_reports_rule_kinds(self, small_index, small_corpus_columns, small_config, rng):
+        monitor = FeedMonitor(small_index, small_corpus_columns, small_config)
+        outcomes = monitor.learn(_feed(rng))
+        assert outcomes["event_time"] == "pattern"
+        assert outcomes["city"] == "dictionary"
+        assert outcomes["blob"].startswith("unmonitored")
+
+    def test_monitored_columns(self, monitor):
+        assert "event_time" in monitor.monitored_columns
+        assert "blob" not in monitor.monitored_columns
+
+    def test_rule_kind_lookup(self, monitor):
+        assert monitor.rule_kind("event_time") == "pattern"
+        assert monitor.rule_kind("blob") is None
+
+
+class TestChecking:
+    def test_clean_refresh_is_ok(self, monitor, rng):
+        report = monitor.check(_feed(rng))
+        assert report.ok
+        assert report.columns_checked == 3
+        assert report.columns_skipped == ("blob",)
+        assert "clean" in report.describe()
+
+    def test_drifted_column_alerts(self, monitor, rng):
+        feed = _feed(rng)
+        feed["event_time"] = DOMAIN_REGISTRY["guid"].sample_many(rng, 120)
+        report = monitor.check(feed)
+        assert not report.ok
+        assert [a.column for a in report.alerts] == ["event_time"]
+        assert "event_time" in report.describe()
+
+    def test_history_accumulates(self, monitor, rng):
+        feed = _feed(rng)
+        feed["market"] = DOMAIN_REGISTRY["guid"].sample_many(rng, 120)
+        monitor.check(feed)
+        monitor.check(_feed(rng))
+        monitor.check(feed)
+        assert len(monitor.history) == 2
+        assert monitor.alert_counts()["market"] == 2
+        assert monitor.alert_counts()["event_time"] == 0
+
+    def test_refresh_ids_increment(self, monitor, rng):
+        first = monitor.check(_feed(rng))
+        second = monitor.check(_feed(rng))
+        assert (first.refresh_id, second.refresh_id) == (1, 2)
+
+
+class TestRelearning:
+    def test_relearn_after_format_change(self, monitor, rng):
+        """After a confirmed upstream change, relearning re-arms the column
+        for the new format and stops the alerts."""
+        new_format = DOMAIN_REGISTRY["datetime_iso"].sample_many(rng, 120)
+        feed = _feed(rng)
+        feed["event_time"] = new_format
+        assert not monitor.check(feed).ok
+
+        kind = monitor.relearn("event_time", new_format)
+        assert kind == "pattern"
+        feed["event_time"] = DOMAIN_REGISTRY["datetime_iso"].sample_many(rng, 120)
+        assert monitor.check(feed).ok
+
+    def test_relearn_to_unlearnable_unmonitors(self, monitor, rng):
+        outcome = monitor.relearn(
+            "event_time", [f"⟦{i}⟧ odd {'y' * (i % 7)}" for i in range(50)]
+        )
+        assert outcome.startswith("unmonitored")
+        assert "event_time" not in monitor.monitored_columns
+        report = monitor.check(_feed(rng))
+        assert "event_time" in report.columns_skipped

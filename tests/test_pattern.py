@@ -1,0 +1,134 @@
+"""Tests for the Pattern type (repro.core.pattern)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+
+
+def _date_pattern() -> Pattern:
+    return Pattern(
+        [Atom.letter(3), Atom.const(" "), Atom.digit(2), Atom.const(" "), Atom.digit(4)]
+    )
+
+
+class TestBasics:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern([])
+
+    def test_len_and_iter(self):
+        p = _date_pattern()
+        assert len(p) == 5
+        assert [a.kind for a in p] == [a.kind for a in p.atoms]
+
+    def test_equality_and_hash(self):
+        assert _date_pattern() == _date_pattern()
+        assert hash(_date_pattern()) == hash(_date_pattern())
+        assert _date_pattern() != Pattern([Atom.digit_plus()])
+
+    def test_display_matches_paper_notation(self):
+        assert _date_pattern().display() == '<letter>{3} " " <digit>{2} " " <digit>{4}'
+
+
+class TestMatching:
+    def test_paper_example_c1(self):
+        p = _date_pattern()
+        assert p.matches("Mar 01 2019")
+        assert p.matches("Apr 28 2020")  # generalizes beyond observed month
+        assert not p.matches("March 01 2019")
+        assert not p.matches("Mar 1 2019")
+
+    def test_match_fraction(self):
+        p = _date_pattern()
+        values = ["Mar 01 2019", "Apr 02 2020", "nope", ""]
+        assert p.match_fraction(values) == pytest.approx(0.5)
+
+    def test_match_fraction_empty_list(self):
+        assert _date_pattern().match_fraction([]) == 0.0
+
+    def test_never_matches_empty_string(self):
+        assert not Pattern([Atom.digit_plus()]).matches("")
+
+
+class TestKeyRoundtrip:
+    def test_roundtrip(self):
+        p = _date_pattern()
+        assert Pattern.from_key(p.key()) == p
+
+    def test_roundtrip_with_pipes_in_const(self):
+        p = Pattern([Atom.const("a|b"), Atom.digit(1), Atom.const("\\x|")])
+        assert Pattern.from_key(p.key()) == p
+
+    def test_keys_unique_for_different_patterns(self):
+        p1 = Pattern([Atom.const("a"), Atom.const("b")])
+        p2 = Pattern([Atom.const("a|b")])  # adversarial: same concatenation
+        assert p1.key() != p2.key()
+
+
+class TestStructure:
+    def test_concat(self):
+        left = Pattern([Atom.digit(2)])
+        right = Pattern([Atom.const(":"), Atom.digit(2)])
+        combined = left.concat(right)
+        assert combined.matches("12:59")
+        assert len(combined) == 3
+
+    def test_concat_all(self):
+        parts = [Pattern([Atom.digit(1)]) for _ in range(3)]
+        assert Pattern.concat_all(parts).matches("123")
+
+    def test_is_trivial(self):
+        assert Pattern([Atom.any()]).is_trivial()
+        assert not _date_pattern().is_trivial()
+
+    def test_specificity_ordering(self):
+        const_heavy = Pattern([Atom.const("Mar"), Atom.digit(2)])
+        fixed = Pattern([Atom.letter(3), Atom.digit(2)])
+        open_classes = Pattern([Atom.letter_plus(), Atom.digit_plus()])
+        alnum = Pattern([Atom.alnum_plus(), Atom.alnum_plus()])
+        assert (
+            const_heavy.specificity()
+            > fixed.specificity()
+            > open_classes.specificity()
+            > alnum.specificity()
+        )
+
+
+@st.composite
+def atoms(draw):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return Atom.const(draw(st.text(min_size=1, max_size=5)))
+    if kind == 1:
+        return Atom.digit(draw(st.integers(1, 9)))
+    if kind == 2:
+        return Atom.digit_plus()
+    if kind == 3:
+        return Atom.letter(draw(st.integers(1, 9)))
+    if kind == 4:
+        return Atom.letter_plus()
+    return Atom.alnum_plus()
+
+
+@given(st.lists(atoms(), min_size=1, max_size=8))
+def test_pattern_key_roundtrip_property(atom_list):
+    p = Pattern(atom_list)
+    assert Pattern.from_key(p.key()) == p
+
+
+@given(st.lists(atoms(), min_size=1, max_size=6))
+def test_concat_matches_concatenated_values(atom_list):
+    p = Pattern(atom_list)
+    doubled = p.concat(p)
+    # Build a value the base pattern surely matches, from its own atoms.
+    sample = "".join(
+        a.text if a.is_const else ("7" * max(1, a.length) if "0-9" in a.regex() else "x" * max(1, a.length))
+        for a in atom_list
+    )
+    if p.matches(sample):
+        assert doubled.matches(sample + sample)

@@ -1,0 +1,163 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+These test the algebraic spine of the system: the relationships between
+``P(v)``, ``H(C)``, impurity, the index aggregates and rule semantics that
+the paper's definitions promise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.enumeration import (
+    EnumerationConfig,
+    enumerate_column_patterns,
+    enumerate_value_patterns,
+    hypothesis_space,
+)
+from repro.core.pattern import Pattern
+from repro.index.builder import build_index
+from repro.validate.rule import ValidationRule
+
+
+@st.composite
+def machine_values(draw):
+    """Machine-flavoured values: digits/letters joined by one separator."""
+    sep = draw(st.sampled_from([":", "-", "/", "."]))
+    parts = draw(
+        st.lists(
+            st.one_of(
+                st.integers(0, 9999).map(str),
+                st.sampled_from(["ab", "XY", "code", "US", "q"]),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return sep.join(str(p) for p in parts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine_values())
+def test_value_space_patterns_all_match_their_value(value):
+    """Every pattern in P(v) matches v (Section 2.1's definition)."""
+    for pattern in enumerate_value_patterns(value, max_patterns=256):
+        assert pattern.matches(value), (value, pattern.display())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(machine_values(), min_size=2, max_size=8))
+def test_hypothesis_space_is_intersection(values):
+    """H(C) ⊆ P(v) for every v ∈ C: each hypothesis matches every value."""
+    for ps in hypothesis_space(values, min_coverage=1.0):
+        for v in values:
+            assert ps.pattern.matches(v) or not v, (v, ps.pattern.display())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(machine_values(), min_size=1, max_size=10))
+def test_impurity_is_a_probability(values):
+    n = len(values)
+    for ps in enumerate_column_patterns(values, EnumerationConfig(min_coverage=0.2)):
+        impurity = ps.impurity(n)
+        assert 0.0 <= impurity <= 1.0
+        assert 1 <= ps.match_count <= n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.lists(machine_values(), min_size=2, max_size=6), min_size=1, max_size=6
+    )
+)
+def test_index_aggregates_are_well_formed(columns):
+    """FPR_T ∈ [0,1] and Cov_T ≤ #columns for every indexed pattern."""
+    index = build_index(columns)
+    for _key, entry in index.items():
+        assert 0.0 <= entry.fpr <= 1.0 + 1e-12
+        assert 1 <= entry.coverage <= len(columns)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.lists(machine_values(), min_size=2, max_size=5), min_size=2, max_size=6
+    )
+)
+def test_index_merge_is_order_independent(columns):
+    """Sharded builds must agree with the monolithic build (Definition 3 is
+    a sum of column-local quantities)."""
+    whole = build_index(columns)
+    a = build_index(columns[: len(columns) // 2])
+    b = build_index(columns[len(columns) // 2 :])
+    merged_ab = a.merge(b)
+    merged_ba = b.merge(a)
+    assert len(merged_ab) == len(whole) == len(merged_ba)
+    for key, entry in whole.items():
+        for merged in (merged_ab, merged_ba):
+            other = merged.lookup_key(key)
+            assert other is not None
+            assert other.coverage == entry.coverage
+            assert math.isclose(other.fpr_sum, entry.fpr_sum, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@st.composite
+def rules(draw):
+    atoms = draw(
+        st.lists(
+            st.one_of(
+                st.integers(1, 5).map(Atom.digit),
+                st.just(Atom.digit_plus()),
+                st.just(Atom.letter_plus()),
+                st.text(min_size=1, max_size=4).map(Atom.const),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return ValidationRule(
+        pattern=Pattern(atoms),
+        theta_train=draw(st.floats(0.0, 0.2)),
+        train_size=draw(st.integers(1, 500)),
+        strict=draw(st.booleans()),
+        significance=draw(st.sampled_from([0.01, 0.05])),
+        drift_test=draw(st.sampled_from(["fisher", "chisquare"])),
+        est_fpr=draw(st.floats(0.0, 0.1)),
+        coverage=draw(st.integers(0, 10000)),
+        variant=draw(st.sampled_from(["fmdv", "fmdv-vh"])),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rules())
+def test_rule_serialization_roundtrip(rule):
+    assert ValidationRule.from_dict(rule.to_dict()) == rule
+
+
+@settings(max_examples=30, deadline=None)
+@given(rules(), st.lists(machine_values(), max_size=20))
+def test_rule_reports_are_consistent(rule, values):
+    report = rule.validate(values)
+    assert 0.0 <= report.test_bad_fraction <= 1.0
+    assert report.n_test == len(values)
+    if rule.strict:
+        # strict semantics: flagged iff any value fails
+        expected = any(not rule.conforms(v) for v in values)
+        assert report.flagged == expected
+    elif report.flagged:
+        # distributional alarms require an observed worsening
+        assert report.test_bad_fraction > rule.theta_train
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(machine_values(), min_size=3, max_size=10))
+def test_tolerant_space_contains_strict_space(values):
+    """Relaxing coverage can only grow the hypothesis space (Eq. 13/16)."""
+    strict = {ps.pattern for ps in hypothesis_space(values, min_coverage=1.0)}
+    tolerant = {ps.pattern for ps in hypothesis_space(values, min_coverage=0.7)}
+    assert strict <= tolerant

@@ -1,0 +1,86 @@
+"""Tests for the text rendering helpers (repro.eval.reporting)."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import (
+    render_histogram,
+    render_scatter,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        rows = [
+            {"method": "FMDV-VH", "precision": 0.96, "recall": 0.88},
+            {"method": "TFDV", "precision": 0.05, "recall": 0.05},
+        ]
+        text = render_table(rows, title="Figure 10")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 10"
+        assert "method" in lines[1] and "precision" in lines[1]
+        assert lines[2].startswith("---")
+        assert "FMDV-VH" in lines[3]
+        # all rows align to the same width
+        assert len(lines[3]) == len(lines[1].rstrip()) or len(lines[3]) >= len("FMDV-VH")
+
+    def test_empty(self):
+        assert "(empty)" in render_table([], title="x")
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert "3" in text
+
+
+class TestRenderScatter:
+    def test_points_and_legend(self):
+        text = render_scatter(
+            {"FMDV-VH": (0.88, 0.96), "TFDV": (0.05, 0.05)}, title="fig"
+        )
+        assert "0 = FMDV-VH (0.88, 0.96)" in text
+        assert "1 = TFDV (0.05, 0.05)" in text
+        assert "precision ^" in text
+
+    def test_out_of_range_points_clamped(self):
+        text = render_scatter({"x": (2.0, -1.0)})
+        assert "x (2.00, -1.00)" in text  # legend keeps real values
+
+    def test_grid_dimensions(self):
+        text = render_scatter({"a": (0.5, 0.5)}, width=21, height=7)
+        grid_lines = [l for l in text.splitlines() if l.startswith("  |")]
+        assert len(grid_lines) == 7
+
+
+class TestRenderSeries:
+    def test_series_table(self):
+        text = render_series(
+            {"FMDV": [0.9, 0.8], "FMDV-VH": [0.95, 0.94]},
+            x_ticks=[0.0, 0.1],
+            title="sensitivity",
+        )
+        assert "sensitivity" in text
+        assert "0.900" in text and "0.940" in text
+
+    def test_custom_format(self):
+        text = render_series({"a": [0.5]}, [1], value_format="{:.1f}")
+        assert "0.5" in text
+
+
+class TestRenderHistogram:
+    def test_bars_proportional(self):
+        text = render_histogram({1: 100, 2: 50, 3: 1}, max_bar=10)
+        lines = text.splitlines()
+        bar_1 = next(l for l in lines if l.strip().startswith("1"))
+        bar_2 = next(l for l in lines if l.strip().startswith("2"))
+        assert bar_1.count("#") == 10
+        assert bar_2.count("#") == 5
+
+    def test_sorted_by_key(self):
+        text = render_histogram({3: 1, 1: 1, 2: 1})
+        positions = [text.index(f"\n{k:>10}") for k in (1, 2, 3)]
+        assert positions == sorted(positions)
+
+    def test_empty(self):
+        assert "(empty)" in render_histogram({}, title="h")

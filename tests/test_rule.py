@@ -1,0 +1,127 @@
+"""Tests for validation rules and reports (repro.validate.rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+from repro.validate.rule import ValidationReport, ValidationRule
+
+
+def _locale_pattern() -> Pattern:
+    return Pattern([Atom.lower(2), Atom.const("-"), Atom.lower(2)])
+
+
+def _strict_rule() -> ValidationRule:
+    return ValidationRule(
+        pattern=_locale_pattern(), theta_train=0.0, train_size=100, strict=True
+    )
+
+
+def _distributional_rule(theta: float = 0.02) -> ValidationRule:
+    return ValidationRule(
+        pattern=_locale_pattern(),
+        theta_train=theta,
+        train_size=100,
+        strict=False,
+        significance=0.01,
+        drift_test="fisher",
+    )
+
+
+class TestStrictRules:
+    def test_clean_column_passes(self):
+        report = _strict_rule().validate(["en-us", "fr-fr", "de-de"])
+        assert not report.flagged
+        assert report.test_bad_fraction == 0.0
+
+    def test_single_bad_value_flags(self):
+        report = _strict_rule().validate(["en-us", "BAD!", "de-de"])
+        assert report.flagged
+        assert "1/3" in report.reason
+
+    def test_empty_test_column_passes(self):
+        report = _strict_rule().validate([])
+        assert not report.flagged
+        assert report.n_test == 0
+
+    def test_conforms_per_value(self):
+        rule = _strict_rule()
+        assert rule.conforms("en-us")
+        assert not rule.conforms("en-US")
+
+    def test_non_conforming_listing(self):
+        rule = _strict_rule()
+        assert rule.non_conforming(["en-us", "x", "fr-fr", "y"]) == ["x", "y"]
+
+
+class TestDistributionalRules:
+    def test_same_rate_passes(self):
+        rule = _distributional_rule(theta=0.02)
+        values = ["en-us"] * 98 + ["-"] * 2
+        assert not rule.validate(values).flagged
+
+    def test_large_surge_flags(self):
+        rule = _distributional_rule(theta=0.02)
+        values = ["en-us"] * 60 + ["-"] * 40
+        report = rule.validate(values)
+        assert report.flagged
+        assert report.p_value <= 0.01
+
+    def test_improvement_never_flags(self):
+        """Fewer bad values than training is not an alarm."""
+        rule = _distributional_rule(theta=0.10)
+        values = ["en-us"] * 100
+        report = rule.validate(values)
+        assert not report.flagged
+
+    def test_total_mismatch_flags(self):
+        """The extreme case: no test value matches (θ_C' = 100%)."""
+        rule = _distributional_rule(theta=0.02)
+        report = rule.validate(["TOTALLY DIFFERENT"] * 50)
+        assert report.flagged
+        assert report.test_bad_fraction == 1.0
+
+    def test_small_insignificant_rise_passes(self):
+        """§4's naive-comparison trap: 0.1% → a hair above must not alarm."""
+        rule = ValidationRule(
+            pattern=_locale_pattern(),
+            theta_train=0.001,
+            train_size=1000,
+            strict=False,
+        )
+        values = ["en-us"] * 998 + ["-"] * 2  # 0.2%, statistically nothing
+        assert not rule.validate(values).flagged
+
+    def test_chisquare_variant(self):
+        rule = ValidationRule(
+            pattern=_locale_pattern(),
+            theta_train=0.02,
+            train_size=100,
+            strict=False,
+            drift_test="chisquare",
+        )
+        surge = ["en-us"] * 60 + ["-"] * 40
+        assert rule.validate(surge).flagged
+
+
+class TestReport:
+    def test_report_truthiness(self):
+        report = _strict_rule().validate(["bad value!"])
+        assert bool(report) is True
+        assert bool(_strict_rule().validate(["en-us"])) is False
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("rule", [_strict_rule(), _distributional_rule()])
+    def test_roundtrip(self, rule):
+        restored = ValidationRule.from_dict(rule.to_dict())
+        assert restored == rule
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        payload = json.dumps(_distributional_rule().to_dict())
+        restored = ValidationRule.from_dict(json.loads(payload))
+        assert restored.pattern == _locale_pattern()

@@ -1,0 +1,142 @@
+"""Tests for the from-scratch statistics (repro.stats), cross-checked
+against SciPy where available."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ContingencyTable, chi2_sf, chisquare_yates, fisher_exact
+from repro.stats.fisher import fisher_exact_counts
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestContingencyTable:
+    def test_totals(self):
+        t = ContingencyTable(1, 2, 3, 4)
+        assert t.total == 10
+        assert t.row_totals == (3, 7)
+        assert t.col_totals == (4, 6)
+
+    def test_fractions(self):
+        t = ContingencyTable(a=90, b=10, c=95, d=5)
+        assert t.train_bad_fraction == pytest.approx(0.1)
+        assert t.test_bad_fraction == pytest.approx(0.05)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(-1, 0, 0, 1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(0, 0, 0, 0)
+
+    def test_from_fractions(self):
+        t = ContingencyTable.from_fractions(100, 0.1, 900, 0.05)
+        assert (t.a, t.b, t.c, t.d) == (90, 10, 855, 45)
+
+    def test_degenerate_detection(self):
+        assert ContingencyTable(5, 0, 5, 0).is_degenerate()
+        assert ContingencyTable(0, 0, 5, 5).is_degenerate()
+        assert not ContingencyTable(1, 1, 1, 1).is_degenerate()
+
+
+class TestFisher:
+    @pytest.mark.parametrize(
+        "cells",
+        [
+            (8, 2, 1, 5),
+            (10, 0, 0, 10),
+            (100, 1, 95, 5),
+            (3, 3, 3, 3),
+            (1, 9, 9, 1),
+            (50, 0, 45, 5),
+            (990, 10, 850, 150),
+        ],
+    )
+    def test_matches_scipy(self, cells):
+        ours = fisher_exact_counts(*cells)
+        a, b, c, d = cells
+        _, theirs = scipy_stats.fisher_exact([[a, b], [c, d]], alternative="two-sided")
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-12)
+
+    def test_degenerate_returns_one(self):
+        assert fisher_exact(ContingencyTable(5, 0, 5, 0)) == 1.0
+
+    def test_identical_distributions_not_significant(self):
+        assert fisher_exact(ContingencyTable(90, 10, 90, 10)) == pytest.approx(1.0)
+
+    def test_paper_scenario_significant(self):
+        """§4: θ_C = 0.1% on 1000 training rows vs θ_C' = 5% on 1000 rows
+        must be strongly significant."""
+        p = fisher_exact(ContingencyTable(999, 1, 950, 50))
+        assert p < 1e-9
+
+    def test_paper_scenario_insignificant(self):
+        """0.1% → 0.11% must NOT be significant (the false-positive case
+        the naive comparison would raise)."""
+        p = fisher_exact(ContingencyTable(9990, 10, 9989, 11))
+        assert p > 0.5
+
+
+class TestChiSquare:
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 3.84, 6.63, 15.0, 40.0])
+    def test_sf_df1_matches_scipy(self, x):
+        assert chi2_sf(x, 1) == pytest.approx(scipy_stats.chi2.sf(x, 1), rel=1e-10)
+
+    @pytest.mark.parametrize("df", [2, 3, 5, 10, 30])
+    @pytest.mark.parametrize("x", [0.5, 2.0, 10.0, 50.0])
+    def test_sf_general_df_matches_scipy(self, x, df):
+        assert chi2_sf(x, df) == pytest.approx(scipy_stats.chi2.sf(x, df), rel=1e-8)
+
+    def test_sf_at_zero(self):
+        assert chi2_sf(0.0, 1) == 1.0
+
+    def test_sf_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            chi2_sf(-1.0, 1)
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+
+    @pytest.mark.parametrize(
+        "cells",
+        [(90, 10, 80, 20), (500, 5, 480, 25), (40, 0, 35, 5), (1000, 10, 995, 15)],
+    )
+    def test_yates_matches_scipy(self, cells):
+        a, b, c, d = cells
+        ours = chisquare_yates(ContingencyTable(a, b, c, d))
+        result = scipy_stats.chi2_contingency([[a, b], [c, d]], correction=True)
+        assert ours == pytest.approx(result.pvalue, rel=1e-9)
+
+    def test_yates_degenerate_returns_one(self):
+        assert chisquare_yates(ContingencyTable(5, 0, 7, 0)) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 60), st.integers(0, 60), st.integers(0, 60), st.integers(0, 60)
+)
+def test_fisher_matches_scipy_property(a, b, c, d):
+    if a + b + c + d == 0:
+        return
+    ours = fisher_exact(ContingencyTable(a, b, c, d))
+    _, theirs = scipy_stats.fisher_exact([[a, b], [c, d]], alternative="two-sided")
+    assert ours == pytest.approx(theirs, rel=1e-7, abs=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 500), st.integers(0, 50), st.integers(1, 500), st.integers(0, 50))
+def test_pvalues_are_probabilities(a, b, c, d):
+    table = ContingencyTable(a, b, c, d)
+    for p in (fisher_exact(table), chisquare_yates(table)):
+        assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.01, 100.0), st.integers(1, 20))
+def test_chi2_sf_monotone_in_x(x, df):
+    assert chi2_sf(x, df) >= chi2_sf(x + 1.0, df) - 1e-12

@@ -1,0 +1,144 @@
+"""Tests for the coarse lexer (repro.core.tokenizer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokenizer import (
+    CharClass,
+    Token,
+    alnum_runs,
+    alnum_signature,
+    char_class,
+    signature,
+    token_count,
+    tokenize,
+)
+
+
+class TestCharClass:
+    def test_digits(self):
+        for ch in "0123456789":
+            assert char_class(ch) is CharClass.DIGIT
+
+    def test_letters(self):
+        for ch in "azAZmQ":
+            assert char_class(ch) is CharClass.LETTER
+
+    def test_symbols_include_whitespace_and_punctuation(self):
+        for ch in " .:/-_|,!\t":
+            assert char_class(ch) is CharClass.SYMBOL
+
+    def test_non_ascii_is_symbol(self):
+        assert char_class("é") is CharClass.SYMBOL
+        assert char_class("中") is CharClass.SYMBOL
+
+
+class TestTokenize:
+    def test_empty_string(self):
+        assert tokenize("") == ()
+
+    def test_single_run(self):
+        tokens = tokenize("2019")
+        assert len(tokens) == 1
+        assert tokens[0] == Token(CharClass.DIGIT, "2019")
+
+    def test_paper_example(self):
+        assert [t.text for t in tokenize("9:07 AM")] == ["9", ":", "07", " ", "AM"]
+
+    def test_class_boundaries(self):
+        tokens = tokenize("abc123def")
+        assert [(t.cls, t.text) for t in tokens] == [
+            (CharClass.LETTER, "abc"),
+            (CharClass.DIGIT, "123"),
+            (CharClass.LETTER, "def"),
+        ]
+
+    def test_symbol_runs_group(self):
+        assert [t.text for t in tokenize("a--b")] == ["a", "--", "b"]
+
+    def test_mixed_symbol_run(self):
+        assert [t.text for t in tokenize("a, (b")] == ["a", ", (", "b"]
+
+    def test_roundtrip_concatenation(self):
+        value = "0.1|02/18/2015 00:00:00|OnBooking"
+        assert "".join(t.text for t in tokenize(value)) == value
+
+    def test_token_count_matches_paper_t(self):
+        assert token_count("9:07") == 3
+        assert token_count("") == 0
+
+
+class TestSignature:
+    def test_digit_letter_classes(self):
+        assert signature("9:07") == ("D", ":", "D")
+        assert signature("Mar 02") == ("L", " ", "D")
+
+    def test_symbols_verbatim(self):
+        assert signature("1-2") != signature("1:2")
+
+    def test_same_shape_same_signature(self):
+        assert signature("9/1/2019") == signature("12/28/2020")
+
+    def test_case_does_not_change_signature(self):
+        assert signature("AM") == signature("am")
+
+
+class TestAlnumRuns:
+    def test_merges_adjacent_digit_letter_runs(self):
+        assert [t.text for t in alnum_runs("b216-57a0")] == ["b216", "-", "57a0"]
+
+    def test_symbols_break_runs(self):
+        assert [t.text for t in alnum_runs("a1:b2")] == ["a1", ":", "b2"]
+
+    def test_merged_runs_have_alnum_class(self):
+        runs = alnum_runs("abc123")
+        assert len(runs) == 1
+        assert runs[0].cls is CharClass.ALNUM
+
+    def test_hex_values_share_alnum_signature(self):
+        assert alnum_signature("b216-57a0") == alnum_signature("1234-ab0d")
+        assert alnum_signature("b216-57a0") == ("A", "-", "A")
+
+    def test_fine_signatures_differ_for_hex(self):
+        assert signature("b216") != signature("1234")
+
+
+class TestTokenProperties:
+    def test_is_upper(self):
+        assert tokenize("AM")[0].is_upper
+        assert not tokenize("Am")[0].is_upper
+
+    def test_is_lower(self):
+        assert tokenize("am")[0].is_lower
+        assert not tokenize("aM")[0].is_lower
+
+    def test_digit_run_is_neither_case(self):
+        token = tokenize("42")[0]
+        assert not token.is_upper
+        assert not token.is_lower
+
+
+@given(st.text(max_size=60))
+def test_tokenize_concat_is_identity(value):
+    assert "".join(t.text for t in tokenize(value)) == value
+
+
+@given(st.text(min_size=1, max_size=60))
+def test_tokens_are_maximal_runs(value):
+    tokens = tokenize(value)
+    for a, b in zip(tokens, tokens[1:]):
+        # adjacent tokens must differ in class (else the run wasn't maximal)
+        assert a.cls is not b.cls
+
+
+@given(st.text(max_size=60))
+def test_signature_length_matches_token_count(value):
+    assert len(signature(value)) == token_count(value)
+
+
+@given(st.text(max_size=60))
+def test_alnum_runs_never_longer_than_fine_tokens(value):
+    assert len(alnum_runs(value)) <= len(tokenize(value))

@@ -1,0 +1,92 @@
+"""Tests for the simulated user study (repro.eval.user_study)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eval.user_study import (
+    DEFAULT_PROGRAMMERS,
+    ProgrammerProfile,
+    SimulatedProgrammer,
+    StudyRow,
+)
+
+
+def _dates(rng: random.Random, n: int) -> list[str]:
+    return [f"Mar {rng.randint(1, 28):02d} 2019" for _ in range(n)]
+
+
+class TestProfiles:
+    def test_five_programmers_two_failing(self):
+        assert len(DEFAULT_PROGRAMMERS) == 5
+        assert sum(1 for p in DEFAULT_PROGRAMMERS if p.fails_outright) == 2
+
+    def test_skill_ordering(self):
+        working = [p for p in DEFAULT_PROGRAMMERS if not p.fails_outright]
+        skills = [p.skill for p in working]
+        assert skills == sorted(skills, reverse=True)
+
+
+class TestWriting:
+    def test_working_programmer_produces_matching_regex(self, rng):
+        programmer = SimulatedProgrammer(DEFAULT_PROGRAMMERS[0], seed=1)
+        train = _dates(rng, 30)
+        written = programmer.write_rule(train)
+        assert written.regex is not None
+        matched = sum(1 for v in train[:10] if written.regex.fullmatch(v))
+        assert matched >= 5
+
+    def test_failing_programmer_rejects_examples(self, rng):
+        failing = next(p for p in DEFAULT_PROGRAMMERS if p.fails_outright)
+        programmer = SimulatedProgrammer(failing, seed=1)
+        failures = sum(
+            1 for _ in range(10)
+            if programmer.write_rule(_dates(rng, 20)).regex is None
+        )
+        assert failures >= 8
+
+    def test_writing_takes_human_time(self, rng):
+        programmer = SimulatedProgrammer(DEFAULT_PROGRAMMERS[0], seed=1)
+        written = programmer.write_rule(_dates(rng, 30))
+        assert written.seconds >= 10.0
+
+    def test_empty_column_fails_gracefully(self):
+        programmer = SimulatedProgrammer(DEFAULT_PROGRAMMERS[0], seed=1)
+        written = programmer.write_rule([])
+        assert written.regex is None
+
+    def test_low_skill_is_narrower_than_high_skill(self):
+        """Across many columns, the low-skill profile should false-alarm on
+        an unseen month more often (it writes literals)."""
+        rng = random.Random(0)
+        high = SimulatedProgrammer(ProgrammerProfile("hi", 0.9, 20, 5, 5), seed=2)
+        low = SimulatedProgrammer(ProgrammerProfile("lo", 0.0, 20, 5, 5), seed=2)
+        flags = {"hi": 0, "lo": 0}
+        for _ in range(20):
+            train = _dates(rng, 30)
+            for name, prog in (("hi", high), ("lo", low)):
+                written = prog.write_rule(train)
+                if written.regex is not None and written.flags(["Apr 01 2019"]):
+                    flags[name] += 1
+        assert flags["lo"] > flags["hi"]
+
+
+class TestWrittenRuleSemantics:
+    def test_none_regex_never_flags(self, rng):
+        failing = next(p for p in DEFAULT_PROGRAMMERS if p.fails_outright)
+        written = SimulatedProgrammer(failing, seed=1).write_rule(_dates(rng, 20))
+        assert written.regex is None
+        assert not written.flags(["anything"])
+
+
+class TestStudyRow:
+    def test_failed_row_rendering(self):
+        row = StudyRow("#4", 67.0, 0.0, 0.0, failed=True).as_dict()
+        assert row["avg-precision"] == "failed"
+
+    def test_algorithm_row_rendering(self):
+        row = StudyRow("FMDV-VH", 0.08, 1.0, 0.978).as_dict()
+        assert row["avg-time (sec)"] == "0.08"
+        assert row["avg-precision"] == "1.00"

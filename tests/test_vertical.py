@@ -1,0 +1,120 @@
+"""Tests for FMDV-V vertical cuts (repro.validate.vertical)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AutoValidateConfig, build_index
+from repro.core.enumeration import EnumerationConfig
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.validate.fmdv import FMDV
+from repro.validate.vertical import MAX_ALIGNED_WIDTH, FMDVVertical
+
+
+def _composite(rng: random.Random) -> str:
+    """A composite value wider than τ: timestamp|locale|event (Figure 8)."""
+    dt = DOMAIN_REGISTRY["datetime_slash"].sample(rng)
+    loc = DOMAIN_REGISTRY["locale_lower"].sample(rng)
+    code = DOMAIN_REGISTRY["event_code"].sample(rng)
+    return f"{dt}|{loc}|{code}"
+
+
+class TestCompositeColumns:
+    def test_wide_column_solved_by_cuts(self, small_index, small_config, rng):
+        """Composite columns exceed τ=13 tokens, so basic FMDV cannot even
+        look them up; vertical cuts recover them (§3)."""
+        train = [_composite(rng) for _ in range(25)]
+        basic = FMDV(small_index, small_config).infer(train)
+        vertical = FMDVVertical(small_index, small_config).infer(train)
+        assert not basic.found
+        assert vertical.found
+
+    def test_composed_rule_validates_same_domain(self, small_index, small_config, rng):
+        train = [_composite(rng) for _ in range(25)]
+        result = FMDVVertical(small_index, small_config).infer(train)
+        future = [_composite(rng) for _ in range(100)]
+        assert not result.rule.validate(future).flagged
+
+    def test_composed_rule_rejects_other_domains(self, small_index, small_config, rng):
+        train = [_composite(rng) for _ in range(25)]
+        result = FMDVVertical(small_index, small_config).infer(train)
+        other = DOMAIN_REGISTRY["guid"].sample_many(rng, 50)
+        assert result.rule.validate(other).flagged
+
+    def test_total_fpr_respects_budget(self, small_index, small_config, rng):
+        train = [_composite(rng) for _ in range(25)]
+        result = FMDVVertical(small_index, small_config).infer(train)
+        assert result.rule.est_fpr <= small_config.fpr_target
+
+
+class TestDegenerateInputs:
+    def test_empty_column(self, small_index, small_config):
+        assert not FMDVVertical(small_index, small_config).infer([]).found
+
+    def test_symbol_only_values(self, small_index, small_config):
+        result = FMDVVertical(small_index, small_config).infer(["---", "---"])
+        assert result.found or "no feasible" in result.reason
+
+    def test_width_guard(self, small_index, small_config):
+        monster = ":".join(str(i) for i in range(MAX_ALIGNED_WIDTH))
+        result = FMDVVertical(small_index, small_config).infer([monster] * 3)
+        assert not result.found
+        assert "width" in result.reason or "no feasible" in result.reason
+
+
+class TestAgreementWithBasic:
+    def test_narrow_columns_match_basic_result(self, small_index, small_config, rng):
+        """On a narrow single-domain column the DP's no-split branch should
+        win, reproducing basic FMDV exactly (Equation 11 includes it)."""
+        train = DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30)
+        basic = FMDV(small_index, small_config).infer(train)
+        vertical = FMDVVertical(small_index, small_config).infer(train)
+        assert basic.found and vertical.found
+        assert vertical.rule.est_fpr <= basic.rule.est_fpr
+
+    def test_vertical_never_worse_than_basic(self, small_index, small_config, rng):
+        """FMDV-V optimizes over a superset of FMDV's solutions."""
+        for domain in ("datetime_slash", "currency_usd", "phone_us"):
+            train = DOMAIN_REGISTRY[domain].sample_many(rng, 25)
+            basic = FMDV(small_index, small_config).infer(train)
+            vertical = FMDVVertical(small_index, small_config).infer(train)
+            if basic.found:
+                assert vertical.found
+                assert vertical.rule.est_fpr <= basic.rule.est_fpr + 1e-12
+
+
+class TestSegmentation:
+    def test_dp_prefers_fewer_segments_on_ties(self, small_index, small_config, rng):
+        """Example 8: when not splitting has equal-or-lower FPR, the DP
+        keeps the unsplit segment."""
+        train = DOMAIN_REGISTRY["time_hms"].sample_many(rng, 30)
+        result = FMDVVertical(small_index, small_config).infer(train)
+        assert result.found
+        # time_hms is an atomic domain in the corpus: expect one pattern
+        # whose estimated FPR matches the basic solver's.
+        basic = FMDV(small_index, small_config).infer(train)
+        assert result.rule.est_fpr == pytest.approx(basic.rule.est_fpr)
+
+    def test_no_degenerate_fragmentation(self, small_index, small_config, rng):
+        """The segment penalty must keep atomic domains unfragmented: a
+        plain timestamp column should not be cut into tiny segments that
+        borrow evidence from unrelated short domains."""
+        train = DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 30)
+        vertical = FMDVVertical(small_index, small_config).infer(train)
+        basic = FMDV(small_index, small_config).infer(train)
+        assert vertical.found and basic.found
+        assert vertical.rule.pattern == basic.rule.pattern
+
+    def test_penalty_never_enters_fpr_constraint(self, small_index, rng):
+        """est_fpr reported by vertical rules is the raw segment-FPR sum."""
+        from repro import AutoValidateConfig
+
+        config = AutoValidateConfig(
+            fpr_target=0.1, min_column_coverage=15, segment_penalty=0.09
+        )
+        train = DOMAIN_REGISTRY["currency_usd"].sample_many(rng, 30)
+        result = FMDVVertical(small_index, config).infer(train)
+        assert result.found
+        assert result.rule.est_fpr <= 0.1  # raw FPR, not fpr + penalties
