@@ -13,6 +13,11 @@ architectural claim the figure makes — indexed inference is orders of
 magnitude faster than scanning the corpus at query time — is reproduced
 via the FMDV vs. FMDV (no-index) comparison, which shares every line of
 code except the index.
+
+Beyond the paper, the bench also measures the service layer's batch path
+(:class:`repro.service.ValidationService`): a warm service answers
+repeated columns from its caches without re-running Algorithm 1, which is
+the amortized regime a multi-tenant deployment actually operates in.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ import time
 from benchmarks.conftest import BENCH_CONFIG, record_report
 from repro.baselines import FlashProfile, PottersWheel, XSystem
 from repro.eval.reporting import render_table
+from repro.index import PatternIndex, build_index
+from repro.service import ValidationService
 from repro.validate.combined import FMDVCombined
 from repro.validate.fmdv import FMDV, NoIndexFMDV
 from repro.validate.horizontal import FMDVHorizontal
@@ -65,6 +72,24 @@ def test_figure14_latency(benchmark, enterprise_benchmark, enterprise_index, ent
         rows.append({"method": name, "ms/column": f"{ms:.1f}",
                      "note": "simplified reimplementation (see docstring)"})
 
+    # ValidationService: the cached batch path.  Production feeds re-submit
+    # the same columns continuously; a warm service answers repeats from the
+    # result cache (dict lookup) instead of re-running Algorithm 1.
+    service = ValidationService(enterprise_index, BENCH_CONFIG, variant="fmdv")
+    start = time.perf_counter()
+    service.infer_many(columns)
+    ms_cold = (time.perf_counter() - start) / len(columns) * 1000.0
+    repeats = 4
+    start = time.perf_counter()
+    service.infer_many(columns * repeats)
+    ms_warm = (time.perf_counter() - start) / (repeats * len(columns)) * 1000.0
+    latencies["Service (cold batch)"] = ms_cold
+    latencies["Service (warm batch)"] = ms_warm
+    rows.append({"method": "Service (cold batch)", "ms/column": f"{ms_cold:.1f}",
+                 "note": "ValidationService.infer_many, empty caches"})
+    rows.append({"method": "Service (warm batch)", "ms/column": f"{ms_warm:.3f}",
+                 "note": f"repeated columns x{repeats}, served from cache"})
+
     # FMDV (no-index): re-scans a corpus sample per query.  Even against a
     # small 300-column sample this is orders of magnitude slower, so only
     # 2 query columns are measured.
@@ -87,3 +112,28 @@ def test_figure14_latency(benchmark, enterprise_benchmark, enterprise_index, ent
     # Interactive inference: every indexed variant averages under 1 s.
     for name in solvers:
         assert latencies[name] < 1000.0
+    # The service claim: on repeated columns the cached batch path is
+    # measurably faster than per-call FMDV.infer.
+    assert latencies["Service (warm batch)"] * 2 <= latencies["FMDV"]
+
+
+def test_figure14_v2_index_fidelity(enterprise_corpus, tmp_path):
+    """Index format v2 end to end: partial indexes merged, sharded to disk
+    and reloaded must carry bit-identical FPR_T/Cov_T statistics."""
+    sample = [c.values[:60] for c in list(enterprise_corpus.columns())[:240]]
+    whole = build_index(sample)
+    merged = build_index(sample[0::2]).merge(build_index(sample[1::2]))
+
+    out = tmp_path / "index.v2"
+    merged.save_sharded(out, n_shards=8)
+    reloaded = PatternIndex.load(out)
+
+    # save -> shard -> reload is bit-identical to the in-memory build
+    assert dict(reloaded.items()) == dict(merged.items())
+    assert reloaded.meta == merged.meta
+    # and the merged aggregates agree with the monolithic scan
+    assert set(merged.keys()) == set(whole.keys())
+    for key, entry in whole.items():
+        other = merged.lookup_key(key)
+        assert other.coverage == entry.coverage
+        assert abs(other.fpr_sum - entry.fpr_sum) < 1e-9

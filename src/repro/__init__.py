@@ -29,8 +29,9 @@ from repro.core.hierarchy import GeneralizationHierarchy
 from repro.core.pattern import Pattern
 from repro.core.tokenizer import Token, token_count, tokenize
 from repro.index.builder import IndexBuilder, build_index, build_index_parallel
-from repro.index.index import PatternIndex
+from repro.index.index import PatternIndex, ShardedPatternIndex
 from repro.monitor import FeedMonitor, FeedReport
+from repro.service import HypothesisSpaceCache, ServiceStats, ValidationService
 from repro.validate.autotag import AutoTagger, TagResult
 from repro.validate.combined import FMDVCombined
 from repro.validate.dictionary import DictionaryValidator
@@ -59,6 +60,7 @@ __all__ = [
     "FeedMonitor",
     "FeedReport",
     "HybridValidator",
+    "HypothesisSpaceCache",
     "NumericValidator",
     "GeneralizationHierarchy",
     "IndexBuilder",
@@ -67,10 +69,13 @@ __all__ = [
     "Pattern",
     "PatternIndex",
     "PatternStats",
+    "ServiceStats",
+    "ShardedPatternIndex",
     "TagResult",
     "Token",
     "ValidationReport",
     "ValidationRule",
+    "ValidationService",
     "build_index",
     "build_index_parallel",
     "token_count",

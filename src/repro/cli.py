@@ -4,12 +4,17 @@ Installed as the ``auto-validate`` console script::
 
     auto-validate generate --profile enterprise --tables 100 --out lake/
     auto-validate index    --corpus lake/ --out lake.idx.gz
+    auto-validate index    --corpus lake/ --out lake.idx --shards 16
     auto-validate infer    --index lake.idx.gz --column feed.txt --rule rule.json
+    auto-validate infer    --index lake.idx --column a.txt b.txt c.txt
     auto-validate validate --rule rule.json --column tomorrow.txt
     auto-validate tag      --index lake.idx.gz --examples ex.txt --corpus lake/
 
 Column files are plain text, one value per line.  Rules round-trip as JSON
-(:meth:`repro.validate.rule.ValidationRule.to_dict`).
+(:meth:`repro.validate.rule.ValidationRule.to_dict`).  ``--shards`` writes
+the sharded v2 index layout (a directory); ``--index`` accepts either
+format.  Inference runs through :class:`repro.service.ValidationService`,
+so repeated columns inside one ``infer`` batch are answered from cache.
 """
 
 from __future__ import annotations
@@ -28,21 +33,12 @@ from repro.datalake.generator import (
 )
 from repro.datalake.io import load_corpus, save_corpus
 from repro.index.builder import build_index
-from repro.index.index import PatternIndex
+from repro.index.index import MAX_SHARDS, PatternIndex
+from repro.service import ValidationService
 from repro.validate.autotag import AutoTagger
-from repro.validate.combined import FMDVCombined
-from repro.validate.fmdv import CMDV, FMDV
-from repro.validate.horizontal import FMDVHorizontal
 from repro.validate.rule import ValidationRule
-from repro.validate.vertical import FMDVVertical
 
-_VARIANTS = {
-    "basic": FMDV,
-    "v": FMDVVertical,
-    "h": FMDVHorizontal,
-    "vh": FMDVCombined,
-    "cmdv": CMDV,
-}
+_VARIANTS = ("basic", "v", "h", "vh", "cmdv")
 _PROFILES = {"enterprise": ENTERPRISE_PROFILE, "government": GOVERNMENT_PROFILE}
 
 
@@ -69,33 +65,50 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    if args.shards < 0 or args.shards > MAX_SHARDS:
+        print(f"--shards must be in [0, {MAX_SHARDS}] (0 writes the single-file "
+              "v1 format)", file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus)
     index = build_index(corpus.column_values(), corpus_name=corpus.name)
-    index.save(args.out)
+    if args.shards > 0:
+        index.save_sharded(args.out, n_shards=args.shards)
+        layout = f"{args.shards} shards (format v2)"
+    else:
+        index.save(args.out)
+        layout = "single file (format v1)"
     print(
         f"indexed {index.meta.columns_scanned} columns -> "
-        f"{len(index)} patterns at {args.out}"
+        f"{len(index)} patterns at {args.out} [{layout}]"
     )
     return 0
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    index = PatternIndex.load(args.index)
-    values = _read_column(args.column)
-    solver = _VARIANTS[args.variant](index, _config(args))
-    result = solver.infer(values)
-    if result.rule is None:
-        print(f"no feasible validation rule: {result.reason}", file=sys.stderr)
-        return 1
-    print(f"pattern:  {result.rule.pattern.display()}")
-    print(f"est. FPR: {result.rule.est_fpr:.6f}")
-    print(f"coverage: {result.rule.coverage}")
-    if args.rule:
-        Path(args.rule).write_text(
-            json.dumps(result.rule.to_dict(), indent=1), encoding="utf-8"
-        )
-        print(f"rule written to {args.rule}")
-    return 0
+    if args.rule and len(args.column) > 1:
+        print("--rule requires a single --column file", file=sys.stderr)
+        return 2
+    service = ValidationService(
+        PatternIndex.load(args.index), _config(args), variant=args.variant
+    )
+    results = service.infer_many(_read_column(path) for path in args.column)
+    missing = 0
+    for path, result in zip(args.column, results):
+        if len(args.column) > 1:
+            print(f"== {path}")
+        if result.rule is None:
+            missing += 1
+            print(f"no feasible validation rule: {result.reason}", file=sys.stderr)
+            continue
+        print(f"pattern:  {result.rule.pattern.display()}")
+        print(f"est. FPR: {result.rule.est_fpr:.6f}")
+        print(f"coverage: {result.rule.coverage}")
+        if args.rule:
+            Path(args.rule).write_text(
+                json.dumps(result.rule.to_dict(), indent=1), encoding="utf-8"
+            )
+            print(f"rule written to {args.rule}")
+    return 1 if missing else 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -158,12 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("index", help="build the offline pattern index")
     p.add_argument("--corpus", required=True, help="directory of CSV tables")
-    p.add_argument("--out", required=True, help="output index path (.json.gz)")
+    p.add_argument("--out", required=True,
+                   help="output index path (.json.gz file, or directory with --shards)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="write a sharded v2 index directory with N shards (0 = v1 file)")
     p.set_defaults(fn=_cmd_index)
 
-    p = sub.add_parser("infer", help="infer a validation rule for a column")
+    p = sub.add_parser("infer", help="infer validation rules for columns")
     p.add_argument("--index", required=True)
-    p.add_argument("--column", required=True, help="text file, one value per line")
+    p.add_argument("--column", required=True, nargs="+",
+                   help="text file(s), one value per line; several files form a batch")
     p.add_argument("--variant", choices=sorted(_VARIANTS), default="vh")
     p.add_argument("--rule", help="write the rule as JSON here")
     add_config_args(p)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -105,8 +105,39 @@ class EnumerationConfig:
             raise ValueError("tau must be >= 1")
         if not 0.0 < self.min_coverage <= 1.0:
             raise ValueError("min_coverage must be in (0, 1]")
+        if not 0.0 <= self.min_option_coverage <= 1.0:
+            raise ValueError("min_option_coverage must be in [0, 1]")
         if self.max_patterns < 1:
             raise ValueError("max_patterns must be >= 1")
+        if self.max_const_options < 0:
+            raise ValueError("max_const_options must be >= 0")
+        if self.max_length_options < 0:
+            raise ValueError("max_length_options must be >= 0")
+
+    def fingerprint(self) -> str:
+        """Canonical string of every knob that shapes enumeration output.
+
+        Two configs with equal fingerprints produce identical pattern
+        spaces for any column.  Used as the compatibility stamp of index
+        manifests (format v2) and as part of hypothesis-space cache keys.
+        """
+        h = self.hierarchy
+        return ";".join(
+            (
+                f"tau={self.tau}",
+                f"min_coverage={self.min_coverage!r}",
+                f"min_option_coverage={self.min_option_coverage!r}",
+                f"max_patterns={self.max_patterns}",
+                f"max_const_options={self.max_const_options}",
+                f"max_length_options={self.max_length_options}",
+                f"alnum_runs={int(self.enumerate_alnum_runs)}",
+                f"case={int(h.use_case_classes)}",
+                f"num={int(h.use_num)}",
+                f"alnum_fixed={int(h.use_alnum_fixed)}",
+                f"alnum_plus={int(h.use_alnum_plus)}",
+                f"max_const_length={h.max_const_length}",
+            )
+        )
 
 
 @dataclass
@@ -222,16 +253,14 @@ def hypothesis_space(
     ``min_coverage=1.0`` yields ``H(C) = ∩_v P(v)`` (basic FMDV, Section 2.1);
     ``min_coverage = 1 - θ`` yields the tolerant space of FMDV-H
     (Equations 13 and 16).
+
+    Only ``min_coverage`` is overridden; every other knob of ``config``
+    (including ``min_option_coverage`` and ``enumerate_alnum_runs``) is
+    preserved.
     """
-    tolerant = EnumerationConfig(
-        tau=config.tau,
-        min_coverage=min_coverage,
-        max_patterns=config.max_patterns,
-        max_const_options=config.max_const_options,
-        max_length_options=config.max_length_options,
-        hierarchy=config.hierarchy,
+    return enumerate_column_patterns(
+        values, replace(config, min_coverage=min_coverage)
     )
-    return enumerate_column_patterns(values, tolerant)
 
 
 def _enumerate_group(

@@ -10,7 +10,14 @@ the corpus, which makes online inference interactive.
 """
 
 from repro.index.builder import IndexBuilder, build_index, build_index_parallel
-from repro.index.index import IndexEntry, IndexMeta, IndexStats, PatternIndex
+from repro.index.index import (
+    IndexEntry,
+    IndexMeta,
+    IndexStats,
+    PatternIndex,
+    ShardedPatternIndex,
+    shard_of,
+)
 
 __all__ = [
     "IndexBuilder",
@@ -18,6 +25,8 @@ __all__ = [
     "IndexMeta",
     "IndexStats",
     "PatternIndex",
+    "ShardedPatternIndex",
     "build_index",
     "build_index_parallel",
+    "shard_of",
 ]

@@ -70,6 +70,7 @@ class IndexBuilder:
             tau=self.config.tau,
             min_coverage=self.config.min_coverage,
             corpus_name=self.corpus_name,
+            fingerprint=self.config.fingerprint(),
         )
         return PatternIndex(entries, meta)
 
@@ -127,5 +128,6 @@ def build_index_parallel(
             tau=merged.meta.tau,
             min_coverage=merged.meta.min_coverage,
             corpus_name=corpus_name,
+            fingerprint=merged.meta.fingerprint,
         ),
     )

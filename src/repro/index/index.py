@@ -3,19 +3,47 @@
 Entries store the aggregate *sum* of per-column impurities rather than the
 final average; this keeps indexes mergeable (the map-reduce style build the
 paper runs on a SCOPE cluster corresponds to :meth:`PatternIndex.merge`).
+
+Two on-disk formats are supported (see ``src/repro/index/FORMAT.md``):
+
+* **v1** — a single gzip-compressed JSON blob, written by :meth:`save`.
+  Kept for backward compatibility; :meth:`load` reads it transparently.
+* **v2** — a directory of hash-partitioned shard files plus a JSON
+  manifest, written by :meth:`save_sharded`.  Shards are assigned by
+  CRC-32 of the pattern key (PYTHONHASHSEED-independent), serialized with
+  sorted keys and a zeroed gzip mtime so identical indexes produce
+  byte-identical files, and loaded lazily: a lookup touches only the one
+  shard its key hashes to.
+
+Merging validates enumeration-knob compatibility: combining indexes built
+with different ``tau``/``min_coverage`` (or, when recorded, different full
+knob fingerprints) would silently corrupt the FPR statistics of
+Definition 3, so :meth:`merge` refuses.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import zlib
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.pattern import Pattern
 
 _FORMAT_VERSION = 1
+_SHARDED_FORMAT_VERSION = 2
+_MANIFEST_NAME = "manifest.json"
+
+#: Upper bound on v2 shard counts (callers can validate before building).
+MAX_SHARDS = 4096
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Deterministic shard assignment for a pattern key (CRC-32 based)."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
 
 
 @dataclass(frozen=True)
@@ -33,13 +61,19 @@ class IndexEntry:
 
 @dataclass(frozen=True)
 class IndexMeta:
-    """Provenance of an index: what was scanned and with which knobs."""
+    """Provenance of an index: what was scanned and with which knobs.
+
+    ``fingerprint`` is the full enumeration-knob stamp
+    (:meth:`repro.core.enumeration.EnumerationConfig.fingerprint`); empty
+    for indexes loaded from files that predate it.
+    """
 
     columns_scanned: int = 0
     values_scanned: int = 0
     tau: int = 13
     min_coverage: float = 0.1
     corpus_name: str = ""
+    fingerprint: str = ""
 
 
 @dataclass(frozen=True)
@@ -68,41 +102,52 @@ class PatternIndex:
     def __init__(self, entries: dict[str, IndexEntry], meta: IndexMeta):
         self._entries = entries
         self.meta = meta
+        self._stats_cache: IndexStats | None = None
 
     # -- lookups -----------------------------------------------------------
 
     def lookup(self, pattern: Pattern) -> IndexEntry | None:
         """Statistics for ``pattern``, or None when unseen in the corpus."""
-        return self._entries.get(pattern.key())
+        return self.lookup_key(pattern.key())
 
     def lookup_key(self, key: str) -> IndexEntry | None:
         return self._entries.get(key)
 
     def __contains__(self, pattern: Pattern) -> bool:
-        return pattern.key() in self._entries
+        return self.lookup_key(pattern.key()) is not None
 
     def __len__(self) -> int:
+        self._ensure_all()
         return len(self._entries)
 
     def keys(self) -> list[str]:
+        self._ensure_all()
         return list(self._entries.keys())
 
     def items(self) -> list[tuple[str, IndexEntry]]:
+        self._ensure_all()
         return list(self._entries.items())
+
+    def _ensure_all(self) -> None:
+        """Hook for lazily-loaded subclasses; eager indexes hold everything."""
 
     # -- analytics (Figure 13 and the §5.3 pattern analysis) ----------------
 
     def stats(self) -> IndexStats:
-        by_length: Counter[int] = Counter()
-        by_frequency: Counter[int] = Counter()
-        for key, entry in self._entries.items():
-            by_length[_token_length_of_key(key)] += 1
-            by_frequency[entry.coverage] += 1
-        return IndexStats(
-            total_patterns=len(self._entries),
-            by_token_length=dict(by_length),
-            by_column_frequency=dict(by_frequency),
-        )
+        """Aggregate histograms; computed once and memoized (the index is
+        immutable after build, so the cache never goes stale)."""
+        if self._stats_cache is None:
+            by_length: Counter[int] = Counter()
+            by_frequency: Counter[int] = Counter()
+            for key, entry in self.items():
+                by_length[_token_length_of_key(key)] += 1
+                by_frequency[entry.coverage] += 1
+            self._stats_cache = IndexStats(
+                total_patterns=len(self._entries),
+                by_token_length=dict(by_length),
+                by_column_frequency=dict(by_frequency),
+            )
+        return self._stats_cache
 
     def common_domains(self, min_coverage: int = 100, max_fpr: float = 0.01) -> list[tuple[str, IndexEntry]]:
         """High-coverage, low-FPR patterns — the corpus's common data domains.
@@ -112,7 +157,7 @@ class PatternIndex:
         """
         found = [
             (key, entry)
-            for key, entry in self._entries.items()
+            for key, entry in self.items()
             if entry.coverage >= min_coverage and entry.fpr <= max_fpr
         ]
         found.sort(key=lambda item: (-item[1].coverage, item[1].fpr, item[0]))
@@ -121,7 +166,16 @@ class PatternIndex:
     # -- persistence and merging -------------------------------------------
 
     def merge(self, other: "PatternIndex") -> "PatternIndex":
-        """Combine two partial indexes (distributed/offline build support)."""
+        """Combine two partial indexes (distributed/offline build support).
+
+        Raises :class:`ValueError` when the two indexes were built with
+        incompatible enumeration knobs: averaging impurities estimated
+        under different ``tau``/``min_coverage`` would silently corrupt
+        ``FPR_T``.
+        """
+        self._check_merge_compatible(other)
+        self._ensure_all()
+        other._ensure_all()
         merged = dict(self._entries)
         for key, entry in other._entries.items():
             existing = merged.get(key)
@@ -138,11 +192,34 @@ class PatternIndex:
             tau=self.meta.tau,
             min_coverage=self.meta.min_coverage,
             corpus_name=self.meta.corpus_name or other.meta.corpus_name,
+            fingerprint=self.meta.fingerprint or other.meta.fingerprint,
         )
         return PatternIndex(merged, meta)
 
+    def _check_merge_compatible(self, other: "PatternIndex") -> None:
+        if self.meta.tau != other.meta.tau:
+            raise ValueError(
+                f"cannot merge indexes built with different tau: "
+                f"{self.meta.tau} != {other.meta.tau}"
+            )
+        if self.meta.min_coverage != other.meta.min_coverage:
+            raise ValueError(
+                f"cannot merge indexes built with different min_coverage: "
+                f"{self.meta.min_coverage} != {other.meta.min_coverage}"
+            )
+        if (
+            self.meta.fingerprint
+            and other.meta.fingerprint
+            and self.meta.fingerprint != other.meta.fingerprint
+        ):
+            raise ValueError(
+                "cannot merge indexes built with different enumeration knobs: "
+                f"{self.meta.fingerprint!r} != {other.meta.fingerprint!r}"
+            )
+
     def save(self, path: str | Path) -> None:
-        """Persist to a gzip-compressed JSON file."""
+        """Persist to a single gzip-compressed JSON file (format v1)."""
+        self._ensure_all()
         payload = {
             "version": _FORMAT_VERSION,
             "meta": asdict(self.meta),
@@ -151,13 +228,61 @@ class PatternIndex:
                 for key, entry in self._entries.items()
             },
         }
-        with gzip.open(Path(path), "wt", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        _write_gzip_json(Path(path), payload)
+
+    def save_sharded(self, path: str | Path, n_shards: int = 16) -> None:
+        """Persist as a format-v2 directory of hash-partitioned shards.
+
+        Output is deterministic: shard assignment is CRC-32 of the pattern
+        key, JSON keys are sorted, and the gzip mtime is zeroed, so saving
+        the same index twice yields byte-identical files.
+        """
+        if not 1 <= n_shards <= MAX_SHARDS:
+            raise ValueError(f"n_shards must be in [1, {MAX_SHARDS}]")
+        self._ensure_all()
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Re-saving with a smaller shard count must not leave stale shards
+        # behind: the manifest would ignore them, but anything globbing the
+        # directory (backup/replication tooling) would read two indexes.
+        for stale in directory.glob("shard-*.json.gz"):
+            stale.unlink()
+        buckets: list[dict[str, list]] = [{} for _ in range(n_shards)]
+        for key, entry in self._entries.items():
+            buckets[shard_of(key, n_shards)][key] = [entry.fpr_sum, entry.coverage]
+        shards = []
+        for i, bucket in enumerate(buckets):
+            name = f"shard-{i:04d}.json.gz"
+            _write_gzip_json(
+                directory / name,
+                {"version": _SHARDED_FORMAT_VERSION, "shard": i, "entries": bucket},
+            )
+            shards.append({"file": name, "entries": len(bucket)})
+        manifest = {
+            "version": _SHARDED_FORMAT_VERSION,
+            "meta": asdict(self.meta),
+            "n_shards": n_shards,
+            "shards": shards,
+            "total_entries": len(self._entries),
+        }
+        (directory / _MANIFEST_NAME).write_text(
+            json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
+        )
 
     @classmethod
-    def load(cls, path: str | Path) -> "PatternIndex":
-        """Load an index previously written by :meth:`save`."""
-        with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+    def load(cls, path: str | Path, lazy: bool = True) -> "PatternIndex":
+        """Load an index written by :meth:`save` or :meth:`save_sharded`.
+
+        A v1 file loads eagerly into a plain :class:`PatternIndex` (the
+        upgrade path: load it and :meth:`save_sharded` to convert).  A v2
+        directory loads as a :class:`ShardedPatternIndex` whose shards are
+        read on first touch; pass ``lazy=False`` to materialize everything
+        up front.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return ShardedPatternIndex._load(path, lazy=lazy)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
             payload = json.load(handle)
         if payload.get("version") != _FORMAT_VERSION:
             raise ValueError(f"unsupported index format: {payload.get('version')!r}")
@@ -166,6 +291,76 @@ class PatternIndex:
             for key, raw in payload["entries"].items()
         }
         return cls(entries, IndexMeta(**payload["meta"]))
+
+
+class ShardedPatternIndex(PatternIndex):
+    """A format-v2 index whose shards are loaded on demand.
+
+    A key lookup hashes to its shard and loads only that file; whole-index
+    operations (``len``/``keys``/``items``/``stats``/``merge``/``save``)
+    transparently force the remaining shards in.  ``total_entries`` from
+    the manifest answers ``len()`` without touching any shard.
+    """
+
+    def __init__(self, directory: Path, manifest: dict):
+        meta_payload = dict(manifest["meta"])
+        super().__init__({}, IndexMeta(**meta_payload))
+        self._directory = directory
+        self._n_shards: int = int(manifest["n_shards"])
+        self._shard_files: list[str] = [s["file"] for s in manifest["shards"]]
+        self._total_entries: int = int(manifest["total_entries"])
+        self._loaded = [False] * self._n_shards
+
+    @classmethod
+    def _load(cls, directory: Path, lazy: bool) -> "ShardedPatternIndex":
+        manifest_path = directory / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(f"not a sharded index: {directory} has no {_MANIFEST_NAME}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("version") != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"unsupported index format: {manifest.get('version')!r}")
+        if len(manifest["shards"]) != manifest["n_shards"]:
+            raise ValueError("corrupt manifest: shard list does not match n_shards")
+        index = cls(directory, manifest)
+        if not lazy:
+            index._ensure_all()
+        return index
+
+    @property
+    def loaded_shard_count(self) -> int:
+        """How many shard files have been read so far (observability)."""
+        return sum(self._loaded)
+
+    def lookup_key(self, key: str) -> IndexEntry | None:
+        self._ensure_shard(shard_of(key, self._n_shards))
+        return self._entries.get(key)
+
+    def __len__(self) -> int:
+        return self._total_entries
+
+    def _ensure_shard(self, i: int) -> None:
+        if self._loaded[i]:
+            return
+        path = self._directory / self._shard_files[i]
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _SHARDED_FORMAT_VERSION or payload.get("shard") != i:
+            raise ValueError(f"corrupt shard file: {path}")
+        for key, raw in payload["entries"].items():
+            self._entries[key] = IndexEntry(fpr_sum=float(raw[0]), coverage=int(raw[1]))
+        self._loaded[i] = True
+
+    def _ensure_all(self) -> None:
+        for i in range(self._n_shards):
+            self._ensure_shard(i)
+
+
+def _write_gzip_json(path: Path, payload: dict) -> None:
+    """Gzip JSON with sorted keys and zeroed mtime — byte-deterministic."""
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as gz:
+        gz.write(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    path.write_bytes(buffer.getvalue())
 
 
 def _token_length_of_key(key: str) -> int:

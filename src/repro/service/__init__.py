@@ -1,0 +1,17 @@
+"""Service layer: cached, batch-capable inference over a pattern index.
+
+This is the recommended entry point for serving validation traffic; see
+:class:`ValidationService`.  The CLI's ``infer`` command and the latency
+benchmark (Figure 14) both run through it.
+"""
+
+from repro.service.cache import HypothesisSpaceCache, column_digest
+from repro.service.service import VARIANTS, ServiceStats, ValidationService
+
+__all__ = [
+    "HypothesisSpaceCache",
+    "ServiceStats",
+    "VARIANTS",
+    "ValidationService",
+    "column_digest",
+]

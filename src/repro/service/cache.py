@@ -1,0 +1,89 @@
+"""Hypothesis-space caching for the validation service.
+
+Algorithm 1 is the only expensive step of online inference (index lookups
+are O(1) per candidate), and its output depends solely on the *multiset* of
+column values plus the enumeration knobs.  Production feeds re-submit the
+same or near-duplicate columns continuously — daily partitions of the same
+pipeline, the per-segment sub-columns the vertical DP carves out of sibling
+composites — so an LRU keyed by (value-multiset digest, min_coverage, knob
+fingerprint) turns almost all of that work into a dict hit.
+
+The multiset key means two permutations of the same column share one cache
+entry.  Enumeration order *within* Algorithm 1 can in principle differ
+between permutations when exact option-weight ties meet budget pressure;
+treating the column as a bag matches the paper's semantics (a column is a
+set of values with multiplicities) and makes results order-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter, OrderedDict
+from typing import Sequence
+
+from repro.core.enumeration import EnumerationConfig, PatternStats, hypothesis_space
+
+
+def column_digest(values: Sequence[str]) -> str:
+    """Stable 128-bit digest of a column's value multiset.
+
+    Independent of value order and of ``PYTHONHASHSEED`` (BLAKE2b over the
+    sorted (value, count) pairs).
+    """
+    counter = Counter(values)
+    h = hashlib.blake2b(digest_size=16)
+    for value, count in sorted(counter.items()):
+        # length-prefixed encoding: values may contain any byte, so
+        # delimiter-based framing would not be injective
+        encoded = value.encode("utf-8", "surrogatepass")
+        h.update(len(encoded).to_bytes(8, "big"))
+        h.update(encoded)
+        h.update(count.to_bytes(8, "big"))
+    return h.hexdigest()
+
+
+class HypothesisSpaceCache:
+    """LRU cache over :func:`repro.core.enumeration.hypothesis_space`.
+
+    Entries are the frozen :class:`PatternStats` lists Algorithm 1 emits;
+    callers must treat them as read-only (every consumer in the library
+    does).  A single cache instance is safely shared by all solver
+    variants of one service: the key carries the enumeration fingerprint,
+    so solvers configured differently never collide.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._data: OrderedDict[tuple[str, str, str], list[PatternStats]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(
+        self,
+        values: Sequence[str],
+        min_coverage: float,
+        config: EnumerationConfig,
+    ) -> list[PatternStats]:
+        """The hypothesis space of ``values``, computed at most once."""
+        key = (column_digest(values), repr(min_coverage), config.fingerprint())
+        cached = self._data.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return cached
+        self.misses += 1
+        stats = hypothesis_space(values, config, min_coverage)
+        self._data[key] = stats
+        if len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+        return stats
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,190 @@
+"""The validation service — the library's query-path front door.
+
+Section 2.4's performance claim is that online inference is index-lookup
+fast because no corpus scan happens at query time.  The remaining per-query
+cost is Algorithm 1 over the *query* column; :class:`ValidationService`
+amortizes that too.  It owns one index, one config and two caches:
+
+* a shared :class:`~repro.service.cache.HypothesisSpaceCache` wired into
+  every solver variant, so repeated and near-duplicate columns (and the
+  per-segment sub-columns of the vertical DP) skip Algorithm 1, and
+* an LRU of final :class:`InferenceResult` objects keyed by column digest
+  and variant, so exact repeats are answered with a dict lookup.
+
+Rule evaluation relies on the process-wide compiled-regex memoization of
+:meth:`repro.core.pattern.Pattern.compiled`; ``validate_many`` over
+thousands of columns sharing a handful of rules touches the regex
+compiler a handful of times.
+
+All service methods are synchronous; the service object itself is cheap
+(solvers and caches are built lazily) and one instance is intended to be
+long-lived and shared per process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.index.index import PatternIndex
+from repro.service.cache import HypothesisSpaceCache, column_digest
+from repro.validate.combined import FMDVCombined
+from repro.validate.fmdv import CMDV, FMDV, InferenceResult
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.rule import ValidationReport, ValidationRule
+from repro.validate.vertical import FMDVVertical
+
+#: Canonical variant names plus the short aliases the CLI historically used.
+VARIANTS: dict[str, type[FMDV]] = {
+    "fmdv": FMDV,
+    "fmdv-v": FMDVVertical,
+    "fmdv-h": FMDVHorizontal,
+    "fmdv-vh": FMDVCombined,
+    "cmdv": CMDV,
+    "basic": FMDV,
+    "v": FMDVVertical,
+    "h": FMDVHorizontal,
+    "vh": FMDVCombined,
+}
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters describing how much work the caches absorbed."""
+
+    inferences: int
+    result_cache_hits: int
+    result_cache_size: int
+    space_cache_hits: int
+    space_cache_misses: int
+    space_cache_size: int
+
+    @property
+    def result_hit_rate(self) -> float:
+        return self.result_cache_hits / self.inferences if self.inferences else 0.0
+
+
+class ValidationService:
+    """Batch-capable, cached inference and validation over one index."""
+
+    def __init__(
+        self,
+        index: PatternIndex,
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+        variant: str = "fmdv-vh",
+        space_cache_size: int = 1024,
+        result_cache_size: int = 4096,
+    ):
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}")
+        self.index = index
+        self.config = config
+        self.variant = VARIANTS[variant].variant
+        self.space_cache = HypothesisSpaceCache(space_cache_size)
+        self._solvers: dict[str, FMDV] = {}
+        self._results: OrderedDict[tuple[str, str], InferenceResult] = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self._inferences = 0
+        self._result_hits = 0
+
+    @classmethod
+    def from_path(
+        cls, index_path: str | Path, config: AutoValidateConfig = DEFAULT_CONFIG, **kwargs
+    ) -> "ValidationService":
+        """Open a service over a saved index (v1 file or v2 shard directory)."""
+        return cls(PatternIndex.load(index_path), config, **kwargs)
+
+    # -- inference -----------------------------------------------------------
+
+    def solver(self, variant: str | None = None) -> FMDV:
+        """The (cached) solver instance for ``variant``, sharing this
+        service's index, config and hypothesis-space cache."""
+        name = variant or self.variant
+        if name not in VARIANTS:
+            raise ValueError(f"unknown variant {name!r}; choose from {sorted(VARIANTS)}")
+        name = VARIANTS[name].variant
+        solver = self._solvers.get(name)
+        if solver is None:
+            cls = VARIANTS[name]
+            solver = cls(self.index, self.config, space_cache=self.space_cache)
+            self._solvers[name] = solver
+        return solver
+
+    def infer(self, values: Sequence[str], variant: str | None = None) -> InferenceResult:
+        """Infer a validation rule for one column, through both caches."""
+        solver = self.solver(variant)
+        key = (column_digest(values), solver.variant)
+        self._inferences += 1
+        cached = self._results.get(key)
+        if cached is not None:
+            self._result_hits += 1
+            self._results.move_to_end(key)
+            return cached
+        result = solver.infer(list(values))
+        self._results[key] = result
+        if len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+        return result
+
+    def infer_many(
+        self, columns: Iterable[Sequence[str]], variant: str | None = None
+    ) -> list[InferenceResult]:
+        """Infer rules for a batch of columns.
+
+        Equivalent to calling :meth:`infer` per column; batching exists so
+        callers hand the service whole feeds and duplicates inside the
+        batch are deduplicated by the caches rather than re-solved.
+        """
+        return [self.infer(values, variant) for values in columns]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, rule: ValidationRule, values: Sequence[str]) -> ValidationReport:
+        """Validate one future column against one rule."""
+        return rule.validate(values)
+
+    def validate_many(
+        self,
+        rules: ValidationRule | Sequence[ValidationRule],
+        columns: Sequence[Sequence[str]],
+    ) -> list[ValidationReport]:
+        """Validate a batch of columns.
+
+        ``rules`` is either a single rule applied to every column or a
+        sequence aligned with ``columns``.  Each distinct pattern's regex
+        is compiled once (``Pattern.compiled`` memoizes process-wide), so
+        a batch sharing a handful of rules touches the compiler a handful
+        of times.
+        """
+        if isinstance(rules, ValidationRule):
+            rules = [rules] * len(columns)
+        else:
+            rules = list(rules)
+            if len(rules) != len(columns):
+                raise ValueError(
+                    f"{len(rules)} rules for {len(columns)} columns; "
+                    "pass one rule per column or a single rule"
+                )
+        return [rule.validate(values) for rule, values in zip(rules, columns)]
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            inferences=self._inferences,
+            result_cache_hits=self._result_hits,
+            result_cache_size=len(self._results),
+            space_cache_hits=self.space_cache.hits,
+            space_cache_misses=self.space_cache.misses,
+            space_cache_size=len(self.space_cache),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop both caches (e.g. after swapping the index)."""
+        self.space_cache.clear()
+        self._results.clear()
+        self._inferences = 0
+        self._result_hits = 0

@@ -21,7 +21,7 @@ of Figure 14.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.core.enumeration import (
@@ -32,6 +32,14 @@ from repro.core.enumeration import (
 from repro.core.pattern import Pattern
 from repro.index.index import PatternIndex
 from repro.validate.rule import ValidationRule
+
+
+class SpaceProvider(Protocol):
+    """Anything that can answer hypothesis-space queries for a column."""
+
+    def get(
+        self, values: Sequence[str], min_coverage: float, config: EnumerationConfig
+    ) -> list: ...
 
 
 @dataclass(frozen=True)
@@ -65,9 +73,20 @@ class FMDV:
     #: strict rules: any non-conforming future value raises an alarm.
     strict_rules = True
 
-    def __init__(self, index: PatternIndex, config: AutoValidateConfig = DEFAULT_CONFIG):
+    def __init__(
+        self,
+        index: PatternIndex,
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+        space_cache: "SpaceProvider | None" = None,
+    ):
         self.index = index
         self.config = config
+        #: Optional hypothesis-space cache (duck-typed: anything with a
+        #: ``get(values, min_coverage, config)`` method).  Wired in by
+        #: :class:`repro.service.ValidationService` so repeated and
+        #: near-duplicate columns — including the per-segment sub-columns
+        #: of the vertical DP — skip Algorithm 1 entirely.
+        self.space_cache = space_cache
 
     # -- public API ----------------------------------------------------------
 
@@ -95,7 +114,7 @@ class FMDV:
         least ``m``.  Patterns absent from the index have no corpus evidence
         and are discarded (their coverage is effectively zero).
         """
-        stats = hypothesis_space(values, self.config.enumeration, min_coverage)
+        stats = self._hypothesis_space(values, min_coverage)
         n = len(values)
         out: list[Candidate] = []
         for ps in stats:
@@ -117,6 +136,12 @@ class FMDV:
                 )
             )
         return out
+
+    def _hypothesis_space(self, values: Sequence[str], min_coverage: float):
+        """Enumerate ``H(C)``, through the shared cache when one is wired."""
+        if self.space_cache is not None:
+            return self.space_cache.get(values, min_coverage, self.config.enumeration)
+        return hypothesis_space(values, self.config.enumeration, min_coverage)
 
     def _objective(self, candidate: Candidate) -> tuple:
         """FMDV picks the minimum-FPR candidate.

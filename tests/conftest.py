@@ -7,11 +7,42 @@ must treat these as read-only.
 from __future__ import annotations
 
 import random
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro import AutoValidateConfig, EnumerationConfig, build_index
 from repro.datalake.domains import DOMAIN_REGISTRY
+
+
+def _spawn_python(code: str, hash_seed: str) -> subprocess.CompletedProcess[str]:
+    """Run ``code`` in a child interpreter under a controlled environment.
+
+    The env is built from scratch (NOT inherited) so the child sees exactly
+    the ``PYTHONHASHSEED`` under test — but module resolution must still be
+    propagated explicitly: ``PYTHONPATH`` is derived from where the parent
+    actually imported ``repro`` from, which works for both editable installs
+    and plain ``PYTHONPATH=src`` runs.
+    """
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = {
+        "PYTHONHASHSEED": hash_seed,
+        "PYTHONPATH": package_root,
+        "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+    }
+    return subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env
+    )
+
+
+@pytest.fixture(scope="session")
+def spawn_python():
+    """Shared helper for PYTHONHASHSEED-isolation tests: spawn_python(code,
+    hash_seed) -> CompletedProcess."""
+    return _spawn_python
 
 
 def _mixed_hours_timestamp(rng: random.Random) -> str:

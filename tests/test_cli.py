@@ -94,6 +94,46 @@ class TestInferAndValidate:
             ])  # must not raise
 
 
+class TestShardedIndexAndBatch:
+    def test_index_shards_writes_v2_directory(self, workspace, capsys):
+        code = main([
+            "index", "--corpus", str(workspace / "lake"),
+            "--out", str(workspace / "lake.idx"), "--shards", "8",
+        ])
+        assert code == 0
+        assert "format v2" in capsys.readouterr().out
+        assert (workspace / "lake.idx" / "manifest.json").exists()
+        assert len(list((workspace / "lake.idx").glob("shard-*.json.gz"))) == 8
+
+    def test_infer_from_sharded_index(self, workspace, capsys):
+        code = main([
+            "infer", "--index", str(workspace / "lake.idx"),
+            "--column", str(workspace / "feed.txt"),
+            "--min-coverage", "5",
+        ])
+        assert code == 0
+        assert "pattern:" in capsys.readouterr().out
+
+    def test_infer_batch_of_columns(self, workspace, capsys):
+        code = main([
+            "infer", "--index", str(workspace / "lake.idx"),
+            "--column", str(workspace / "feed.txt"), str(workspace / "clean.txt"),
+            "--min-coverage", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("== ") == 2
+        assert out.count("pattern:") == 2
+
+    def test_rule_output_requires_single_column(self, workspace, capsys):
+        code = main([
+            "infer", "--index", str(workspace / "lake.idx"),
+            "--column", str(workspace / "feed.txt"), str(workspace / "clean.txt"),
+            "--rule", str(workspace / "nope.json"),
+        ])
+        assert code == 2
+
+
 class TestTag:
     def test_tag_sweeps_corpus(self, workspace, capsys):
         code = main([

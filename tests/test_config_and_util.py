@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import subprocess
-import sys
-
 import pytest
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
@@ -61,24 +58,20 @@ class TestStableSeed:
         for parts in (("x",), ("y", 2), (3.5, "z")):
             assert 0 <= stable_seed(*parts) < 2**32
 
-    def test_stable_across_processes(self):
+    def test_stable_across_processes(self, spawn_python):
         """The whole point: immune to PYTHONHASHSEED randomization."""
         code = "from repro.util import stable_seed; print(stable_seed('enterprise', 42))"
-        outs = {
-            subprocess.run(
-                [sys.executable, "-c", code],
-                capture_output=True,
-                text=True,
-                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin"},
-            ).stdout.strip()
-            for seed in ("0", "1", "42")
-        }
+        outs = set()
+        for seed in ("0", "1", "42"):
+            proc = spawn_python(code, seed)
+            assert proc.returncode == 0, proc.stderr
+            outs.add(proc.stdout.strip())
         assert len(outs) == 1
         assert outs.pop() == str(stable_seed("enterprise", 42))
 
 
 class TestCorpusGenerationStability:
-    def test_corpus_stable_across_processes(self):
+    def test_corpus_stable_across_processes(self, spawn_python):
         """generate_corpus must produce identical data in fresh interpreters
         (regression test for the tuple-hash seeding bug)."""
         code = (
@@ -90,12 +83,7 @@ class TestCorpusGenerationStability:
         code = "import hashlib;" + code
         digests = set()
         for hash_seed in ("0", "7"):
-            proc = subprocess.run(
-                [sys.executable, "-c", code],
-                capture_output=True,
-                text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin"},
-            )
+            proc = spawn_python(code, hash_seed)
             assert proc.returncode == 0, proc.stderr
             digests.add(proc.stdout.strip())
         assert len(digests) == 1

@@ -160,6 +160,52 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             EnumerationConfig(max_patterns=0)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_option_coverage": -0.1},
+            {"min_option_coverage": 1.5},
+            {"max_const_options": -1},
+            {"max_length_options": -1},
+        ],
+    )
+    def test_option_knobs_validated(self, kwargs):
+        """A negative option cap would silently disable options; out-of-range
+        floors would silently prune everything or nothing."""
+        with pytest.raises(ValueError):
+            EnumerationConfig(**kwargs)
+
+    def test_zero_option_caps_are_explicit_disables(self):
+        config = EnumerationConfig(max_const_options=0, max_length_options=0)
+        stats = enumerate_column_patterns(["1:23"] * 5, config)
+        assert stats  # unbounded-class patterns still enumerate
+        for ps in stats:
+            # no constant or fixed-length atom at the digit positions
+            assert not ps.pattern.atoms[0].is_const
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        assert EnumerationConfig().fingerprint() == EnumerationConfig().fingerprint()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau": 9},
+            {"min_coverage": 0.5},
+            {"min_option_coverage": 0.5},
+            {"max_patterns": 7},
+            {"max_const_options": 1},
+            {"max_length_options": 1},
+            {"enumerate_alnum_runs": False},
+        ],
+    )
+    def test_every_knob_changes_the_fingerprint(self, kwargs):
+        assert (
+            EnumerationConfig(**kwargs).fingerprint()
+            != EnumerationConfig().fingerprint()
+        )
+
 
 @st.composite
 def homogeneous_columns(draw):

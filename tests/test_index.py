@@ -7,7 +7,14 @@ import pytest
 from repro.core.atoms import Atom
 from repro.core.enumeration import EnumerationConfig
 from repro.core.pattern import Pattern
-from repro.index import IndexBuilder, IndexEntry, PatternIndex, build_index
+from repro.index import (
+    IndexBuilder,
+    IndexEntry,
+    PatternIndex,
+    ShardedPatternIndex,
+    build_index,
+    shard_of,
+)
 
 
 def _col(value: str, n: int = 10) -> list[str]:
@@ -94,6 +101,145 @@ class TestPersistence:
             PatternIndex.load(path)
 
 
+class TestShardedPersistence:
+    """Format v2: hash-partitioned shard files with a manifest."""
+
+    def test_roundtrip_is_bit_identical(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=8)
+        loaded = PatternIndex.load(path)
+        assert isinstance(loaded, ShardedPatternIndex)
+        assert len(loaded) == len(small_index)
+        assert loaded.meta == small_index.meta
+        for key, entry in small_index.items():
+            # exact equality: fpr_sum round-trips bit-identically via JSON
+            assert loaded.lookup_key(key) == entry
+
+    def test_lazy_lookup_touches_one_shard(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=8)
+        loaded = PatternIndex.load(path)
+        assert loaded.loaded_shard_count == 0
+        assert len(loaded) == len(small_index)  # manifest answers len()
+        assert loaded.loaded_shard_count == 0
+        key = small_index.keys()[0]
+        assert loaded.lookup_key(key) is not None
+        assert loaded.loaded_shard_count == 1
+
+    def test_eager_load(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=4)
+        loaded = PatternIndex.load(path, lazy=False)
+        assert loaded.loaded_shard_count == 4
+
+    def test_full_scan_forces_all_shards(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=4)
+        loaded = PatternIndex.load(path)
+        assert dict(loaded.items()) == dict(small_index.items())
+        assert loaded.loaded_shard_count == 4
+
+    def test_sharded_save_is_deterministic(self, small_index, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        small_index.save_sharded(a, n_shards=8)
+        small_index.save_sharded(b, n_shards=8)
+        files = sorted(p.name for p in a.iterdir())
+        assert files == sorted(p.name for p in b.iterdir())
+        for name in files:
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+
+    def test_resave_with_fewer_shards_removes_stale_files(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=16)
+        small_index.save_sharded(path, n_shards=4)
+        assert len(list(path.glob("shard-*.json.gz"))) == 4
+        assert dict(PatternIndex.load(path).items()) == dict(small_index.items())
+
+    def test_shard_assignment_is_stable(self):
+        assert shard_of("D1|C::|D2", 16) == shard_of("D1|C::|D2", 16)
+        assert 0 <= shard_of("anything", 7) < 7
+
+    def test_v1_upgrade_path(self, small_index, tmp_path):
+        """Load a v1 file, re-save sharded, reload — nothing changes."""
+        v1 = tmp_path / "idx.json.gz"
+        small_index.save(v1)
+        upgraded = PatternIndex.load(v1)
+        v2 = tmp_path / "idx.v2"
+        upgraded.save_sharded(v2, n_shards=8)
+        reloaded = PatternIndex.load(v2)
+        assert dict(reloaded.items()) == dict(small_index.items())
+        assert reloaded.meta == small_index.meta
+
+    def test_bad_manifest_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "idx.v2"
+        path.mkdir()
+        (path / "manifest.json").write_text(
+            json.dumps({"version": 999, "meta": {}, "n_shards": 1,
+                        "shards": [{"file": "shard-0000.json.gz", "entries": 0}],
+                        "total_entries": 0})
+        )
+        with pytest.raises(ValueError):
+            PatternIndex.load(path)
+
+    def test_directory_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PatternIndex.load(tmp_path)
+
+    def test_invalid_shard_count_rejected(self, small_index, tmp_path):
+        with pytest.raises(ValueError):
+            small_index.save_sharded(tmp_path / "x", n_shards=0)
+
+    def test_stats_memoized(self, small_index, tmp_path):
+        path = tmp_path / "idx.v2"
+        small_index.save_sharded(path, n_shards=4)
+        loaded = PatternIndex.load(path)
+        first = loaded.stats()
+        assert loaded.stats() is first  # computed once
+        assert first.total_patterns == len(small_index)
+
+
+class TestMergeCompatibility:
+    """Merging indexes built with different knobs corrupts FPR statistics
+    (Definition 3 averages impurities estimated under one configuration)."""
+
+    def test_mismatched_tau_rejected(self):
+        a = build_index([_col("1:23")], EnumerationConfig(tau=13))
+        b = build_index([_col("4:56")], EnumerationConfig(tau=8))
+        with pytest.raises(ValueError, match="tau"):
+            a.merge(b)
+
+    def test_mismatched_min_coverage_rejected(self):
+        a = build_index([_col("1:23")], EnumerationConfig(min_coverage=0.1))
+        b = build_index([_col("4:56")], EnumerationConfig(min_coverage=0.5))
+        with pytest.raises(ValueError, match="min_coverage"):
+            a.merge(b)
+
+    def test_mismatched_secondary_knobs_rejected_via_fingerprint(self):
+        a = build_index([_col("1:23")], EnumerationConfig(min_option_coverage=0.25))
+        b = build_index([_col("4:56")], EnumerationConfig(min_option_coverage=0.5))
+        with pytest.raises(ValueError, match="enumeration knobs"):
+            a.merge(b)
+
+    def test_fingerprint_recorded_and_survives_roundtrip(self, tmp_path):
+        index = build_index([_col("1:23")])
+        assert index.meta.fingerprint == EnumerationConfig().fingerprint()
+        path = tmp_path / "idx.json.gz"
+        index.save(path)
+        assert PatternIndex.load(path).meta.fingerprint == index.meta.fingerprint
+
+    def test_unstamped_legacy_index_still_merges(self):
+        """v1 files written before the fingerprint existed load with an
+        empty stamp; tau/min_coverage are still enforced."""
+        from repro.index import IndexMeta
+
+        a = build_index([_col("1:23")])
+        legacy = PatternIndex(dict(a.items()), IndexMeta(columns_scanned=1))
+        merged = a.merge(legacy)
+        assert merged.meta.fingerprint == a.meta.fingerprint
+
+
 class TestMerge:
     def test_merge_disjoint(self):
         a = build_index([_col("1:23")])
@@ -178,3 +324,25 @@ class TestParallelBuild:
 
         with pytest.raises(ValueError):
             build_index_parallel([], workers=0)
+
+    def test_parallel_equals_serial_on_sharded_v2_output(self, tmp_path):
+        """The map-reduce build and the serial build must agree after a
+        v2 save/reload round trip (shard partitioning included)."""
+        from repro.index.builder import build_index_parallel
+
+        columns = [[f"{i}:{j:02d}" for j in range(20)] for i in range(12)]
+        columns += [["ab-cd"] * 15 for _ in range(6)]
+        serial = build_index(columns, corpus_name="x")
+        parallel = build_index_parallel(columns, corpus_name="x", workers=2)
+
+        serial.save_sharded(tmp_path / "serial", n_shards=8)
+        parallel.save_sharded(tmp_path / "parallel", n_shards=8)
+        serial_loaded = PatternIndex.load(tmp_path / "serial")
+        parallel_loaded = PatternIndex.load(tmp_path / "parallel")
+
+        assert set(serial_loaded.keys()) == set(parallel_loaded.keys())
+        for key, entry in serial_loaded.items():
+            other = parallel_loaded.lookup_key(key)
+            assert other.coverage == entry.coverage
+            # float sums may differ in the last ulp between addition orders
+            assert other.fpr_sum == pytest.approx(entry.fpr_sum, abs=1e-12)

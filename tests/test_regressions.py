@@ -116,10 +116,7 @@ class TestProcessIndependentSeeding:
     """Dataset generation must not depend on PYTHONHASHSEED (set iteration
     order or str hashing) — regression for two separate bugs."""
 
-    def test_task_level_effects_are_hash_independent(self):
-        import subprocess
-        import sys
-
+    def test_task_level_effects_are_hash_independent(self, spawn_python):
         code = (
             "from repro.ml.tasks import KAGGLE_TASKS, generate_task;"
             "d = generate_task(KAGGLE_TASKS[0], seed=3, n_train=60, n_test=30);"
@@ -127,16 +124,47 @@ class TestProcessIndependentSeeding:
         )
         outs = set()
         for hash_seed in ("0", "5"):
-            proc = subprocess.run(
-                [sys.executable, "-c", code],
-                capture_output=True,
-                text=True,
-                env={"PYTHONHASHSEED": hash_seed,
-                     "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin"},
-            )
+            proc = spawn_python(code, hash_seed)
             assert proc.returncode == 0, proc.stderr
             outs.add(proc.stdout.strip())
         assert len(outs) == 1
+
+
+class TestHypothesisSpaceKnobPropagation:
+    """hypothesis_space used to rebuild EnumerationConfig field-by-field,
+    silently resetting min_option_coverage and enumerate_alnum_runs to
+    their defaults; it must preserve every knob except min_coverage."""
+
+    def test_enumerate_alnum_runs_survives(self):
+        from repro.core.enumeration import hypothesis_space
+
+        # Fine signatures differ row to row; only the merged alnum-run
+        # granularity yields a common pattern.  With the flag off the
+        # hypothesis space must be empty — before the fix it silently
+        # reverted to the default (on) and produced <alphanum> patterns.
+        values = ["ab12", "1a2b", "x9y8"]
+        config = EnumerationConfig(enumerate_alnum_runs=False)
+        assert hypothesis_space(values, config, min_coverage=1.0) == []
+        default_space = hypothesis_space(values, EnumerationConfig(), 1.0)
+        assert default_space  # sanity: the flag is what made the difference
+
+    def test_min_option_coverage_survives(self):
+        from repro.core.enumeration import hypothesis_space
+
+        values = ["9:07"] * 6 + ["12:30"] * 4
+        strict = EnumerationConfig(min_option_coverage=1.0)
+        keys = {
+            ps.pattern.key()
+            for ps in hypothesis_space(values, strict, min_coverage=0.5)
+        }
+        # The 60%-support narrow option must be pruned by the 100% floor;
+        # before the fix the floor reverted to the default 0.25.
+        assert "D1|C::|D2" not in keys
+        default_keys = {
+            ps.pattern.key()
+            for ps in hypothesis_space(values, EnumerationConfig(), 0.5)
+        }
+        assert "D1|C::|D2" in default_keys
 
 
 class TestMixedColumnImpurityScale:

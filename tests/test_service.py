@@ -1,0 +1,218 @@
+"""Tests for the validation service layer (repro.service)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumeration import EnumerationConfig
+from repro.datalake.domains import DOMAIN_REGISTRY
+from repro.service import HypothesisSpaceCache, ValidationService, column_digest
+from repro.service.service import VARIANTS
+from repro.validate.fmdv import FMDV
+
+
+def _column(name: str, seed: int, n: int = 40) -> list[str]:
+    return DOMAIN_REGISTRY[name].sample_many(random.Random(seed), n)
+
+
+class TestColumnDigest:
+    def test_order_independent(self):
+        values = ["a", "b", "b", "c"]
+        shuffled = ["b", "c", "a", "b"]
+        assert column_digest(values) == column_digest(shuffled)
+
+    def test_multiplicity_sensitive(self):
+        assert column_digest(["a", "b"]) != column_digest(["a", "b", "b"])
+
+    def test_value_sensitive(self):
+        assert column_digest(["a"]) != column_digest(["b"])
+
+    def test_injective_framing(self):
+        """Values may contain any byte; delimiter-style framing collided
+        (['a','b','b'] vs ['a\\x001\\x01b']*2) before length prefixes."""
+        assert column_digest(["a", "b", "b"]) != column_digest(
+            ["a\x001\x01b", "a\x001\x01b"]
+        )
+
+
+class TestHypothesisSpaceCache:
+    def test_hit_returns_same_object(self):
+        cache = HypothesisSpaceCache()
+        config = EnumerationConfig()
+        values = ["1:23", "4:56", "7:89"]
+        first = cache.get(values, 1.0, config)
+        second = cache.get(list(reversed(values)), 1.0, config)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_min_coverage_part_of_key(self):
+        cache = HypothesisSpaceCache()
+        config = EnumerationConfig()
+        values = ["1:23", "4:56"]
+        cache.get(values, 1.0, config)
+        cache.get(values, 0.9, config)
+        assert cache.misses == 2
+
+    def test_config_fingerprint_part_of_key(self):
+        cache = HypothesisSpaceCache()
+        values = ["1:23", "4:56"]
+        cache.get(values, 1.0, EnumerationConfig())
+        cache.get(values, 1.0, EnumerationConfig(max_const_options=3))
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = HypothesisSpaceCache(max_entries=2)
+        config = EnumerationConfig()
+        for i in range(4):
+            cache.get([f"{i}:00"], 1.0, config)
+        assert len(cache) == 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            HypothesisSpaceCache(max_entries=0)
+
+    def test_clear(self):
+        cache = HypothesisSpaceCache()
+        cache.get(["1:23"], 1.0, EnumerationConfig())
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 0
+
+
+class TestServiceInference:
+    def test_repeat_column_is_a_result_cache_hit(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("datetime_slash", 10)
+        first = service.infer(column)
+        second = service.infer(column)
+        assert second is first
+        stats = service.stats()
+        assert stats.inferences == 2
+        assert stats.result_cache_hits == 1
+        assert stats.result_hit_rate == pytest.approx(0.5)
+
+    def test_permuted_column_shares_the_cache_entry(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("guid", 11)
+        shuffled = list(column)
+        random.Random(0).shuffle(shuffled)
+        assert service.infer(shuffled) is service.infer(column)
+
+    def test_matches_uncached_solver(self, small_index, small_config):
+        """The cached path must produce exactly what a bare solver produces."""
+        for variant in ("fmdv", "fmdv-vh"):
+            service = ValidationService(small_index, small_config, variant=variant)
+            bare_solver = VARIANTS[variant](small_index, small_config)
+            for name in ("datetime_slash", "locale_lower", "phone_us"):
+                column = _column(name, 12)
+                cached = service.infer(column)
+                bare = bare_solver.infer(column)
+                assert cached.found == bare.found
+                if cached.found:
+                    assert cached.rule.pattern == bare.rule.pattern
+                    assert cached.rule.est_fpr == bare.rule.est_fpr
+
+    def test_batch_equals_loop(self, small_index, small_config):
+        columns = [
+            _column("datetime_slash", 1),
+            _column("locale_lower", 2),
+            _column("datetime_slash", 1),  # duplicate: served from cache
+        ]
+        batch_service = ValidationService(small_index, small_config, variant="fmdv-vh")
+        loop_service = ValidationService(small_index, small_config, variant="fmdv-vh")
+        batch = batch_service.infer_many(columns)
+        loop = [loop_service.infer(c) for c in columns]
+        assert len(batch) == len(loop) == 3
+        for a, b in zip(batch, loop):
+            assert a.found == b.found
+            if a.found:
+                assert a.rule.pattern == b.rule.pattern
+        assert batch_service.stats().result_cache_hits == 1
+
+    def test_vertical_segments_feed_the_space_cache(self, small_index, small_config, rng):
+        """Near-duplicate composites share per-segment hypothesis spaces."""
+        dt = DOMAIN_REGISTRY["datetime_slash"]
+        loc = DOMAIN_REGISTRY["locale_lower"]
+        service = ValidationService(small_index, small_config, variant="fmdv-v")
+        first = [f"{dt.sample(rng)}|{loc.sample(rng)}" for _ in range(25)]
+        service.infer(first)
+        assert service.stats().space_cache_misses > 0
+
+    def test_explicit_variant_overrides_default(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("datetime_slash", 13)
+        strict = service.infer(column)
+        tolerant = service.infer(column, variant="fmdv-h")
+        assert strict.variant == "fmdv"
+        assert tolerant.variant == "fmdv-h"
+
+    def test_result_cache_eviction(self, small_index, small_config):
+        service = ValidationService(
+            small_index, small_config, variant="fmdv", result_cache_size=1
+        )
+        a, b = _column("datetime_slash", 14), _column("locale_lower", 15)
+        service.infer(a)
+        service.infer(b)  # evicts a
+        service.infer(a)
+        assert service.stats().result_cache_hits == 0
+
+    def test_clear_caches(self, small_index, small_config):
+        service = ValidationService(small_index, small_config)
+        service.infer(_column("datetime_slash", 16))
+        service.clear_caches()
+        stats = service.stats()
+        assert stats.inferences == 0
+        assert stats.space_cache_size == 0
+        assert stats.result_cache_size == 0
+
+
+class TestServiceValidation:
+    def test_validate_many_single_rule_broadcast(self, small_index, small_config, rng):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        rule = service.infer(_column("datetime_slash", 17)).rule
+        assert rule is not None
+        columns = [
+            DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 30),
+            DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30),
+        ]
+        reports = service.validate_many(rule, columns)
+        assert [r.flagged for r in reports] == [False, True]
+        assert reports[0] == service.validate(rule, columns[0])
+
+    def test_validate_many_aligned_rules(self, small_index, small_config, rng):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        rule_dt = service.infer(_column("datetime_slash", 18)).rule
+        rule_loc = service.infer(_column("locale_lower", 19)).rule
+        columns = [
+            DOMAIN_REGISTRY["datetime_slash"].sample_many(rng, 30),
+            DOMAIN_REGISTRY["locale_lower"].sample_many(rng, 30),
+        ]
+        reports = service.validate_many([rule_dt, rule_loc], columns)
+        assert not any(r.flagged for r in reports)
+
+    def test_validate_many_length_mismatch(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        rule = service.infer(_column("datetime_slash", 20)).rule
+        with pytest.raises(ValueError):
+            service.validate_many([rule, rule], [["1/2/2019 3:04:05"]])
+
+
+class TestVariantRegistry:
+    def test_unknown_variant_rejected(self, small_index, small_config):
+        with pytest.raises(ValueError):
+            ValidationService(small_index, small_config, variant="nope")
+        service = ValidationService(small_index, small_config)
+        with pytest.raises(ValueError):
+            service.infer(["1:23"], variant="nope")
+
+    def test_aliases_resolve_to_canonical_solvers(self, small_index, small_config):
+        service = ValidationService(small_index, small_config)
+        assert service.solver("basic") is service.solver("fmdv")
+        assert service.solver("vh") is service.solver("fmdv-vh")
+
+    def test_all_variants_constructible(self, small_index, small_config):
+        for name in VARIANTS:
+            solver = ValidationService(small_index, small_config, variant=name).solver()
+            assert isinstance(solver, FMDV)
+            assert solver.space_cache is not None
