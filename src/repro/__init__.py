@@ -31,7 +31,12 @@ from repro.core.tokenizer import Token, token_count, tokenize
 from repro.index.builder import IndexBuilder, build_index, build_index_parallel
 from repro.index.index import PatternIndex, ShardedPatternIndex
 from repro.monitor import FeedMonitor, FeedReport
-from repro.service import HypothesisSpaceCache, ServiceStats, ValidationService
+from repro.service import (
+    AsyncValidationService,
+    HypothesisSpaceCache,
+    ServiceStats,
+    ValidationService,
+)
 from repro.validate.autotag import AutoTagger, TagResult
 from repro.validate.combined import FMDVCombined
 from repro.validate.dictionary import DictionaryValidator
@@ -47,6 +52,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Atom",
     "AtomKind",
+    "AsyncValidationService",
     "AutoTagger",
     "AutoValidateConfig",
     "CMDV",

@@ -15,6 +15,18 @@ Column files are plain text, one value per line.  Rules round-trip as JSON
 the sharded v2 index layout (a directory); ``--index`` accepts either
 format.  Inference runs through :class:`repro.service.ValidationService`,
 so repeated columns inside one ``infer`` batch are answered from cache.
+
+Serving:
+
+* ``infer --workers N`` fans a large batch across ``N`` spawn-safe worker
+  processes (near-linear speedup on cold batches; results are identical to
+  the serial path).  ``--workers 0`` (default) auto-sizes from the CPU
+  count and the ``REPRO_WORKERS`` / ``REPRO_PARALLEL_BACKEND`` environment
+  variables; ``--workers 1`` forces serial.
+* asyncio servers should embed :class:`repro.service.AsyncValidationService`
+  (``await svc.infer(...)``, bounded concurrency) rather than shelling out.
+* long-lived services watch the ``--index`` path: rebuilding the index in
+  place bumps the cache generation automatically — no restart needed.
 """
 
 from __future__ import annotations
@@ -88,10 +100,22 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     if args.rule and len(args.column) > 1:
         print("--rule requires a single --column file", file=sys.stderr)
         return 2
-    service = ValidationService(
-        PatternIndex.load(args.index), _config(args), variant=args.variant
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 = auto)", file=sys.stderr)
+        return 2
+    # An explicit --workers N>1 is a request for the pool; auto (0) lets
+    # the service decide by batch size.
+    service = ValidationService.from_path(
+        args.index,
+        _config(args),
+        variant=args.variant,
+        workers=args.workers or None,
+        parallel_backend="process" if args.workers > 1 else None,
     )
-    results = service.infer_many(_read_column(path) for path in args.column)
+    with service:
+        results = service.infer_many(
+            _read_column(path) for path in args.column
+        )
     missing = 0
     for path, result in zip(args.column, results):
         if len(args.column) > 1:
@@ -183,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="text file(s), one value per line; several files form a batch")
     p.add_argument("--variant", choices=sorted(_VARIANTS), default="vh")
     p.add_argument("--rule", help="write the rule as JSON here")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for large batches (0 = auto-size "
+                        "from CPU count / REPRO_WORKERS; 1 = force serial)")
     add_config_args(p)
     p.set_defaults(fn=_cmd_infer)
 

@@ -16,6 +16,8 @@ from repro.index.index import (
     IndexStats,
     PatternIndex,
     ShardedPatternIndex,
+    StaleIndexError,
+    index_digest,
     shard_of,
 )
 
@@ -26,7 +28,9 @@ __all__ = [
     "IndexStats",
     "PatternIndex",
     "ShardedPatternIndex",
+    "StaleIndexError",
     "build_index",
     "build_index_parallel",
+    "index_digest",
     "shard_of",
 ]

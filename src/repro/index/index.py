@@ -24,8 +24,10 @@ Definition 3, so :meth:`merge` refuses.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
 import json
+import os
 import zlib
 from collections import Counter
 from dataclasses import asdict, dataclass
@@ -41,9 +43,38 @@ _MANIFEST_NAME = "manifest.json"
 MAX_SHARDS = 4096
 
 
+class StaleIndexError(ValueError):
+    """A lazily-loaded shard no longer matches its manifest.
+
+    Raised when a shard file is missing, unreadable or carries a different
+    entry count than the manifest recorded — the signature of an in-place
+    rebuild racing the reader.  Long-lived services catch this, re-check
+    the on-disk generation and retry once against the fresh snapshot.
+    """
+
+
 def shard_of(key: str, n_shards: int) -> int:
     """Deterministic shard assignment for a pattern key (CRC-32 based)."""
     return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+def index_digest(path: str | Path) -> str:
+    """Content digest of an on-disk index without loading its entries.
+
+    For a v2 directory this hashes ``manifest.json`` (the manifest pins the
+    shard list, entry counts and meta, and shard files are byte-deterministic,
+    so the manifest bytes change exactly when the index content changes).
+    For a v1 file it hashes the gzip bytes directly (also deterministic:
+    sorted JSON keys, zeroed mtime).
+
+    This is what long-lived services use as their cache *generation* token:
+    rebuilding an index under the same path yields a new digest, which
+    invalidates every cache entry stamped with the old one.  See
+    ``src/repro/index/FORMAT.md``.
+    """
+    path = Path(path)
+    target = path / _MANIFEST_NAME if path.is_dir() else path
+    return hashlib.blake2b(target.read_bytes(), digest_size=16).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -103,6 +134,7 @@ class PatternIndex:
         self._entries = entries
         self.meta = meta
         self._stats_cache: IndexStats | None = None
+        self._digest_cache: str | None = None
 
     # -- lookups -----------------------------------------------------------
 
@@ -130,6 +162,31 @@ class PatternIndex:
 
     def _ensure_all(self) -> None:
         """Hook for lazily-loaded subclasses; eager indexes hold everything."""
+
+    # -- identity -----------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """Stable 128-bit digest of the index content (entries + meta).
+
+        Two indexes with identical entries and meta share a digest,
+        independent of insertion order and ``PYTHONHASHSEED``.  Services use
+        it as the cache-generation token for in-memory indexes; disk-backed
+        indexes override it with the (equivalent) manifest digest so lazy
+        shards are not forced in.  Memoized — the index is immutable after
+        build.
+        """
+        if self._digest_cache is None:
+            self._ensure_all()
+            h = hashlib.blake2b(digest_size=16)
+            h.update(repr(sorted(asdict(self.meta).items())).encode("utf-8"))
+            for key in sorted(self._entries):
+                entry = self._entries[key]
+                h.update(key.encode("utf-8", "surrogatepass"))
+                h.update(b"\x00")
+                h.update(f"{entry.fpr_sum!r}:{entry.coverage}".encode("ascii"))
+                h.update(b"\x00")
+            self._digest_cache = h.hexdigest()
+        return self._digest_cache
 
     # -- analytics (Figure 13 and the §5.3 pattern analysis) ----------------
 
@@ -242,14 +299,13 @@ class PatternIndex:
         self._ensure_all()
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
-        # Re-saving with a smaller shard count must not leave stale shards
-        # behind: the manifest would ignore them, but anything globbing the
-        # directory (backup/replication tooling) would read two indexes.
-        for stale in directory.glob("shard-*.json.gz"):
-            stale.unlink()
         buckets: list[dict[str, list]] = [{} for _ in range(n_shards)]
         for key, entry in self._entries.items():
             buckets[shard_of(key, n_shards)][key] = [entry.fpr_sum, entry.coverage]
+        # In-place-rebuild friendliness: overwrite shard files first, delete
+        # leftovers second, publish the manifest last (atomically).  Readers
+        # holding the old manifest detect a mixed snapshot via per-shard
+        # entry counts (StaleIndexError) instead of reading silent garbage.
         shards = []
         for i, bucket in enumerate(buckets):
             name = f"shard-{i:04d}.json.gz"
@@ -258,6 +314,13 @@ class PatternIndex:
                 {"version": _SHARDED_FORMAT_VERSION, "shard": i, "entries": bucket},
             )
             shards.append({"file": name, "entries": len(bucket)})
+        # Re-saving with a smaller shard count must not leave stale shards
+        # behind: the manifest would ignore them, but anything globbing the
+        # directory (backup/replication tooling) would read two indexes.
+        expected = {s["file"] for s in shards}
+        for stale in directory.glob("shard-*.json.gz"):
+            if stale.name not in expected:
+                stale.unlink()
         manifest = {
             "version": _SHARDED_FORMAT_VERSION,
             "meta": asdict(self.meta),
@@ -265,9 +328,11 @@ class PatternIndex:
             "shards": shards,
             "total_entries": len(self._entries),
         }
-        (directory / _MANIFEST_NAME).write_text(
+        manifest_tmp = directory / (_MANIFEST_NAME + ".tmp")
+        manifest_tmp.write_text(
             json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
         )
+        os.replace(manifest_tmp, directory / _MANIFEST_NAME)
 
     @classmethod
     def load(cls, path: str | Path, lazy: bool = True) -> "PatternIndex":
@@ -308,8 +373,21 @@ class ShardedPatternIndex(PatternIndex):
         self._directory = directory
         self._n_shards: int = int(manifest["n_shards"])
         self._shard_files: list[str] = [s["file"] for s in manifest["shards"]]
+        self._shard_entry_counts: list[int] = [int(s["entries"]) for s in manifest["shards"]]
         self._total_entries: int = int(manifest["total_entries"])
         self._loaded = [False] * self._n_shards
+        # Digest of the manifest bytes at load time — the generation token
+        # for this snapshot of the on-disk index (see index_digest()).
+        self._digest_cache = index_digest(directory)
+
+    @property
+    def source_path(self) -> Path:
+        """The v2 directory this index was loaded from (spawn-safe handle:
+        worker processes re-open the path instead of pickling shard state)."""
+        return self._directory
+
+    def content_digest(self) -> str:
+        return self._digest_cache
 
     @classmethod
     def _load(cls, directory: Path, lazy: bool) -> "ShardedPatternIndex":
@@ -342,10 +420,23 @@ class ShardedPatternIndex(PatternIndex):
         if self._loaded[i]:
             return
         path = self._directory / self._shard_files[i]
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, EOFError, json.JSONDecodeError) as exc:
+            # Missing or torn shard: an in-place rebuild is racing us.
+            raise StaleIndexError(
+                f"shard file {path} unreadable (index rebuilt in place?): {exc}"
+            ) from exc
         if payload.get("version") != _SHARDED_FORMAT_VERSION or payload.get("shard") != i:
             raise ValueError(f"corrupt shard file: {path}")
+        if len(payload["entries"]) != self._shard_entry_counts[i]:
+            # Readable but from a different snapshot than our manifest.
+            raise StaleIndexError(
+                f"shard file {path} has {len(payload['entries'])} entries, "
+                f"manifest recorded {self._shard_entry_counts[i]} "
+                "(index rebuilt in place?)"
+            )
         for key, raw in payload["entries"].items():
             self._entries[key] = IndexEntry(fpr_sum=float(raw[0]), coverage=int(raw[1]))
         self._loaded[i] = True

@@ -1,17 +1,25 @@
-"""Service layer: cached, batch-capable inference over a pattern index.
+"""Service layer: cached, batch-capable, parallel inference over an index.
 
 This is the recommended entry point for serving validation traffic; see
-:class:`ValidationService`.  The CLI's ``infer`` command and the latency
-benchmark (Figure 14) both run through it.
+:class:`ValidationService` (synchronous, thread-safe, with a spawn-safe
+process-pool batch path) and :class:`AsyncValidationService` (asyncio
+front end).  The CLI's ``infer`` command and the latency benchmark
+(Figure 14) both run through it.
 """
 
+from repro.service.async_service import AsyncValidationService
 from repro.service.cache import HypothesisSpaceCache, column_digest
+from repro.service.parallel import ParallelExecutor, chunk_slices, default_workers
 from repro.service.service import VARIANTS, ServiceStats, ValidationService
 
 __all__ = [
+    "AsyncValidationService",
     "HypothesisSpaceCache",
+    "ParallelExecutor",
     "ServiceStats",
     "VARIANTS",
     "ValidationService",
+    "chunk_slices",
     "column_digest",
+    "default_workers",
 ]

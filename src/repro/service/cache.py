@@ -18,6 +18,7 @@ set of values with multiplicities) and makes results order-stable.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import Counter, OrderedDict
 from typing import Sequence
 
@@ -50,18 +51,43 @@ class HypothesisSpaceCache:
     does).  A single cache instance is safely shared by all solver
     variants of one service: the key carries the enumeration fingerprint,
     so solvers configured differently never collide.
+
+    The cache is thread-safe (the asyncio front end runs lookups from a
+    thread pool): bookkeeping happens under a lock, while Algorithm 1
+    itself runs outside it so concurrent misses on *different* columns
+    overlap.  Two simultaneous misses on the same column may both compute,
+    but the first insert wins and both callers receive the same stored
+    object — identity of hits is preserved.
+
+    Keys additionally carry a ``generation`` token (set by the owning
+    service from the index manifest digest).  Bumping the generation makes
+    every older entry unreachable — stale hypothesis spaces are never
+    served after an index rebuild and age out of the LRU naturally.
     """
 
     def __init__(self, max_entries: int = 1024):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._data: OrderedDict[tuple[str, str, str], list[PatternStats]] = OrderedDict()
+        self._data: OrderedDict[tuple[str, str, str, str], list[PatternStats]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.generation = ""
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
+
+    def set_generation(self, token: str) -> None:
+        """Stamp subsequent entries with ``token``; older ones go stale."""
+        with self._lock:
+            self.generation = token
+
+    def merge_delta(self, hits: int, misses: int) -> None:
+        """Fold a worker process's hit/miss delta into these counters."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
 
     def get(
         self,
@@ -70,20 +96,26 @@ class HypothesisSpaceCache:
         config: EnumerationConfig,
     ) -> list[PatternStats]:
         """The hypothesis space of ``values``, computed at most once."""
-        key = (column_digest(values), repr(min_coverage), config.fingerprint())
-        cached = self._data.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._data.move_to_end(key)
-            return cached
-        self.misses += 1
+        key = (self.generation, column_digest(values), repr(min_coverage), config.fingerprint())
+        with self._lock:
+            cached = self._data.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return cached
+            self.misses += 1
         stats = hypothesis_space(values, config, min_coverage)
-        self._data[key] = stats
-        if len(self._data) > self.max_entries:
-            self._data.popitem(last=False)
+        with self._lock:
+            existing = self._data.get(key)
+            if existing is not None:
+                return existing
+            self._data[key] = stats
+            if len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
         return stats
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0

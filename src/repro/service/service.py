@@ -16,21 +16,43 @@ Rule evaluation relies on the process-wide compiled-regex memoization of
 thousands of columns sharing a handful of rules touches the regex
 compiler a handful of times.
 
-All service methods are synchronous; the service object itself is cheap
-(solvers and caches are built lazily) and one instance is intended to be
-long-lived and shared per process.
+Three scaling mechanisms sit on top of the single-call path:
+
+* **Parallel batches** — ``infer_many``/``validate_many`` fan large
+  batches across a spawn-safe process pool
+  (:class:`~repro.service.parallel.ParallelExecutor`); small batches stay
+  serial because pool startup would dominate.  Worker cache-stat deltas
+  are merged back, and worker results warm this service's result cache.
+* **Cache generations** — every cache entry is stamped with a generation
+  token derived from the index content digest
+  (:meth:`repro.index.index.PatternIndex.content_digest`).  A service
+  opened with :meth:`from_path` watches the on-disk manifest: rebuilding
+  the index under the same path is detected on the next call, the index
+  is reloaded and stale cache entries are never served — no manual
+  :meth:`clear_caches` required.  :meth:`swap_index` does the same for
+  in-memory replacement.
+* **Async front end** — :class:`repro.service.AsyncValidationService`
+  wraps a service for asyncio servers; service methods are thread-safe
+  (cache bookkeeping is lock-guarded; solving runs outside the locks).
+
+The service object itself is cheap (solvers, caches and the process pool
+are built lazily) and one instance is intended to be long-lived and shared
+per process.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
-from repro.index.index import PatternIndex
+from repro.index.index import PatternIndex, StaleIndexError, index_digest
 from repro.service.cache import HypothesisSpaceCache, column_digest
+from repro.service.parallel import ParallelExecutor, index_spec_for
 from repro.validate.combined import FMDVCombined
 from repro.validate.fmdv import CMDV, FMDV, InferenceResult
 from repro.validate.horizontal import FMDVHorizontal
@@ -61,14 +83,28 @@ class ServiceStats:
     space_cache_hits: int
     space_cache_misses: int
     space_cache_size: int
+    #: Cache generation currently served (index content digest).
+    generation: str = ""
+    #: How many times an index rebuild/replacement invalidated the caches.
+    invalidations: int = 0
+    #: Batches dispatched to the process pool so far.
+    parallel_batches: int = 0
 
     @property
     def result_hit_rate(self) -> float:
+        """Result-cache hit rate; 0.0 on a fresh service (no lookups)."""
         return self.result_cache_hits / self.inferences if self.inferences else 0.0
+
+    @property
+    def space_hit_rate(self) -> float:
+        """Hypothesis-space hit rate; 0.0 on a fresh service (no lookups),
+        mirroring :attr:`result_hit_rate` so both caches divide safely."""
+        lookups = self.space_cache_hits + self.space_cache_misses
+        return self.space_cache_hits / lookups if lookups else 0.0
 
 
 class ValidationService:
-    """Batch-capable, cached inference and validation over one index."""
+    """Batch-capable, cached, parallelizable inference over one index."""
 
     def __init__(
         self,
@@ -77,6 +113,9 @@ class ValidationService:
         variant: str = "fmdv-vh",
         space_cache_size: int = 1024,
         result_cache_size: int = 4096,
+        workers: int | None = None,
+        min_batch_for_parallel: int | None = None,
+        parallel_backend: str | None = None,
     ):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}")
@@ -85,17 +124,117 @@ class ValidationService:
         self.variant = VARIANTS[variant].variant
         self.space_cache = HypothesisSpaceCache(space_cache_size)
         self._solvers: dict[str, FMDV] = {}
-        self._results: OrderedDict[tuple[str, str], InferenceResult] = OrderedDict()
+        self._results: OrderedDict[tuple[str, str, str], InferenceResult] = OrderedDict()
         self._result_cache_size = result_cache_size
         self._inferences = 0
         self._result_hits = 0
+        self._invalidations = 0
+        self._lock = threading.RLock()
+        self._executor = ParallelExecutor(
+            workers=workers,
+            min_batch_for_parallel=min_batch_for_parallel,
+            backend=parallel_backend,
+        )
+        # Generation tracking: the token every cache entry is stamped with.
+        self._index_path: Path | None = None
+        self._disk_signature: tuple | None = None
+        self._disk_digest: str | None = None
+        self._generation = index.content_digest()
+        self.space_cache.set_generation(self._generation)
 
     @classmethod
     def from_path(
         cls, index_path: str | Path, config: AutoValidateConfig = DEFAULT_CONFIG, **kwargs
     ) -> "ValidationService":
-        """Open a service over a saved index (v1 file or v2 shard directory)."""
-        return cls(PatternIndex.load(index_path), config, **kwargs)
+        """Open a service over a saved index (v1 file or v2 shard directory).
+
+        A path-opened service *watches* the path: when the index is rebuilt
+        or replaced on disk, the next call notices (cheap stat, then digest
+        check), reloads the index and bumps the cache generation so no
+        stale cached answer is ever served.
+        """
+        index_path = Path(index_path)
+        service = cls(PatternIndex.load(index_path), config, **kwargs)
+        service._index_path = index_path
+        service._disk_signature = service._stat_signature()
+        service._disk_digest = index_digest(index_path)
+        return service
+
+    # -- cache generations ---------------------------------------------------
+
+    @property
+    def generation(self) -> str:
+        """The cache-generation token (index content digest) in effect."""
+        return self._generation
+
+    def _stat_signature(self) -> tuple | None:
+        """Cheap change detector for the watched index path."""
+        assert self._index_path is not None
+        target = self._index_path
+        if target.is_dir():
+            target = target / "manifest.json"
+        try:
+            st = target.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+    def _check_generation(self) -> None:
+        """Reload the index and invalidate caches if the path changed.
+
+        Called at the top of every query-path method.  The common case is
+        one ``stat`` call; only a changed (mtime, size, inode) signature
+        pays for a digest read, and only a changed digest pays for a
+        reload.  A mid-rebuild disappearing path keeps serving the current
+        snapshot.
+        """
+        if self._index_path is None:
+            return
+        with self._lock:
+            signature = self._stat_signature()
+            if signature is None or signature == self._disk_signature:
+                return
+            self._disk_signature = signature
+            try:
+                digest = index_digest(self._index_path)
+            except OSError:
+                return
+            if digest == self._disk_digest:
+                return  # e.g. touch/re-save of identical content
+            try:
+                reloaded = PatternIndex.load(self._index_path)
+            except (OSError, ValueError):
+                return  # partially-written index: keep the current snapshot
+            self._disk_digest = digest
+            self.index = reloaded
+            self._solvers.clear()  # solvers reference the old index object
+            token = reloaded.content_digest()
+            if token != self._generation:
+                self._apply_new_generation(token)
+
+    def _apply_new_generation(self, token: str) -> None:
+        """Switch to generation ``token``; stale cache entries go dead."""
+        self._generation = token
+        self.space_cache.set_generation(token)
+        self._invalidations += 1
+
+    def swap_index(self, index: PatternIndex) -> None:
+        """Replace the served index in place (in-memory rebuild path).
+
+        Stale hypothesis-space and result entries become unreachable
+        immediately; counters and stats survive, ``invalidations`` ticks.
+        Swapping in an index with identical content keeps the generation
+        (the caches stay warm — they are still correct).
+        """
+        with self._lock:
+            self.index = index
+            self._index_path = None
+            self._disk_signature = None
+            self._disk_digest = None
+            self._solvers.clear()  # solvers reference the old index object
+            token = index.content_digest()
+            if token != self._generation:
+                self._apply_new_generation(token)
 
     # -- inference -----------------------------------------------------------
 
@@ -106,39 +245,144 @@ class ValidationService:
         if name not in VARIANTS:
             raise ValueError(f"unknown variant {name!r}; choose from {sorted(VARIANTS)}")
         name = VARIANTS[name].variant
-        solver = self._solvers.get(name)
-        if solver is None:
-            cls = VARIANTS[name]
-            solver = cls(self.index, self.config, space_cache=self.space_cache)
-            self._solvers[name] = solver
-        return solver
+        with self._lock:
+            solver = self._solvers.get(name)
+            if solver is None:
+                cls = VARIANTS[name]
+                solver = cls(self.index, self.config, space_cache=self.space_cache)
+                self._solvers[name] = solver
+            return solver
 
     def infer(self, values: Sequence[str], variant: str | None = None) -> InferenceResult:
         """Infer a validation rule for one column, through both caches."""
+        self._check_generation()
         solver = self.solver(variant)
-        key = (column_digest(values), solver.variant)
-        self._inferences += 1
-        cached = self._results.get(key)
-        if cached is not None:
-            self._result_hits += 1
-            self._results.move_to_end(key)
-            return cached
-        result = solver.infer(list(values))
-        self._results[key] = result
-        if len(self._results) > self._result_cache_size:
-            self._results.popitem(last=False)
-        return result
+        key = (self._generation, column_digest(values), solver.variant)
+        return self._infer_with_key(values, key, solver)
+
+    def _infer_with_key(
+        self, values: Sequence[str], key: tuple[str, str, str], solver: FMDV
+    ) -> InferenceResult:
+        """Cache lookup + solve for a precomputed key (batch paths reuse the
+        digests they already have instead of re-hashing every column)."""
+        with self._lock:
+            self._inferences += 1
+            cached = self._results.get(key)
+            if cached is not None:
+                self._result_hits += 1
+                self._results.move_to_end(key)
+                return cached
+        try:
+            result = solver.infer(list(values))
+        except StaleIndexError:
+            # A lazy shard read lost the race against an in-place index
+            # rebuild.  Force a full generation re-check (stat caching off)
+            # and retry once against the fresh snapshot; if the rebuild is
+            # still mid-flight the retry's error propagates to the caller
+            # rather than caching an answer from a torn index.
+            with self._lock:
+                self._disk_signature = None
+            self._check_generation()
+            solver = self.solver(solver.variant)
+            key = (self._generation, key[1], solver.variant)
+            result = solver.infer(list(values))
+        return self._store_result(key, result)
+
+    def _store_result(self, key: tuple[str, str, str], result: InferenceResult) -> InferenceResult:
+        """Insert-if-absent so concurrent solvers of the same column agree
+        on one canonical result object."""
+        with self._lock:
+            existing = self._results.get(key)
+            if existing is not None:
+                return existing
+            self._results[key] = result
+            if len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+            return result
 
     def infer_many(
-        self, columns: Iterable[Sequence[str]], variant: str | None = None
+        self,
+        columns: Iterable[Sequence[str]],
+        variant: str | None = None,
+        workers: int | None = None,
     ) -> list[InferenceResult]:
-        """Infer rules for a batch of columns.
+        """Infer rules for a batch of columns, in input order.
 
-        Equivalent to calling :meth:`infer` per column; batching exists so
-        callers hand the service whole feeds and duplicates inside the
-        batch are deduplicated by the caches rather than re-solved.
+        Small batches run serially through :meth:`infer` (duplicates are
+        answered by the caches).  Batches of at least
+        ``min_batch_for_parallel`` columns — or any batch when the
+        ``process`` backend is forced — fan out across the spawn-safe
+        worker pool; results are byte-for-byte what the serial path
+        produces, worker cache-stat deltas are merged into this service's
+        counters, and worker results warm the local result cache.
+        ``workers=1`` forces the serial path for this call.
         """
-        return [self.infer(values, variant) for values in columns]
+        self._check_generation()
+        batch = [list(values) for values in columns]
+        solver = self.solver(variant)
+        solver_variant = solver.variant
+
+        # Resolve what the local result cache already knows; only genuine
+        # misses are worth shipping to worker processes.
+        keys = [
+            (self._generation, column_digest(values), solver_variant)
+            for values in batch
+        ]
+        resolved: list[InferenceResult | None] = [None] * len(batch)
+        miss_positions: list[int] = []
+        with self._lock:
+            for i, key in enumerate(keys):
+                cached = self._results.get(key)
+                if cached is not None:
+                    self._inferences += 1
+                    self._result_hits += 1
+                    self._results.move_to_end(key)
+                    resolved[i] = cached
+                else:
+                    miss_positions.append(i)
+
+        # Deduplicate misses by cache key: only the first occurrence of a
+        # repeated column is solved (in a worker); the repeats resolve from
+        # its result and are accounted as cache hits, exactly like the
+        # serial path where the second occurrence hits mid-batch.
+        first_position: dict[tuple[str, str, str], int] = {}
+        unique_positions: list[int] = []
+        for i in miss_positions:
+            if keys[i] not in first_position:
+                first_position[keys[i]] = i
+                unique_positions.append(i)
+
+        use_pool = self._executor.should_parallelize(len(unique_positions)) and (
+            workers is None or workers > 1
+        )
+        if not use_pool:
+            # Serial fallback reuses the digests computed above — no second
+            # hash of every column, no per-column re-stat of the index path.
+            for i in miss_positions:
+                resolved[i] = self._infer_with_key(batch[i], keys[i], solver)
+            return resolved  # type: ignore[return-value]
+
+        results, delta = self._executor.infer_many(
+            [batch[i] for i in unique_positions],
+            variant,
+            index_spec=index_spec_for(self.index, self._index_path),
+            config=self.config,
+            default_variant=self.variant,
+            generation=self._generation,
+        )
+        n_duplicates = len(miss_positions) - len(unique_positions)
+        with self._lock:
+            self._inferences += delta["inferences"] + n_duplicates
+            self._result_hits += delta["result_cache_hits"] + n_duplicates
+        self.space_cache.merge_delta(
+            delta["space_cache_hits"], delta["space_cache_misses"]
+        )
+        for i, result in zip(unique_positions, results):
+            resolved[i] = self._store_result(keys[i], result)
+        for i in miss_positions:
+            if resolved[i] is None:
+                resolved[i] = resolved[first_position[keys[i]]]
+        return resolved  # type: ignore[return-value]
 
     # -- validation ----------------------------------------------------------
 
@@ -150,6 +394,7 @@ class ValidationService:
         self,
         rules: ValidationRule | Sequence[ValidationRule],
         columns: Sequence[Sequence[str]],
+        workers: int | None = None,
     ) -> list[ValidationReport]:
         """Validate a batch of columns.
 
@@ -157,7 +402,8 @@ class ValidationService:
         sequence aligned with ``columns``.  Each distinct pattern's regex
         is compiled once (``Pattern.compiled`` memoizes process-wide), so
         a batch sharing a handful of rules touches the compiler a handful
-        of times.
+        of times.  Large batches fan out across the worker pool under the
+        same policy as :meth:`infer_many`.
         """
         if isinstance(rules, ValidationRule):
             rules = [rules] * len(columns)
@@ -168,23 +414,57 @@ class ValidationService:
                     f"{len(rules)} rules for {len(columns)} columns; "
                     "pass one rule per column or a single rule"
                 )
-        return [rule.validate(values) for rule, values in zip(rules, columns)]
+        self._check_generation()
+        use_pool = self._executor.should_parallelize(len(columns)) and (
+            workers is None or workers > 1
+        )
+        if not use_pool:
+            return [rule.validate(values) for rule, values in zip(rules, columns)]
+        return self._executor.validate_many(
+            rules,
+            [list(values) for values in columns],
+            index_spec=index_spec_for(self.index, self._index_path),
+            config=self.config,
+            default_variant=self.variant,
+            generation=self._generation,
+        )
 
     # -- observability -------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        return ServiceStats(
-            inferences=self._inferences,
-            result_cache_hits=self._result_hits,
-            result_cache_size=len(self._results),
-            space_cache_hits=self.space_cache.hits,
-            space_cache_misses=self.space_cache.misses,
-            space_cache_size=len(self.space_cache),
-        )
+        with self._lock:
+            return ServiceStats(
+                inferences=self._inferences,
+                result_cache_hits=self._result_hits,
+                result_cache_size=len(self._results),
+                space_cache_hits=self.space_cache.hits,
+                space_cache_misses=self.space_cache.misses,
+                space_cache_size=len(self.space_cache),
+                generation=self._generation,
+                invalidations=self._invalidations,
+                parallel_batches=self._executor.parallel_batches,
+            )
 
     def clear_caches(self) -> None:
-        """Drop both caches (e.g. after swapping the index)."""
-        self.space_cache.clear()
-        self._results.clear()
-        self._inferences = 0
-        self._result_hits = 0
+        """Drop both caches and reset hit-rate counters.
+
+        Generation handling makes this unnecessary after index rebuilds,
+        but it remains the explicit way to reclaim memory / reset stats.
+        """
+        with self._lock:
+            self.space_cache.clear()
+            self._results.clear()
+            self._inferences = 0
+            self._result_hits = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; GC also reclaims it)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,7 +8,13 @@ import pytest
 
 from repro.core.enumeration import EnumerationConfig
 from repro.datalake.domains import DOMAIN_REGISTRY
-from repro.service import HypothesisSpaceCache, ValidationService, column_digest
+from repro.index import build_index
+from repro.service import (
+    HypothesisSpaceCache,
+    ServiceStats,
+    ValidationService,
+    column_digest,
+)
 from repro.service.service import VARIANTS
 from repro.validate.fmdv import FMDV
 
@@ -196,6 +202,212 @@ class TestServiceValidation:
         rule = service.infer(_column("datetime_slash", 20)).rule
         with pytest.raises(ValueError):
             service.validate_many([rule, rule], [["1/2/2019 3:04:05"]])
+
+
+class TestServiceStatsGuards:
+    """Hit rates on a fresh service (0 lookups) must be 0.0 for BOTH caches
+    — no ZeroDivisionError, consistently across result and space caches."""
+
+    def test_fresh_service_hit_rates_are_zero(self, small_index, small_config):
+        stats = ValidationService(small_index, small_config).stats()
+        assert stats.inferences == 0
+        assert stats.result_hit_rate == 0.0
+        assert stats.space_hit_rate == 0.0
+
+    def test_zeroed_stats_object_divides_safely(self):
+        stats = ServiceStats(
+            inferences=0,
+            result_cache_hits=0,
+            result_cache_size=0,
+            space_cache_hits=0,
+            space_cache_misses=0,
+            space_cache_size=0,
+        )
+        assert stats.result_hit_rate == 0.0
+        assert stats.space_hit_rate == 0.0
+
+    def test_hit_rates_after_traffic(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("datetime_slash", 21)
+        service.infer(column)
+        service.infer(column)
+        stats = service.stats()
+        assert stats.result_hit_rate == pytest.approx(0.5)
+        assert 0.0 <= stats.space_hit_rate <= 1.0
+
+    def test_clear_caches_resets_hit_rate_counters(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("datetime_slash", 22)
+        service.infer(column)
+        service.infer(column)
+        assert service.stats().result_hit_rate > 0.0
+        service.clear_caches()
+        stats = service.stats()
+        assert stats.inferences == 0
+        assert stats.result_cache_hits == 0
+        assert stats.result_hit_rate == 0.0
+        assert stats.space_cache_hits == stats.space_cache_misses == 0
+        assert stats.space_hit_rate == 0.0
+
+
+class TestCacheGenerations:
+    """Rebuilding/replacing the index must invalidate service caches
+    without a manual clear_caches() call."""
+
+    def _save(self, columns, path, n_shards=4):
+        index = build_index(
+            columns, EnumerationConfig(min_coverage=0.1), corpus_name="gen-test"
+        )
+        index.save_sharded(path, n_shards=n_shards)
+        return index
+
+    def test_rebuild_on_disk_invalidates_stale_entries(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        path = tmp_path / "watched.v2"
+        self._save(small_corpus_columns, path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        column = _column("datetime_slash", 30)
+        first = service.infer(column)
+        generation_before = service.stats().generation
+        assert service.infer(column) is first  # sanity: cached while valid
+
+        # Rebuild the index under the same path from a different corpus.
+        self._save(small_corpus_columns[: len(small_corpus_columns) // 2], path)
+
+        second = service.infer(column)
+        stats = service.stats()
+        assert stats.invalidations == 1
+        assert stats.generation != generation_before
+        # The stale cached result was NOT served...
+        assert second is not first
+        # ...the result cache re-missed (hit count stuck at the pre-rebuild 1)
+        assert stats.result_cache_hits == 1
+        # ...and the hypothesis space was recomputed under the new generation.
+        assert stats.space_cache_misses >= 2
+
+    def test_identical_rebuild_keeps_caches_warm(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        path = tmp_path / "stable.v2"
+        self._save(small_corpus_columns, path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        first = service.infer(_column("guid", 31))
+        # Deterministic save: same corpus -> byte-identical index -> same
+        # digest -> NOT an invalidation, caches stay hot.
+        self._save(small_corpus_columns, path)
+        assert service.infer(_column("guid", 31)) is first
+        stats = service.stats()
+        assert stats.invalidations == 0
+        assert stats.result_cache_hits == 1
+
+    def test_rebuild_to_v1_file_is_watched_too(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        path = tmp_path / "watched.idx.gz"
+        index = build_index(
+            small_corpus_columns, EnumerationConfig(min_coverage=0.1)
+        )
+        index.save(path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        first = service.infer(_column("phone_us", 32))
+        rebuilt = build_index(
+            small_corpus_columns[: len(small_corpus_columns) // 2],
+            EnumerationConfig(min_coverage=0.1),
+        )
+        rebuilt.save(path)
+        second = service.infer(_column("phone_us", 32))
+        assert second is not first
+        assert service.stats().invalidations == 1
+
+    def test_swap_index_invalidates_in_memory(
+        self, small_index, small_corpus_columns, small_config
+    ):
+        service = ValidationService(small_index, small_config, variant="fmdv")
+        column = _column("datetime_slash", 33)
+        first = service.infer(column)
+        other = build_index(
+            small_corpus_columns[: len(small_corpus_columns) // 2],
+            EnumerationConfig(min_coverage=0.1),
+        )
+        service.swap_index(other)
+        assert service.index is other
+        assert service.infer(column) is not first
+        assert service.stats().invalidations == 1
+        assert service.solver().index is other  # solvers rebuilt on the swap
+
+    def test_swap_to_identical_index_keeps_generation(
+        self, small_corpus_columns, small_config
+    ):
+        build = lambda: build_index(  # noqa: E731 - tiny local helper
+            small_corpus_columns,
+            EnumerationConfig(min_coverage=0.1),
+            corpus_name="test-corpus",
+        )
+        service = ValidationService(build(), small_config, variant="fmdv")
+        first = service.infer(_column("guid", 34))
+        service.swap_index(build())
+        assert service.infer(_column("guid", 34)) is first
+        assert service.stats().invalidations == 0
+
+    def test_stale_shard_read_retries_against_fresh_snapshot(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        """The race the stat check cannot see: a rebuild completes *after*
+        the generation check but before a lazy shard read.  The solver's
+        StaleIndexError must trigger one transparent retry on the fresh
+        snapshot instead of caching an answer from a torn index."""
+        path = tmp_path / "raced.v2"
+        self._save(small_corpus_columns, path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        # Rebuild in place, then simulate losing the race: the service
+        # believes the disk is unchanged (stat signature refreshed without
+        # a digest check), so its lazy index reads the NEW shard files
+        # against the OLD manifest.
+        self._save(small_corpus_columns[: len(small_corpus_columns) // 3], path)
+        service._disk_signature = service._stat_signature()
+
+        result = service.infer(_column("datetime_slash", 36))
+        stats = service.stats()
+        assert stats.invalidations == 1  # the retry re-checked and reloaded
+        assert result == ValidationService.from_path(
+            path, small_config, variant="fmdv"
+        ).infer(_column("datetime_slash", 36))
+
+    def test_stale_shard_without_recovery_propagates(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        """If the index cannot be freshened (shard gone, manifest intact),
+        the caller gets StaleIndexError — never a silently wrong answer."""
+        from repro.index import StaleIndexError
+
+        path = tmp_path / "torn.v2"
+        self._save(small_corpus_columns, path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        for shard in path.glob("shard-*.json.gz"):
+            shard.unlink()
+        with pytest.raises(StaleIndexError):
+            service.infer(_column("datetime_slash", 37))
+        # and nothing poisoned the result cache
+        assert service.stats().result_cache_size == 0
+
+    def test_clear_caches_still_works_after_generations(
+        self, small_corpus_columns, small_config, tmp_path
+    ):
+        path = tmp_path / "cleared.v2"
+        self._save(small_corpus_columns, path)
+        service = ValidationService.from_path(path, small_config, variant="fmdv")
+        service.infer(_column("guid", 35))
+        service.infer(_column("guid", 35))
+        service.clear_caches()
+        stats = service.stats()
+        assert stats.inferences == 0
+        assert stats.result_cache_size == 0
+        assert stats.space_cache_size == 0
+        assert stats.result_hit_rate == 0.0
+        # generation machinery is untouched by an explicit clear
+        assert stats.generation == service.generation
+        assert service.infer(_column("guid", 35)).found in (True, False)
 
 
 class TestVariantRegistry:
