@@ -22,14 +22,14 @@ from benchmarks.conftest import (
     RECALL_SAMPLE,
     record_report,
 )
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext
 from repro.eval import AutoValidateMethod, EvaluationRunner, build_benchmark
 from repro.eval.reporting import render_table
 from repro.validate.combined import FMDVCombined
 from repro.validate.hybrid import HybridValidator
 
 
-class _HybridMethod(Validator):
+class _HybridMethod(BaselineValidator):
     name = "Hybrid (VH+dict)"
 
     def __init__(self, hybrid: HybridValidator):

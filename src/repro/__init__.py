@@ -22,6 +22,20 @@ Quickstart::
             print("data drift:", report.reason)
 """
 
+from repro.api import (
+    API_VERSION,
+    BatchEnvelope,
+    ErrorResponse,
+    InferRequest,
+    InferResponse,
+    ValidateRequest,
+    ValidateResponse,
+    Validator,
+    WireError,
+    available_validators,
+    get_validator,
+    register_validator,
+)
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.core.atoms import Atom, AtomKind
 from repro.core.enumeration import EnumerationConfig, PatternStats
@@ -37,22 +51,38 @@ from repro.service import (
     ServiceStats,
     ValidationService,
 )
+from repro.server import TenantRateLimiter, ValidationHTTPServer
 from repro.validate.autotag import AutoTagger, TagResult
 from repro.validate.combined import FMDVCombined
 from repro.validate.dictionary import DictionaryValidator
-from repro.validate.fmdv import CMDV, FMDV, InferenceResult, NoIndexFMDV
+from repro.validate.fmdv import CMDV, FMDV, NoIndexFMDV
 from repro.validate.horizontal import FMDVHorizontal
 from repro.validate.hybrid import HybridValidator
 from repro.validate.numeric import NumericValidator
+from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationReport, ValidationRule
 from repro.validate.vertical import FMDVVertical
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "API_VERSION",
     "Atom",
     "AtomKind",
     "AsyncValidationService",
+    "BatchEnvelope",
+    "ErrorResponse",
+    "InferRequest",
+    "InferResponse",
+    "TenantRateLimiter",
+    "ValidateRequest",
+    "ValidateResponse",
+    "Validator",
+    "ValidationHTTPServer",
+    "WireError",
+    "available_validators",
+    "get_validator",
+    "register_validator",
     "AutoTagger",
     "AutoValidateConfig",
     "CMDV",

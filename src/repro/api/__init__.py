@@ -1,0 +1,77 @@
+"""``repro.api`` — the versioned public facade of the library.
+
+Three layers, all stable under :data:`API_VERSION`:
+
+* **Protocol** — :class:`Validator`, the single runtime-checkable contract
+  every inference engine satisfies (FMDV family, hybrid, dictionary,
+  numeric, and the Figure-10 baselines).
+* **Registry** — :func:`get_validator` resolves a string name to a ready
+  validator; :func:`register_validator` adds third-party engines.  The
+  CLI, the service layer and the evaluation runner all dispatch through
+  it.
+* **Wire** — the envelope types (:class:`InferRequest`,
+  :class:`InferResponse`, :class:`ValidateRequest`,
+  :class:`ValidateResponse`, :class:`BatchEnvelope`,
+  :class:`ErrorResponse`) with deterministic, versioned
+  ``to_json``/``from_json``.  Schema reference: ``src/repro/api/WIRE.md``.
+
+Quickstart::
+
+    from repro.api import get_validator, InferRequest
+
+    v = get_validator("fmdv-vh", index=index)
+    result = v.infer(train_values)          # unified InferenceResult
+    wire = result.to_json()                 # lossless round-trip
+"""
+
+from repro.api.protocol import Validator
+from repro.api.registry import (
+    SOLVER_CLASSES,
+    available_validators,
+    get_validator,
+    register_validator,
+    resolve_name,
+    validator_summary,
+)
+from repro.api.wire import (
+    WIRE_VERSION,
+    BatchEnvelope,
+    ErrorResponse,
+    InferRequest,
+    InferResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireError,
+)
+from repro.validate.result import (
+    InferenceResult,
+    RuleSerializationError,
+    rule_from_payload,
+    rule_to_payload,
+)
+
+#: Version prefix of the served HTTP routes (``/v1/...``) and of this facade.
+API_VERSION = "v1"
+
+__all__ = [
+    "API_VERSION",
+    "BatchEnvelope",
+    "ErrorResponse",
+    "InferRequest",
+    "InferResponse",
+    "InferenceResult",
+    "RuleSerializationError",
+    "SOLVER_CLASSES",
+    "ValidateRequest",
+    "ValidateResponse",
+    "Validator",
+    "WIRE_VERSION",
+    "WireError",
+    "available_validators",
+    "get_validator",
+    "register_validator",
+    "resolve_name",
+    "rule_from_payload",
+    "rule_to_payload",
+    "validator_summary",
+]

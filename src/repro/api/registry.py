@@ -1,0 +1,263 @@
+"""String registry of validators — the one dispatch point for the library.
+
+``get_validator("fmdv-vh", index=...)`` replaces the ad-hoc class dispatch
+that used to live separately in the CLI (``_VARIANTS`` tuple), the service
+(``VARIANTS`` dict) and the eval runner (direct class references).  The
+service's variant table (:data:`SOLVER_CLASSES`) is defined here and
+re-exported by :mod:`repro.service.service` for compatibility.
+
+Built-in names (plus historical aliases):
+
+=================  ==========================================================
+``fmdv``           basic FPR-minimizing solver (aliases: ``basic``)
+``fmdv-v``         vertical cuts (alias: ``v``)
+``fmdv-h``         horizontal tolerance (alias: ``h``)
+``fmdv-vh``        both — the paper's best (aliases: ``vh``, ``fmdv-combined``)
+``cmdv``           coverage-minimizing ablation
+``fmdv-noindex``   per-query corpus re-scan (Figure 14 reference point)
+``hybrid``         FMDV-VH with dictionary fallback
+``dictionary``     set-expansion vocabulary rules
+``numeric``        Tukey-fence envelope rules
+``tfdv`` ``deequ-cat`` ``deequ-fra`` ``grok`` ``pwheel`` ``ssis``
+``xsystem`` ``flashprofile`` ``sm-i`` ``sm-p``   baselines (Figure 10)
+=================  ==========================================================
+
+Every resolved object satisfies :class:`repro.api.Validator`.  Third-party
+engines register with :func:`register_validator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.api.protocol import Validator
+from repro.baselines import (
+    DeequCat,
+    DeequFra,
+    FitContext,
+    FlashProfile,
+    Grok,
+    PottersWheel,
+    SSIS,
+    SchemaMatchingInstance,
+    SchemaMatchingPattern,
+    TFDV,
+    XSystem,
+)
+from repro.config import DEFAULT_CONFIG, AutoValidateConfig
+from repro.index.index import PatternIndex
+from repro.validate.combined import FMDVCombined
+from repro.validate.dictionary import DictionaryValidator
+from repro.validate.fmdv import CMDV, FMDV, NoIndexFMDV
+from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.hybrid import HybridValidator
+from repro.validate.numeric import NumericValidator
+from repro.validate.vertical import FMDVVertical
+
+#: Canonical FMDV-family variant names plus the short aliases the CLI
+#: historically used.  This is the service layer's variant table
+#: (re-exported as ``repro.service.service.VARIANTS``).
+SOLVER_CLASSES: dict[str, type[FMDV]] = {
+    "fmdv": FMDV,
+    "fmdv-v": FMDVVertical,
+    "fmdv-h": FMDVHorizontal,
+    "fmdv-vh": FMDVCombined,
+    "fmdv-combined": FMDVCombined,
+    "cmdv": CMDV,
+    "basic": FMDV,
+    "v": FMDVVertical,
+    "h": FMDVHorizontal,
+    "vh": FMDVCombined,
+}
+
+
+@dataclass(frozen=True)
+class RegisteredValidator:
+    """One registry row: how to build a validator from standard inputs."""
+
+    name: str
+    summary: str
+    factory: Callable[..., Validator]
+    needs_index: bool = False
+    needs_corpus: bool = False
+    aliases: tuple[str, ...] = ()
+
+
+_REGISTRY: dict[str, RegisteredValidator] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_validator(
+    name: str,
+    factory: Callable[..., Validator],
+    *,
+    summary: str = "",
+    needs_index: bool = False,
+    needs_corpus: bool = False,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+) -> None:
+    """Register a validator factory under ``name`` (and ``aliases``).
+
+    ``factory`` is called as ``factory(index=..., config=...,
+    corpus_columns=..., **kwargs)`` and may ignore inputs it does not need.
+    Registration of an existing name raises unless ``replace=True``.
+    """
+    name = name.lower()
+    spec = RegisteredValidator(
+        name=name,
+        summary=summary,
+        factory=factory,
+        needs_index=needs_index,
+        needs_corpus=needs_corpus,
+        aliases=tuple(a.lower() for a in aliases),
+    )
+    # Validate every name first, then commit: a collision must not leave a
+    # half-registered validator behind.
+    if not replace:
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"validator {name!r} is already registered")
+        for alias in spec.aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise ValueError(f"alias {alias!r} shadows a registered validator")
+    _REGISTRY[name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = name
+
+
+def resolve_name(name: str) -> str:
+    """Canonical registry name for ``name`` (aliases resolved)."""
+    lowered = name.lower()
+    canonical = _ALIASES.get(lowered, lowered)
+    if canonical not in _REGISTRY:
+        raise ValueError(
+            f"unknown validator {name!r}; choose from {available_validators()}"
+        )
+    return canonical
+
+
+def available_validators() -> list[str]:
+    """Sorted canonical names of every registered validator."""
+    return sorted(_REGISTRY)
+
+
+def validator_summary(name: str) -> str:
+    """One-line description of a registered validator."""
+    return _REGISTRY[resolve_name(name)].summary
+
+
+def get_validator(
+    name: str,
+    *,
+    index: PatternIndex | None = None,
+    config: AutoValidateConfig = DEFAULT_CONFIG,
+    corpus_columns: Sequence[Sequence[str]] = (),
+    **kwargs,
+) -> Validator:
+    """Build the validator registered under ``name``.
+
+    ``index`` is required for index-backed solvers (FMDV family, hybrid),
+    ``corpus_columns`` for corpus-scanning ones (``fmdv-noindex``; optional
+    vocabulary expansion for ``dictionary``/``hybrid``; optional
+    :class:`~repro.baselines.base.FitContext` for schema-matching
+    baselines).  Extra ``kwargs`` go to the factory.
+    """
+    spec = _REGISTRY[resolve_name(name)]
+    if spec.needs_index and index is None:
+        raise ValueError(f"validator {spec.name!r} requires index=...")
+    if spec.needs_corpus and not corpus_columns:
+        raise ValueError(f"validator {spec.name!r} requires corpus_columns=...")
+    return spec.factory(
+        index=index, config=config, corpus_columns=corpus_columns, **kwargs
+    )
+
+
+# -- built-in registrations ---------------------------------------------------
+
+
+def _register_solvers() -> None:
+    registered: set[type[FMDV]] = set()
+    alias_map: dict[type[FMDV], list[str]] = {}
+    for alias, cls in SOLVER_CLASSES.items():
+        if alias != cls.variant:
+            alias_map.setdefault(cls, []).append(alias)
+    for cls in SOLVER_CLASSES.values():
+        if cls in registered:
+            continue
+        registered.add(cls)
+
+        def factory(index, config, corpus_columns, _cls=cls, **kw):
+            return _cls(index, config, **kw)
+
+        register_validator(
+            cls.variant,
+            factory,
+            summary=(cls.__doc__ or "").strip().splitlines()[0],
+            needs_index=True,
+            aliases=alias_map.get(cls, ()),
+        )
+
+
+def _register_extensions() -> None:
+    register_validator(
+        "fmdv-noindex",
+        lambda index, config, corpus_columns, **kw: NoIndexFMDV(
+            corpus_columns, config, **kw
+        ),
+        summary="FMDV re-scanning the corpus per query (Figure 14 baseline)",
+        needs_corpus=True,
+    )
+    register_validator(
+        "hybrid",
+        lambda index, config, corpus_columns, **kw: HybridValidator(
+            index, corpus_columns, config, **kw
+        ),
+        summary="FMDV-VH with a dictionary fallback for pattern-free columns",
+        needs_index=True,
+    )
+    register_validator(
+        "dictionary",
+        lambda index, config, corpus_columns, **kw: DictionaryValidator(
+            corpus_columns, config, **kw
+        ),
+        summary="set-expansion vocabulary rules for categorical columns",
+    )
+    register_validator(
+        "numeric",
+        lambda index, config, corpus_columns, **kw: NumericValidator(**kw),
+        summary="Tukey-fence envelope rules for numeric columns",
+    )
+
+
+#: Baseline constructors take no inputs; corpus columns (when given) become
+#: the FitContext schema-matching baselines use to broaden training samples.
+_BASELINES: dict[str, tuple[type, str]] = {
+    "tfdv": (TFDV, "TFDV-style dictionary rule suggestion"),
+    "deequ-cat": (DeequCat, "Deequ categorical completeness rules"),
+    "deequ-fra": (DeequFra, "Deequ fractional tolerance rules"),
+    "grok": (Grok, "curated common-type regexes"),
+    "pwheel": (PottersWheel, "Potter's Wheel majority profile"),
+    "ssis": (SSIS, "SSIS-style profile rules"),
+    "xsystem": (XSystem, "XSystem branching profiles"),
+    "flashprofile": (FlashProfile, "FlashProfile clustering profiles"),
+    "sm-i": (SchemaMatchingInstance, "instance-based schema matching"),
+    "sm-p": (SchemaMatchingPattern, "pattern-based schema matching"),
+}
+
+
+def _register_baselines() -> None:
+    for name, (cls, summary) in _BASELINES.items():
+
+        def factory(index, config, corpus_columns, _cls=cls, **kw):
+            validator = _cls(**kw)
+            if corpus_columns:
+                validator.fit_context = FitContext.from_columns(corpus_columns)
+            return validator
+
+        register_validator(name, factory, summary=summary)
+
+
+_register_solvers()
+_register_extensions()
+_register_baselines()

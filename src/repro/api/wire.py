@@ -1,0 +1,259 @@
+"""Versioned wire envelopes — how rules, results and reports travel.
+
+Everything the HTTP layer (and any future gRPC layer) puts on the wire is
+one of the envelope dataclasses below.  The format contract (documented in
+``src/repro/api/WIRE.md``):
+
+* every envelope serializes to a JSON object tagged with ``"v"`` (the wire
+  version, currently :data:`WIRE_VERSION`) and ``"type"`` (the envelope
+  name in snake_case);
+* ``to_json`` is deterministic — sorted keys, compact separators, raw
+  unicode — so equal envelopes serialize to identical bytes (the property
+  round-trip tests rely on this);
+* ``from_json`` validates both tags and raises :class:`WireError` on
+  mismatch, so version skew fails loudly at the edge instead of deep in a
+  solver.
+
+Rule payloads are ``"kind"``-tagged dicts handled by
+:func:`repro.validate.result.rule_to_payload` — pattern, dictionary and
+numeric rules round-trip losslessly; baseline rules are process-local
+artifacts and are rejected with :class:`RuleSerializationError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Mapping
+
+from repro.validate.result import (
+    InferenceResult,
+    RuleSerializationError,
+    rule_from_payload,
+    rule_to_payload,
+)
+from repro.validate.rule import ValidationReport, dumps_canonical
+
+#: Version tag carried by every envelope; bump on breaking schema changes.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """Malformed, mistyped or wrong-version wire payload."""
+
+
+def _load_envelope(text: str | bytes, expected_type: str) -> dict[str, Any]:
+    """Parse and validate the common ``v``/``type`` tags of an envelope."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError(f"envelope must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version!r} (expected {WIRE_VERSION})")
+    found_type = payload.get("type")
+    if found_type != expected_type:
+        raise WireError(f"expected envelope type {expected_type!r}, got {found_type!r}")
+    return payload
+
+
+class _Envelope:
+    """Shared serialization plumbing; subclasses define ``wire_type`` plus
+    ``_body``/``_from_body``."""
+
+    wire_type: ClassVar[str]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"v": WIRE_VERSION, "type": self.wire_type, **self._body()}
+
+    def to_json(self) -> str:
+        return dumps_canonical(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]):
+        return cls._from_body(payload)
+
+    @classmethod
+    def from_json(cls, text: str | bytes):
+        return cls._from_body(_load_envelope(text, cls.wire_type))
+
+
+def _values_tuple(payload: Mapping[str, Any]) -> tuple[str, ...]:
+    values = payload.get("values")
+    if not isinstance(values, list) or any(not isinstance(v, str) for v in values):
+        raise WireError('"values" must be a JSON array of strings')
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class InferRequest(_Envelope):
+    """Ask for a rule to be inferred from one training column."""
+
+    wire_type: ClassVar[str] = "infer_request"
+
+    values: tuple[str, ...]
+    variant: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def _body(self) -> dict[str, Any]:
+        return {"values": list(self.values), "variant": self.variant}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "InferRequest":
+        variant = payload.get("variant")
+        if variant is not None and not isinstance(variant, str):
+            raise WireError('"variant" must be a string or null')
+        return cls(values=_values_tuple(payload), variant=variant)
+
+
+@dataclass(frozen=True)
+class InferResponse(_Envelope):
+    """The inferred rule (or abstention) plus the serving generation."""
+
+    wire_type: ClassVar[str] = "infer_response"
+
+    result: InferenceResult
+    generation: str = ""
+
+    def _body(self) -> dict[str, Any]:
+        return {"result": self.result.to_payload(), "generation": self.generation}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "InferResponse":
+        raw = payload.get("result")
+        if not isinstance(raw, Mapping):
+            raise WireError('"result" must be a JSON object')
+        return cls(
+            result=InferenceResult.from_payload(raw),
+            generation=str(payload.get("generation", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ValidateRequest(_Envelope):
+    """Ask whether a future column conforms to a previously inferred rule."""
+
+    wire_type: ClassVar[str] = "validate_request"
+
+    rule: Any
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def _body(self) -> dict[str, Any]:
+        return {"rule": rule_to_payload(self.rule), "values": list(self.values)}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "ValidateRequest":
+        raw = payload.get("rule")
+        if not isinstance(raw, Mapping):
+            raise WireError('"rule" must be a JSON object')
+        try:
+            rule = rule_from_payload(raw)
+        except RuleSerializationError as exc:
+            raise WireError(str(exc)) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed rule payload: {exc}") from exc
+        return cls(rule=rule, values=_values_tuple(payload))
+
+
+@dataclass(frozen=True)
+class ValidateResponse(_Envelope):
+    """The validation report for one (rule, column) pair."""
+
+    wire_type: ClassVar[str] = "validate_response"
+
+    report: ValidationReport
+
+    def _body(self) -> dict[str, Any]:
+        return {"report": self.report.to_dict()}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "ValidateResponse":
+        raw = payload.get("report")
+        if not isinstance(raw, Mapping):
+            raise WireError('"report" must be a JSON object')
+        try:
+            report = ValidationReport.from_dict(dict(raw))
+        except TypeError as exc:
+            raise WireError(f"malformed report payload: {exc}") from exc
+        return cls(report=report)
+
+
+#: Envelope types allowed inside a batch, by their wire tag.
+_BATCHABLE: dict[str, type] = {}
+
+
+@dataclass(frozen=True)
+class BatchEnvelope(_Envelope):
+    """A homogeneous batch of envelopes (requests out, responses back).
+
+    Items keep their order; ``/v1/infer_batch`` answers a batch of
+    ``InferRequest`` with a batch of ``InferResponse`` aligned index by
+    index.
+    """
+
+    wire_type: ClassVar[str] = "batch"
+
+    items: tuple[Any, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def _body(self) -> dict[str, Any]:
+        return {"items": [item.to_payload() for item in self.items]}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "BatchEnvelope":
+        raw_items = payload.get("items")
+        if not isinstance(raw_items, list):
+            raise WireError('"items" must be a JSON array')
+        items = []
+        for i, raw in enumerate(raw_items):
+            if not isinstance(raw, Mapping):
+                raise WireError(f"batch item {i} must be a JSON object")
+            item_cls = _BATCHABLE.get(raw.get("type", ""))
+            if item_cls is None:
+                raise WireError(f"batch item {i} has unknown type {raw.get('type')!r}")
+            if raw.get("v") != WIRE_VERSION:
+                raise WireError(f"batch item {i} has unsupported wire version")
+            items.append(item_cls._from_body(raw))
+        return cls(items=tuple(items))
+
+
+@dataclass(frozen=True)
+class ErrorResponse(_Envelope):
+    """A machine-readable error; ``code`` values are listed in WIRE.md."""
+
+    wire_type: ClassVar[str] = "error"
+
+    code: str
+    message: str
+    status: int = 400
+
+    def _body(self) -> dict[str, Any]:
+        return {"code": self.code, "message": self.message, "status": self.status}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "ErrorResponse":
+        return cls(
+            code=str(payload.get("code", "unknown")),
+            message=str(payload.get("message", "")),
+            status=int(payload.get("status", 400)),
+        )
+
+
+_BATCHABLE.update(
+    {
+        InferRequest.wire_type: InferRequest,
+        InferResponse.wire_type: InferResponse,
+        ValidateRequest.wire_type: ValidateRequest,
+        ValidateResponse.wire_type: ValidateResponse,
+        ErrorResponse.wire_type: ErrorResponse,
+    }
+)

@@ -1,9 +1,14 @@
 """Baseline methods compared against Auto-Validate in Figure 10.
 
-Every baseline implements the tiny :class:`~repro.baselines.base.Validator`
-protocol — ``fit(train_values) -> rule | None`` where a rule answers
+Every baseline implements the tiny
+:class:`~repro.baselines.base.BaselineValidator` contract —
+``fit(train_values) -> rule | None`` where a rule answers
 ``flags(test_values) -> bool`` — so the evaluation runner can treat the
-FMDV variants and all baselines uniformly.
+FMDV variants and all baselines uniformly.  Through the default
+``infer``/``fingerprint`` implementations the baselines also satisfy the
+public :class:`repro.api.Validator` protocol and are resolvable via
+:func:`repro.api.get_validator`.  (``Validator`` remains importable from
+here as a deprecated alias of ``BaselineValidator``.)
 
 Reimplemented from the descriptions in the paper and the original systems'
 public documentation (see DESIGN.md for the substitution notes):
@@ -18,7 +23,7 @@ public documentation (see DESIGN.md for the substitution notes):
   Auto-Detect style methods (computed in :mod:`repro.eval`).
 """
 
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, Validator
 from repro.baselines.deequ import DeequCat, DeequFra
 from repro.baselines.flashprofile import FlashProfile
 from repro.baselines.grok import Grok
@@ -33,6 +38,7 @@ from repro.baselines.xsystem import XSystem
 
 __all__ = [
     "BaselineRule",
+    "BaselineValidator",
     "DeequCat",
     "DeequFra",
     "FitContext",

@@ -1,10 +1,24 @@
-"""The minimal protocol shared by all validation methods under evaluation."""
+"""The minimal protocol shared by all validation methods under evaluation.
+
+:class:`BaselineValidator` (historically exported as ``Validator`` — that
+name now belongs to the public :class:`repro.api.Validator` protocol and
+remains here only as a deprecated alias) fits a :class:`BaselineRule` from
+training values.  Baselines also satisfy the public protocol: the default
+:meth:`BaselineValidator.infer` wraps :meth:`~BaselineValidator.fit` in the
+unified :class:`~repro.validate.result.InferenceResult`, and
+:meth:`BaselineRule.validate` adapts the boolean ``flags`` answer to a
+:class:`~repro.validate.rule.ValidationReport`.
+"""
 
 from __future__ import annotations
 
 import abc
+import hashlib
 from collections import Counter
 from typing import Callable, Sequence
+
+from repro.validate.result import InferenceResult
+from repro.validate.rule import ValidationReport
 
 
 class FitContext:
@@ -65,6 +79,23 @@ class BaselineRule(abc.ABC):
     def flags(self, values: Sequence[str]) -> bool:
         """True when the rule raises an alarm on the given future column."""
 
+    def validate(self, values: Sequence[str]) -> ValidationReport:
+        """Adapter to the library-wide report shape: baselines only answer
+        a boolean, so the report carries no p-value or fraction detail."""
+        flagged = self.flags(list(values))
+        return ValidationReport(
+            flagged=flagged,
+            p_value=None,
+            train_bad_fraction=0.0,
+            test_bad_fraction=0.0,
+            n_test=len(values),
+            reason=(
+                f"baseline rule alarmed ({self.description})"
+                if flagged
+                else "baseline rule passed"
+            ),
+        )
+
 
 class PredicateRule(BaselineRule):
     """Rule flavour used by most baselines: flag when any value is invalid.
@@ -92,11 +123,15 @@ class PredicateRule(BaselineRule):
         return invalid / len(values) > self.tolerance
 
 
-class Validator(abc.ABC):
+class BaselineValidator(abc.ABC):
     """A validation method: learns a rule from observed training values."""
 
     #: display name used in result tables (matches the paper's labels).
     name: str = "validator"
+
+    #: optional side information handed to :meth:`fit` by :meth:`infer`
+    #: (the registry sets this when corpus columns are supplied).
+    fit_context: FitContext | None = None
 
     @abc.abstractmethod
     def fit(
@@ -105,3 +140,32 @@ class Validator(abc.ABC):
         """Learn a rule; None means the method abstains on this column
         (an abstaining method never raises alarms — perfect precision,
         zero recall on the column)."""
+
+    # -- repro.api.Validator protocol ----------------------------------------
+
+    def infer(self, values: Sequence[str]) -> InferenceResult:
+        """Protocol-shaped inference: ``fit`` wrapped in the unified result.
+
+        A crashing baseline abstains (the evaluation-runner convention), so
+        one misbehaving method can never take down a serving process.
+        """
+        try:
+            rule = self.fit(list(values), self.fit_context)
+        except Exception as exc:  # noqa: BLE001 - abstention is the contract
+            return InferenceResult(None, self.name, 0, f"baseline crashed: {exc}")
+        if rule is None:
+            return InferenceResult(None, self.name, 0, "baseline abstained")
+        return InferenceResult(rule, self.name, 1, "ok")
+
+    def fingerprint(self) -> str:
+        """Stable identity; baselines carry no index, so class + name."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{type(self).__module__}.{type(self).__qualname__}".encode())
+        h.update(self.name.encode("utf-8"))
+        return h.hexdigest()
+
+
+#: Deprecated alias — the ``Validator`` name now refers to the public
+#: :class:`repro.api.Validator` protocol.  Kept for one release so external
+#: subclasses keep importing; use :class:`BaselineValidator` instead.
+Validator = BaselineValidator

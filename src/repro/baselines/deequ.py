@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, PredicateRule
 
 #: Deequ's suggestion thresholds (ConstraintSuggestionRunner defaults):
 #: a categorical rule is proposed when the column has at most this many
@@ -36,7 +36,7 @@ def _looks_categorical(values: Sequence[str]) -> bool:
     return distinct <= _MAX_DISTINCT and distinct / len(values) <= _MAX_RATIO
 
 
-class DeequCat(Validator):
+class DeequCat(BaselineValidator):
     """``CategoricalRangeRule``: hard dictionary containment."""
 
     name = "Deequ-Cat"
@@ -53,7 +53,7 @@ class DeequCat(Validator):
         )
 
 
-class DeequFra(Validator):
+class DeequFra(BaselineValidator):
     """``FractionalCategoricalRangeRule``: dictionary containment for at
     least ``coverage`` of future values."""
 

@@ -18,7 +18,7 @@ import re
 from typing import Sequence
 
 from repro.baselines._profiling import group_pattern, summarize_groups
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext
 
 
 class FlashProfileRule(BaselineRule):
@@ -33,7 +33,7 @@ class FlashProfileRule(BaselineRule):
         return False
 
 
-class FlashProfile(Validator):
+class FlashProfile(BaselineValidator):
     """Union of most-specific per-cluster patterns."""
 
     name = "FlashProfile"

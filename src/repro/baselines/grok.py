@@ -14,7 +14,7 @@ from __future__ import annotations
 import re
 from typing import Sequence
 
-from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, PredicateRule
 
 #: Curated common-type patterns (name, regex).  Ordered specific → general;
 #: the first pattern matching all training values wins.
@@ -58,7 +58,7 @@ GROK_PATTERNS: list[tuple[str, str]] = [
 ]
 
 
-class Grok(Validator):
+class Grok(BaselineValidator):
     """Validate with the first curated pattern covering the whole column."""
 
     name = "Grok"

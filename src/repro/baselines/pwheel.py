@@ -19,7 +19,7 @@ import math
 from typing import Sequence
 
 from repro.baselines._profiling import GroupSummary, PositionSummary, summarize_groups
-from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, PredicateRule
 from repro.core.atoms import Atom
 from repro.core.pattern import Pattern
 from repro.core.tokenizer import CharClass
@@ -88,7 +88,7 @@ def _raw_cost(values: Sequence[str]) -> float:
     return sum(_BITS_RAW * len(v) + 4.0 for v in values)
 
 
-class PottersWheel(Validator):
+class PottersWheel(BaselineValidator):
     """MDL structure extraction; validates future values against the
     single best structure."""
 

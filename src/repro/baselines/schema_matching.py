@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
-from repro.baselines.base import BaselineRule, FitContext, Validator, class_signature
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, class_signature
 from repro.baselines.pwheel import PottersWheel
 
 
@@ -44,7 +44,7 @@ def _majority_signature(values: Sequence[str], plurality: bool) -> tuple[str, ..
 _MAX_MATCHED_COLUMNS = 60
 
 
-class SchemaMatchingInstance(Validator):
+class SchemaMatchingInstance(BaselineValidator):
     """SM-I-k: instance-overlap schema matching + Potter's Wheel."""
 
     def __init__(self, min_overlap: int = 1):
@@ -72,7 +72,7 @@ class SchemaMatchingInstance(Validator):
         return self._profiler.fit(merged)
 
 
-class SchemaMatchingPattern(Validator):
+class SchemaMatchingPattern(BaselineValidator):
     """SM-P-M / SM-P-P: dominant-pattern schema matching + Potter's Wheel."""
 
     def __init__(self, plurality: bool = False):

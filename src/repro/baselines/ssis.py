@@ -17,7 +17,7 @@ import re
 from typing import Sequence
 
 from repro.baselines._profiling import GroupSummary, summarize_groups
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext
 from repro.core.tokenizer import CharClass
 
 #: The profiler keeps adding patterns until this share of values is covered.
@@ -55,7 +55,7 @@ class SSISRule(BaselineRule):
         return False
 
 
-class SSIS(Validator):
+class SSIS(BaselineValidator):
     """Column Pattern Profile: union of per-group regexes at 95% coverage."""
 
     name = "SSIS"

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.baselines.base import BaselineRule, FitContext, PredicateRule, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext, PredicateRule
 
 
-class TFDV(Validator):
+class TFDV(BaselineValidator):
     """Dictionary-domain inference: future values must have been seen."""
 
     name = "TFDV"

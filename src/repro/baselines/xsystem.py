@@ -17,7 +17,7 @@ import re
 from typing import Sequence
 
 from repro.baselines._profiling import GroupSummary, summarize_groups
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext
 from repro.core.tokenizer import CharClass
 
 #: A position with at most this many distinct texts becomes literal branches.
@@ -53,7 +53,7 @@ class XSystemRule(BaselineRule):
         return False
 
 
-class XSystem(Validator):
+class XSystem(BaselineValidator):
     """Branch-and-merge profiles; union over all signature groups."""
 
     name = "XSystem"

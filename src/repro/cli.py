@@ -23,8 +23,15 @@ Serving:
   the serial path).  ``--workers 0`` (default) auto-sizes from the CPU
   count and the ``REPRO_WORKERS`` / ``REPRO_PARALLEL_BACKEND`` environment
   variables; ``--workers 1`` forces serial.
-* asyncio servers should embed :class:`repro.service.AsyncValidationService`
-  (``await svc.infer(...)``, bounded concurrency) rather than shelling out.
+* ``serve --index lake.idx --port 8080 --workers N`` boots the stdlib HTTP
+  server (:mod:`repro.server`) over :class:`AsyncValidationService`:
+  ``POST /v1/infer`` / ``/v1/validate`` / ``/v1/infer_batch`` speak the
+  versioned wire envelopes of :mod:`repro.api` (schema:
+  ``src/repro/api/WIRE.md``), ``GET /healthz`` / ``/metrics`` expose
+  liveness and the full service stats, and ``--rate``/``--burst`` enforce
+  per-tenant token-bucket limits keyed on the ``X-Tenant`` header.
+* custom asyncio deployments can embed
+  :class:`repro.service.AsyncValidationService` directly.
 * long-lived services watch the ``--index`` path: rebuilding the index in
   place bumps the cache generation automatically — no restart needed.
 """
@@ -32,11 +39,13 @@ Serving:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.api.registry import SOLVER_CLASSES
 from repro.config import AutoValidateConfig
 from repro.datalake.generator import (
     ENTERPRISE_PROFILE,
@@ -46,11 +55,13 @@ from repro.datalake.generator import (
 from repro.datalake.io import load_corpus, save_corpus
 from repro.index.builder import build_index
 from repro.index.index import MAX_SHARDS, PatternIndex
-from repro.service import ValidationService
+from repro.service import AsyncValidationService, ValidationService
+from repro.server import TenantRateLimiter, ValidationHTTPServer
 from repro.validate.autotag import AutoTagger
 from repro.validate.rule import ValidationRule
 
-_VARIANTS = ("basic", "v", "h", "vh", "cmdv")
+#: Accepted --variant spellings: every FMDV-family registry name and alias.
+_VARIANTS = tuple(sorted(SOLVER_CLASSES))
 _PROFILES = {"enterprise": ENTERPRISE_PROFILE, "government": GOVERNMENT_PROFILE}
 
 
@@ -149,6 +160,54 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 2 if report.flagged else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 = auto)", file=sys.stderr)
+        return 2
+    if args.rate < 0:
+        print("--rate must be >= 0 (0 = unlimited)", file=sys.stderr)
+        return 2
+    if args.max_concurrency < 1:
+        print("--max-concurrency must be >= 1", file=sys.stderr)
+        return 2
+    service = ValidationService.from_path(
+        args.index,
+        _config(args),
+        variant=args.variant,
+        workers=args.workers or None,
+        parallel_backend="process" if args.workers > 1 else None,
+    )
+    limiter = TenantRateLimiter(rate=args.rate, burst=args.burst)
+
+    async def _run() -> None:
+        async_service = AsyncValidationService(
+            service, max_concurrency=args.max_concurrency
+        )
+        server = ValidationHTTPServer(
+            async_service, host=args.host, port=args.port, rate_limiter=limiter
+        )
+        await server.start()
+        # The readiness line: smoke tests and process supervisors wait for
+        # it and parse the bound port (meaningful with --port 0).
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            f"(index={args.index}, variant={args.variant})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
 def _cmd_tag(args: argparse.Namespace) -> int:
     index = PatternIndex.load(args.index)
     examples = _read_column(args.examples)
@@ -219,6 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-bad", type=int, default=5, dest="show_bad",
                    help="print up to N non-conforming values")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("serve", help="serve the /v1 validation API over HTTP")
+    p.add_argument("--index", required=True, help="saved index (v1 file or v2 dir)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks a free one; see the readiness line)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for /v1/infer_batch (0 = auto; 1 = serial)")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="vh")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="per-tenant sustained requests/second (0 = unlimited)")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="per-tenant burst capacity (token-bucket size)")
+    p.add_argument("--max-concurrency", type=int, default=32, dest="max_concurrency",
+                   help="max in-flight inference calls on the event loop")
+    add_config_args(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("tag", help="Auto-Tag: find columns matching examples")
     p.add_argument("--index", required=True)

@@ -207,8 +207,26 @@ class Atom:
     def from_key(cls, key: str) -> "Atom":
         """Inverse of :meth:`key`."""
         if key.startswith("C:"):
-            text = key[2:].replace("\\p", "|").replace("\\\\", "\\")
-            return cls.const(text)
+            # Decode left to right: sequential str.replace would corrupt
+            # text like "\p", whose encoding "\\p" must read as escaped
+            # backslash + literal p, not backslash + escaped pipe.
+            raw = key[2:]
+            out: list[str] = []
+            i = 0
+            while i < len(raw):
+                if raw[i] == "\\" and i + 1 < len(raw):
+                    nxt = raw[i + 1]
+                    if nxt == "p":
+                        out.append("|")
+                        i += 2
+                        continue
+                    if nxt == "\\":
+                        out.append("\\")
+                        i += 2
+                        continue
+                out.append(raw[i])
+                i += 1
+            return cls.const("".join(out))
         if key in _PREFIX_TO_KIND:
             return cls(_PREFIX_TO_KIND[key])
         # Fixed-length forms: a one-letter prefix followed by digits.

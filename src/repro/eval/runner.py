@@ -12,7 +12,9 @@ import random
 import time
 from typing import Sequence
 
-from repro.baselines.base import BaselineRule, FitContext, Validator
+from repro.api.protocol import Validator
+from repro.api.registry import get_validator
+from repro.baselines.base import BaselineRule, BaselineValidator, FitContext
 from repro.config import AutoValidateConfig
 from repro.eval.benchmark import Benchmark, BenchmarkCase
 from repro.eval.metrics import CaseResult, MethodResult, squash_recall
@@ -21,33 +23,59 @@ from repro.validate.fmdv import FMDV
 
 
 class _RuleAdapter(BaselineRule):
-    """Adapts an Auto-Validate :class:`ValidationRule` to the baseline
-    protocol used by the runner."""
+    """Adapts any inferred rule (pattern, dictionary, numeric) to the
+    boolean baseline contract used by the runner."""
 
     def __init__(self, rule):
         self._rule = rule
-        self.description = rule.pattern.display()
+        pattern = getattr(rule, "pattern", None)
+        self.description = pattern.display() if pattern is not None else repr(rule)
 
     def flags(self, values: Sequence[str]) -> bool:
         return self._rule.validate(list(values)).flagged
 
 
-class AutoValidateMethod(Validator):
-    """Wraps an FMDV-family solver class as an evaluation method."""
+class AutoValidateMethod(BaselineValidator):
+    """Wraps any :class:`repro.api.Validator` as an evaluation method.
+
+    ``solver`` may be a registry name (``"fmdv-vh"`` — resolved through
+    :func:`repro.api.get_validator`), an FMDV-family solver class (the
+    historical calling convention), or an already-built validator object.
+    """
 
     def __init__(
         self,
-        solver_cls: type[FMDV],
-        index: PatternIndex,
-        config: AutoValidateConfig,
+        solver: str | type[FMDV] | Validator,
+        index: PatternIndex | None = None,
+        config: AutoValidateConfig | None = None,
         name: str | None = None,
+        corpus_columns: Sequence[Sequence[str]] = (),
     ):
-        self._solver = solver_cls(index, config)
-        self.name = name or solver_cls.variant.upper()
+        if isinstance(solver, str):
+            self._solver = get_validator(
+                solver,
+                index=index,
+                config=config or AutoValidateConfig(),
+                corpus_columns=corpus_columns,
+            )
+            default_name = solver.upper()
+        elif isinstance(solver, type):
+            self._solver = solver(index, config or AutoValidateConfig())
+            default_name = solver.variant.upper()
+        else:
+            self._solver = solver
+            default_name = str(solver.name).upper()
+        self.name = name or default_name
 
     def fit(
         self, train_values: Sequence[str], context: FitContext | None = None
     ) -> BaselineRule | None:
+        # Wrapped baselines consume side information through their
+        # fit_context attribute; thread the runner's context through so a
+        # registry-name baseline scores identically to the same baseline
+        # passed to the runner directly.
+        if context is not None and hasattr(self._solver, "fit_context"):
+            self._solver.fit_context = context
         result = self._solver.infer(list(train_values))
         if result.rule is None:
             return None
@@ -76,7 +104,7 @@ class EvaluationRunner:
             self._recall_targets[case.case_id] = others
 
     def evaluate(
-        self, method: Validator, ground_truth_mode: bool = False
+        self, method: BaselineValidator, ground_truth_mode: bool = False
     ) -> MethodResult:
         """Score one method on all cases.
 
@@ -89,7 +117,7 @@ class EvaluationRunner:
         return MethodResult(name=method.name, per_case=tuple(results))
 
     def _evaluate_case(
-        self, method: Validator, case: BenchmarkCase, ground_truth_mode: bool
+        self, method: BaselineValidator, case: BenchmarkCase, ground_truth_mode: bool
     ) -> CaseResult:
         start = time.perf_counter()
         try:

@@ -24,7 +24,8 @@ from typing import Mapping, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.index.index import PatternIndex
-from repro.validate.hybrid import HybridResult, HybridValidator
+from repro.validate.hybrid import HybridValidator
+from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationReport
 
 
@@ -62,7 +63,7 @@ class FeedReport:
 
 @dataclass
 class _MonitoredColumn:
-    rule: HybridResult
+    rule: InferenceResult
     alerts: int = 0
 
 

@@ -1,0 +1,20 @@
+"""HTTP serving layer: the network edge over the validation service.
+
+:class:`ValidationHTTPServer` (stdlib asyncio, no dependencies) serves the
+``/v1`` wire API of :mod:`repro.api` from an
+:class:`~repro.service.AsyncValidationService`, with per-tenant token-bucket
+rate limiting (:mod:`repro.server.ratelimit`) and a ``/metrics`` endpoint
+surfacing the full :class:`~repro.service.ServiceStats`.  The CLI front end
+is ``auto-validate serve --index DIR --port N``.
+"""
+
+from repro.server.http import MAX_BODY_BYTES, ValidationHTTPServer, run_server
+from repro.server.ratelimit import TenantRateLimiter, TokenBucket
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "ValidationHTTPServer",
+    "run_server",
+]

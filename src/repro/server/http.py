@@ -1,0 +1,404 @@
+"""A dependency-free asyncio HTTP server over ``AsyncValidationService``.
+
+The paper's deployment story (§7) is validation served "at interactive
+speed" inside production pipelines; this module is that serving edge.  It
+is deliberately stdlib-only — ``asyncio.start_server`` plus a minimal
+HTTP/1.1 request reader — so the repo's no-new-dependencies rule holds all
+the way to a bootable server.
+
+Routes (wire schema in ``src/repro/api/WIRE.md``):
+
+=====================  ======================================================
+``POST /v1/infer``        one :class:`~repro.api.wire.InferRequest` ->
+                          :class:`~repro.api.wire.InferResponse`
+``POST /v1/validate``     :class:`ValidateRequest` -> :class:`ValidateResponse`
+``POST /v1/infer_batch``  :class:`BatchEnvelope` of ``InferRequest`` ->
+                          ``BatchEnvelope`` of ``InferResponse`` (in order,
+                          through the service's parallel/cached batch path)
+``GET /healthz``          liveness + serving generation
+``GET /metrics``          full ``ServiceStats`` + server counters (JSON)
+=====================  ======================================================
+
+Inference routes are guarded by a per-tenant token-bucket rate limiter
+keyed on the ``X-Tenant`` header (:mod:`repro.server.ratelimit`); an
+exhausted bucket answers ``429`` with a wire :class:`ErrorResponse`.
+``/healthz`` and ``/metrics`` are never rate-limited (probes and scrapers
+must not be starved by tenant traffic).
+
+Connections are HTTP/1.1 keep-alive; bodies must carry ``Content-Length``
+(chunked transfer encoding is rejected with 411/400 — every mainstream
+client sends a length for JSON posts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Mapping
+
+from repro.api.wire import (
+    BatchEnvelope,
+    ErrorResponse,
+    InferRequest,
+    InferResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireError,
+)
+from repro.index.index import StaleIndexError
+from repro.service.async_service import AsyncValidationService
+from repro.server.ratelimit import TenantRateLimiter
+from repro.validate.result import RuleSerializationError
+from repro.validate.rule import dumps_canonical
+
+#: Upper bound on request bodies (64 MiB ~ a few million short values).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Upper bound on the request line + one header line.
+MAX_LINE_BYTES = 64 * 1024
+#: Upper bound on the total header block, so a client streaming endless
+#: header lines cannot grow memory without bound.
+MAX_HEADER_BYTES = 256 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HTTPError(Exception):
+    """Internal: unwinds request handling into a wire ErrorResponse."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ValidationHTTPServer:
+    """Serves one :class:`AsyncValidationService` over HTTP."""
+
+    def __init__(
+        self,
+        service: AsyncValidationService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        rate_limiter: TenantRateLimiter | None = None,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self.rate_limiter = rate_limiter or TenantRateLimiter(rate=0.0, burst=1.0)
+        self.requests_total = 0
+        self.rate_limited_total = 0
+        self.errors_total = 0
+        # Static routing table, built once: (handler, needs_post).
+        self._routes: dict[str, tuple[Callable[..., Awaitable[str]], bool]] = {
+            "/healthz": (self._handle_healthz, False),
+            "/metrics": (self._handle_metrics, False),
+            "/v1/infer": (self._handle_infer, True),
+            "/v1/validate": (self._handle_validate, True),
+            "/v1/infer_batch": (self._handle_infer_batch, True),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, headers, body)
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self._write_response(
+                    writer, status, payload, keep_alive, head_only=(method == "HEAD")
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away or overflowed a line: drop the connection
+        except _HTTPError as exc:
+            # Malformed framing: answer once, then close (we cannot trust
+            # the stream position any more).
+            try:
+                self._write_response(
+                    writer,
+                    exc.status,
+                    ErrorResponse(exc.code, exc.message, exc.status).to_json(),
+                    keep_alive=False,
+                )
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """One request off the stream; None on clean EOF between requests."""
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise _HTTPError(400, "bad_request", f"oversized request line: {exc}")
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HTTPError(400, "bad_request", "malformed request line")
+        method, target, _version = parts
+
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError) as exc:
+                raise _HTTPError(400, "bad_request", f"oversized header line: {exc}")
+            if not line:
+                raise _HTTPError(400, "bad_request", "truncated headers")
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _HTTPError(400, "bad_request", "header block too large")
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        body = b""
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _HTTPError(
+                411, "length_required", "chunked transfer encoding is unsupported"
+            )
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HTTPError(400, "bad_request", "invalid Content-Length")
+            if length < 0:
+                raise _HTTPError(400, "bad_request", "invalid Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _HTTPError(413, "payload_too_large", "request body too large")
+            body = await reader.readexactly(length)
+        return method, target.split("?", 1)[0], headers, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: str,
+        keep_alive: bool,
+        head_only: bool = False,
+    ) -> None:
+        data = payload.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        # HEAD: headers (with the GET-equivalent Content-Length) but no
+        # body, or keep-alive clients would misframe the next response.
+        writer.write(head.encode("latin-1") + (b"" if head_only else data))
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> tuple[int, str]:
+        self.requests_total += 1
+        try:
+            handler, needs_post = self._route(path)
+            if needs_post and method != "POST":
+                raise _HTTPError(405, "method_not_allowed", f"{path} requires POST")
+            if not needs_post and method not in ("GET", "HEAD"):
+                raise _HTTPError(405, "method_not_allowed", f"{path} requires GET")
+            if needs_post:
+                tenant = headers.get("x-tenant", "")
+                # A batch costs one token per item, or /v1/infer_batch would
+                # bypass the per-tenant limit entirely (10k inferences for
+                # one token).  The envelope is parsed once, before the
+                # limiter, and handed to the handler already decoded.
+                cost = 1.0
+                if handler == self._handle_infer_batch:
+                    body = BatchEnvelope.from_json(body)
+                    cost = float(max(1, len(body.items)))
+                    if self.rate_limiter.enabled and cost > self.rate_limiter.burst:
+                        # A bucket capped at `burst` can never admit this
+                        # batch; a plain 429 would invite futile retries.
+                        raise _HTTPError(
+                            413,
+                            "batch_too_large",
+                            f"batch of {len(body.items)} items exceeds the "
+                            f"per-tenant burst capacity "
+                            f"({self.rate_limiter.burst:g}); split the batch",
+                        )
+                if not self.rate_limiter.allow(tenant, cost):
+                    self.rate_limited_total += 1
+                    raise _HTTPError(
+                        429,
+                        "rate_limited",
+                        f"tenant {tenant!r} exceeded the request rate",
+                    )
+            return 200, await handler(body)
+        except _HTTPError as exc:
+            self.errors_total += 1
+            return exc.status, ErrorResponse(exc.code, exc.message, exc.status).to_json()
+        except WireError as exc:
+            self.errors_total += 1
+            return 400, ErrorResponse("bad_request", str(exc), 400).to_json()
+        except RuleSerializationError as exc:
+            self.errors_total += 1
+            return 400, ErrorResponse("unserializable_rule", str(exc), 400).to_json()
+        except StaleIndexError as exc:
+            # A server-side fault (mid-rebuild torn index), not a client
+            # error: 503 tells retry-aware clients to try again shortly.
+            self.errors_total += 1
+            return 503, ErrorResponse("index_unavailable", str(exc), 503).to_json()
+        except ValueError as exc:
+            # e.g. unknown variant names surfaced by the registry/service
+            self.errors_total += 1
+            return 400, ErrorResponse("bad_request", str(exc), 400).to_json()
+        except Exception as exc:  # noqa: BLE001 - the edge must not crash
+            self.errors_total += 1
+            return 500, ErrorResponse("internal", f"{type(exc).__name__}: {exc}", 500).to_json()
+
+    def _route(self, path: str) -> tuple[Callable[..., Awaitable[str]], bool]:
+        try:
+            return self._routes[path]
+        except KeyError:
+            raise _HTTPError(404, "not_found", f"no route {path}") from None
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _handle_healthz(self, _body: bytes) -> str:
+        stats = self.service.stats()
+        return dumps_canonical(
+            {"status": "ok", "generation": stats.generation, "api_version": "v1"}
+        )
+
+    async def _handle_metrics(self, _body: bytes) -> str:
+        stats = self.service.stats()
+        return dumps_canonical(
+            {
+                "inferences": stats.inferences,
+                "result_cache_hits": stats.result_cache_hits,
+                "result_cache_size": stats.result_cache_size,
+                "result_hit_rate": stats.result_hit_rate,
+                "space_cache_hits": stats.space_cache_hits,
+                "space_cache_misses": stats.space_cache_misses,
+                "space_cache_size": stats.space_cache_size,
+                "space_hit_rate": stats.space_hit_rate,
+                "generation": stats.generation,
+                "invalidations": stats.invalidations,
+                "parallel_batches": stats.parallel_batches,
+                "requests_total": self.requests_total,
+                "rate_limited_total": self.rate_limited_total,
+                "errors_total": self.errors_total,
+                "tenants": self.rate_limiter.tenants(),
+            }
+        )
+
+    async def _handle_infer(self, body: bytes) -> str:
+        request = InferRequest.from_json(body)
+        result = await self.service.infer(list(request.values), request.variant)
+        return InferResponse(
+            result=result, generation=self.service.stats().generation
+        ).to_json()
+
+    async def _handle_validate(self, body: bytes) -> str:
+        request = ValidateRequest.from_json(body)
+        report = await self.service.validate(request.rule, list(request.values))
+        return ValidateResponse(report=report).to_json()
+
+    async def _handle_infer_batch(self, batch: BatchEnvelope) -> str:
+        # The dispatcher already decoded the envelope (it needed the item
+        # count to charge the rate limiter).
+        for i, item in enumerate(batch.items):
+            if not isinstance(item, InferRequest):
+                raise WireError(
+                    f"batch item {i} must be an infer_request, got "
+                    f"{type(item).wire_type!r}"
+                )
+        # The batch path requires one variant per call; group positions by
+        # requested variant so mixed batches still go through infer_many.
+        by_variant: dict[str | None, list[int]] = {}
+        for i, item in enumerate(batch.items):
+            by_variant.setdefault(item.variant, []).append(i)
+        results: list = [None] * len(batch.items)
+        for variant, positions in by_variant.items():
+            outcomes = await self.service.infer_many(
+                [list(batch.items[i].values) for i in positions], variant
+            )
+            for i, outcome in zip(positions, outcomes):
+                results[i] = outcome
+        generation = self.service.stats().generation
+        return BatchEnvelope(
+            items=tuple(
+                InferResponse(result=result, generation=generation)
+                for result in results
+            )
+        ).to_json()
+
+
+async def run_server(
+    server: ValidationHTTPServer,
+    ready: Callable[[ValidationHTTPServer], None] | None = None,
+) -> None:
+    """Start ``server``, invoke ``ready`` (the CLI prints the bound address
+    there), then serve until cancelled."""
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.serve_forever()

@@ -1,0 +1,95 @@
+"""Per-tenant token-bucket rate limiting for the serving layer.
+
+One :class:`TokenBucket` per tenant, created on first sight and bounded by
+an LRU so a tenant-id cardinality attack cannot grow memory without bound.
+The clock is injectable (tests pass a fake), and refill is continuous:
+a bucket of ``rate`` tokens/second with ``burst`` capacity admits sustained
+traffic at ``rate`` and spikes up to ``burst``.
+
+``rate=0`` disables limiting (every request is admitted) — the CLI default
+for local use; production deployments pass ``--rate``/``--burst``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """A standard continuous-refill token bucket."""
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self.last_refill = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; refills lazily from ``now``."""
+        elapsed = max(0.0, now - self.last_refill)
+        self.last_refill = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class TenantRateLimiter:
+    """LRU-bounded map of tenant id -> :class:`TokenBucket`.
+
+    Thread-safe; the serving layer calls :meth:`allow` with the request's
+    ``X-Tenant`` header (missing header -> the ``""`` shared tenant).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_tenants: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate < 0:
+            raise ValueError("rate must be >= 0 (0 disables limiting)")
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.rate = rate
+        self.burst = max(burst, 1.0) if rate > 0 else burst
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, tenant: str, cost: float = 1.0) -> bool:
+        """True when ``tenant`` may proceed; False means answer 429."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[tenant] = bucket
+                if len(self._buckets) > self.max_tenants:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(tenant)
+            return bucket.try_acquire(now, cost)
+
+    def tenants(self) -> int:
+        """How many tenant buckets are live (observability)."""
+        with self._lock:
+            return len(self._buckets)

@@ -9,7 +9,7 @@ front end).  The CLI's ``infer`` command and the latency benchmark
 
 from repro.service.async_service import AsyncValidationService
 from repro.service.cache import HypothesisSpaceCache, column_digest
-from repro.service.parallel import ParallelExecutor, chunk_slices, default_workers
+from repro.service.parallel import ParallelExecutor, default_workers, weighted_chunks
 from repro.service.service import VARIANTS, ServiceStats, ValidationService
 
 __all__ = [
@@ -19,7 +19,7 @@ __all__ = [
     "ServiceStats",
     "VARIANTS",
     "ValidationService",
-    "chunk_slices",
     "column_digest",
     "default_workers",
+    "weighted_chunks",
 ]

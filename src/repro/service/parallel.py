@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.config import AutoValidateConfig
 from repro.index.index import IndexEntry, IndexMeta, PatternIndex, ShardedPatternIndex
+from repro.service.cache import column_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
     from repro.validate.fmdv import InferenceResult
@@ -71,7 +72,12 @@ def default_backend() -> str:
 
 def chunk_slices(n_items: int, n_chunks: int) -> list[slice]:
     """Split ``range(n_items)`` into at most ``n_chunks`` contiguous slices
-    of near-equal size (deterministic; order-preserving)."""
+    of near-equal size (deterministic; order-preserving).
+
+    No longer used by the executor's batch paths, which dedupe and
+    load-balance via :func:`weighted_chunks`; retained as a utility for
+    callers that need plain contiguous splits.
+    """
     n_chunks = max(1, min(n_chunks, n_items))
     base, extra = divmod(n_items, n_chunks)
     slices = []
@@ -81,6 +87,33 @@ def chunk_slices(n_items: int, n_chunks: int) -> list[slice]:
         slices.append(slice(start, start + size))
         start += size
     return slices
+
+
+def weighted_chunks(weights: Sequence[int], n_chunks: int) -> list[list[int]]:
+    """Partition item indices into at most ``n_chunks`` load-balanced bins.
+
+    Greedy LPT (longest-processing-time) scheduling: items sorted by weight
+    descending go to the currently lightest bin.  Per-column inference cost
+    scales with the column's value count, so contiguous equal-*count*
+    chunks let one huge column straggle a worker while its siblings idle —
+    the ROADMAP's skewed-batch problem.  Deterministic: ties break toward
+    the lower item index / lower bin id; each bin's indices come back
+    sorted ascending and no bin is empty.
+    """
+    n_items = len(weights)
+    n_chunks = max(1, min(n_chunks, n_items))
+    order = sorted(range(n_items), key=lambda i: (-weights[i], i))
+    loads = [0] * n_chunks
+    fill = [0] * n_chunks  # tie-break: spread equal-weight items round-robin
+    bins: list[list[int]] = [[] for _ in range(n_chunks)]
+    for i in order:
+        target = min(range(n_chunks), key=lambda b: (loads[b], fill[b], b))
+        bins[target].append(i)
+        loads[target] += weights[i]
+        fill[target] += 1
+    for chunk in bins:
+        chunk.sort()
+    return [chunk for chunk in bins if chunk]
 
 
 # -- worker-side state --------------------------------------------------------
@@ -283,31 +316,61 @@ class ParallelExecutor:
         config: AutoValidateConfig,
         default_variant: str,
         generation: str,
+        digests: Sequence[str] | None = None,
     ) -> tuple[list["InferenceResult"], dict[str, int]]:
         """Fan a batch across the pool; results come back in input order.
 
-        Returns ``(results, merged_stats_delta)``.  Duplicated columns that
-        land in different chunks are solved once per chunk (workers do not
-        share caches); callers that care should deduplicate upstream.
+        Returns ``(results, merged_stats_delta)``.  The batch is deduped by
+        column digest *before* chunking — a repeated column is solved in
+        exactly one worker, never once per chunk (workers do not share
+        caches) — and the unique columns are packed into load-balanced
+        chunks by total value count (:func:`weighted_chunks`), so a skewed
+        batch with one huge column cannot straggle a single worker.
+        Duplicates resolve from the unique result and are accounted as
+        cache hits in the delta, matching what the serial path would do.
+        ``digests`` lets callers that already hashed the batch (the service
+        keys its result cache by the same digest) skip a redundant pass
+        over every value; when given it must align with ``columns``.
         """
         pool = self._ensure_pool(index_spec, config, default_variant, generation)
-        payload = [[list(v) for v in columns[s]] for s in chunk_slices(len(columns), self.workers)]
-        futures = [pool.submit(_infer_chunk, chunk, variant) for chunk in payload]
-        results: list["InferenceResult"] = []
+        batch = [list(v) for v in columns]
+        if digests is None:
+            digests = [column_digest(values) for values in batch]
+        elif len(digests) != len(batch):
+            raise ValueError(f"{len(digests)} digests for {len(batch)} columns")
+        first_position: dict[str, int] = {}
+        unique_positions: list[int] = []
+        for i, digest in enumerate(digests):
+            if digest not in first_position:
+                first_position[digest] = len(unique_positions)
+                unique_positions.append(i)
+        unique = [batch[i] for i in unique_positions]
+
+        bins = weighted_chunks([len(values) for values in unique], self.workers)
+        futures = [
+            pool.submit(_infer_chunk, [unique[i] for i in chunk], variant)
+            for chunk in bins
+        ]
+        unique_results: list["InferenceResult | None"] = [None] * len(unique)
         merged = {
             "inferences": 0,
             "result_cache_hits": 0,
             "space_cache_hits": 0,
             "space_cache_misses": 0,
         }
-        for future in futures:
+        for chunk, future in zip(bins, futures):
             chunk_results, delta = future.result()
-            results.extend(chunk_results)
+            for i, result in zip(chunk, chunk_results):
+                unique_results[i] = result
             for name, value in delta.items():
                 merged[name] += value
+        n_duplicates = len(batch) - len(unique)
+        merged["inferences"] += n_duplicates
+        merged["result_cache_hits"] += n_duplicates
+        results = [unique_results[first_position[d]] for d in digests]
         with self._lock:
             self.parallel_batches += 1
-        return results, merged
+        return results, merged  # type: ignore[return-value]
 
     def validate_many(
         self,
@@ -319,19 +382,26 @@ class ParallelExecutor:
         default_variant: str,
         generation: str,
     ) -> list["ValidationReport"]:
-        """Fan aligned (rule, column) pairs across the pool, in order."""
+        """Fan aligned (rule, column) pairs across the pool, in order.
+
+        Chunks are load-balanced by value count (:func:`weighted_chunks`):
+        regex evaluation cost is linear in the number of values, so a
+        skewed batch is spread instead of pinning one worker.
+        """
         pool = self._ensure_pool(index_spec, config, default_variant, generation)
+        bins = weighted_chunks([len(v) for v in columns], self.workers)
         futures = [
             pool.submit(
                 _validate_chunk,
-                list(rules[s]),
-                [list(v) for v in columns[s]],
+                [rules[i] for i in chunk],
+                [list(columns[i]) for i in chunk],
             )
-            for s in chunk_slices(len(columns), self.workers)
+            for chunk in bins
         ]
-        reports: list["ValidationReport"] = []
-        for future in futures:
-            reports.extend(future.result())
+        reports: list["ValidationReport | None"] = [None] * len(columns)
+        for chunk, future in zip(bins, futures):
+            for i, report in zip(chunk, future.result()):
+                reports[i] = report
         with self._lock:
             self.parallel_batches += 1
-        return reports
+        return reports  # type: ignore[return-value]

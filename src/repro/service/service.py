@@ -49,28 +49,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.api.registry import SOLVER_CLASSES as VARIANTS
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.index.index import PatternIndex, StaleIndexError, index_digest
 from repro.service.cache import HypothesisSpaceCache, column_digest
 from repro.service.parallel import ParallelExecutor, index_spec_for
-from repro.validate.combined import FMDVCombined
-from repro.validate.fmdv import CMDV, FMDV, InferenceResult
-from repro.validate.horizontal import FMDVHorizontal
+from repro.validate.fmdv import FMDV, InferenceResult
 from repro.validate.rule import ValidationReport, ValidationRule
-from repro.validate.vertical import FMDVVertical
-
-#: Canonical variant names plus the short aliases the CLI historically used.
-VARIANTS: dict[str, type[FMDV]] = {
-    "fmdv": FMDV,
-    "fmdv-v": FMDVVertical,
-    "fmdv-h": FMDVHorizontal,
-    "fmdv-vh": FMDVCombined,
-    "cmdv": CMDV,
-    "basic": FMDV,
-    "v": FMDVVertical,
-    "h": FMDVHorizontal,
-    "vh": FMDVCombined,
-}
 
 
 @dataclass(frozen=True)
@@ -369,6 +354,7 @@ class ValidationService:
             config=self.config,
             default_variant=self.variant,
             generation=self._generation,
+            digests=[keys[i][1] for i in unique_positions],
         )
         n_duplicates = len(miss_positions) - len(unique_positions)
         with self._lock:

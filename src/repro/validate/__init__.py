@@ -17,10 +17,16 @@
 from repro.validate.autotag import AutoTagger, TagResult
 from repro.validate.combined import FMDVCombined
 from repro.validate.dictionary import DictionaryRule, DictionaryValidator
-from repro.validate.fmdv import CMDV, FMDV, InferenceResult
+from repro.validate.fmdv import CMDV, FMDV
 from repro.validate.horizontal import FMDVHorizontal
-from repro.validate.hybrid import HybridResult, HybridValidator
+from repro.validate.hybrid import HybridValidator
 from repro.validate.numeric import NumericRule, NumericValidator
+from repro.validate.result import (
+    InferenceResult,
+    RuleSerializationError,
+    rule_from_payload,
+    rule_to_payload,
+)
 from repro.validate.rule import ValidationReport, ValidationRule
 from repro.validate.vertical import FMDVVertical
 
@@ -33,12 +39,24 @@ __all__ = [
     "FMDVCombined",
     "FMDVHorizontal",
     "FMDVVertical",
-    "HybridResult",
+    "HybridResult",  # deprecated alias, resolved lazily below
     "HybridValidator",
     "InferenceResult",
     "NumericRule",
     "NumericValidator",
+    "RuleSerializationError",
     "TagResult",
     "ValidationReport",
     "ValidationRule",
+    "rule_from_payload",
+    "rule_to_payload",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias: warns via repro.validate.hybrid's own shim.
+    if name == "HybridResult":
+        from repro.validate import hybrid
+
+        return hybrid.HybridResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

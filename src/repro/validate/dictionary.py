@@ -21,11 +21,13 @@ FMDV:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.validate.drift import drift_detected
+from repro.validate.result import InferenceResult
 
 #: A column "looks categorical" when its distinct/total ratio is below this.
 _MAX_DISTINCT_RATIO = 0.6
@@ -82,11 +84,30 @@ class DictionaryRule:
             ),
         )
 
+    # -- serialization (wire format v1) --------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "vocabulary": sorted(self.vocabulary),
+            "theta_train": self.theta_train,
+            "train_size": self.train_size,
+            "significance": self.significance,
+            "drift_test": self.drift_test,
+            "expanded_from": self.expanded_from,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DictionaryRule":
+        data = {k: v for k, v in payload.items() if k != "kind"}
+        data["vocabulary"] = frozenset(data["vocabulary"])  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
+
 
 class DictionaryValidator:
     """Set-expansion dictionary inference for categorical columns."""
 
     variant = "dictionary"
+    name = "dictionary"
 
     def __init__(
         self,
@@ -96,7 +117,31 @@ class DictionaryValidator:
         self.config = config
         self._corpus_vocabularies = [frozenset(c) for c in corpus_columns if c]
 
-    def infer(self, values: Sequence[str]) -> DictionaryRule | None:
+    def fingerprint(self) -> str:
+        """Stable identity: config knobs + the exact expansion vocabularies."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.name.encode("utf-8"))
+        h.update(
+            f"{self.config.significance}|{self.config.drift_test}".encode("utf-8")
+        )
+        for vocabulary in self._corpus_vocabularies:
+            for value in sorted(vocabulary):
+                h.update(value.encode("utf-8", "surrogatepass"))
+                h.update(b"\x00")
+            h.update(b"\x01")
+        return h.hexdigest()
+
+    def infer(self, values: Sequence[str]) -> InferenceResult:
+        """Protocol-shaped inference: wraps :meth:`infer_rule` in the unified
+        :class:`~repro.validate.result.InferenceResult`."""
+        rule = self.infer_rule(values)
+        if rule is None:
+            return InferenceResult(
+                None, self.variant, 0, "column is not categorical enough"
+            )
+        return InferenceResult(rule, self.variant, 1, "ok")
+
+    def infer_rule(self, values: Sequence[str]) -> DictionaryRule | None:
         """Infer a dictionary rule, or None when the column is not
         categorical enough for vocabularies to generalize."""
         if not values:

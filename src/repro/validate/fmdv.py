@@ -20,6 +20,7 @@ of Figure 14.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence
 
@@ -31,7 +32,17 @@ from repro.core.enumeration import (
 )
 from repro.core.pattern import Pattern
 from repro.index.index import PatternIndex
+from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationRule
+
+__all__ = [
+    "CMDV",
+    "Candidate",
+    "FMDV",
+    "InferenceResult",  # re-exported: the class moved to repro.validate.result
+    "NoIndexFMDV",
+    "SpaceProvider",
+]
 
 
 class SpaceProvider(Protocol):
@@ -50,20 +61,6 @@ class Candidate:
     fpr: float
     coverage: int
     train_match_fraction: float
-
-
-@dataclass(frozen=True)
-class InferenceResult:
-    """Outcome of rule inference on one query column."""
-
-    rule: ValidationRule | None
-    variant: str
-    candidates_considered: int
-    reason: str
-
-    @property
-    def found(self) -> bool:
-        return self.rule is not None
 
 
 class FMDV:
@@ -89,6 +86,21 @@ class FMDV:
         self.space_cache = space_cache
 
     # -- public API ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Public registry name (the :mod:`repro.api` Validator protocol)."""
+        return self.variant
+
+    def fingerprint(self) -> str:
+        """Stable identity of this validator: variant + config + the exact
+        index content it answers from.  Two validators with equal
+        fingerprints produce equal rules for equal inputs."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.variant.encode("utf-8"))
+        h.update(repr(self.config).encode("utf-8"))
+        h.update(self.index.content_digest().encode("utf-8"))
+        return h.hexdigest()
 
     def infer(self, values: Sequence[str]) -> InferenceResult:
         """Infer a validation rule from the training column ``values``."""

@@ -14,51 +14,46 @@ does.  :class:`HybridValidator` composes the two:
 The extension benchmark (``benchmarks/bench_extension_hybrid.py``) shows
 the hybrid recovering recall on the full benchmark (NL cases included)
 without giving up the pattern variants' precision.
+
+``infer`` returns the unified
+:class:`~repro.validate.result.InferenceResult` (the ``rule`` field holds
+either a pattern or a dictionary rule; inspect ``.kind``).  The historical
+``HybridResult`` type has been folded into ``InferenceResult`` — importing
+``HybridResult`` from this module still works but emits a
+``DeprecationWarning`` and hands back ``InferenceResult``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import warnings
 from typing import Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.index.index import PatternIndex
 from repro.validate.combined import FMDVCombined
-from repro.validate.dictionary import DictionaryRule, DictionaryValidator
-from repro.validate.rule import ValidationReport, ValidationRule
+from repro.validate.dictionary import DictionaryValidator
+from repro.validate.result import InferenceResult
 
 
-@dataclass(frozen=True)
-class HybridResult:
-    """Outcome of hybrid inference: exactly one rule kind, or none."""
-
-    pattern_rule: ValidationRule | None
-    dictionary_rule: DictionaryRule | None
-    reason: str = ""
-
-    @property
-    def found(self) -> bool:
-        return self.pattern_rule is not None or self.dictionary_rule is not None
-
-    @property
-    def kind(self) -> str:
-        if self.pattern_rule is not None:
-            return "pattern"
-        if self.dictionary_rule is not None:
-            return "dictionary"
-        return "none"
-
-    def validate(self, values: Sequence[str]) -> ValidationReport:
-        rule = self.pattern_rule or self.dictionary_rule
-        if rule is None:
-            raise RuntimeError("no rule was inferred; check .found first")
-        return rule.validate(list(values))
+def __getattr__(name: str):
+    # PEP 562 deprecation shim: HybridResult == InferenceResult now.
+    if name == "HybridResult":
+        warnings.warn(
+            "HybridResult has been folded into repro.validate.result."
+            "InferenceResult; import that instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return InferenceResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class HybridValidator:
     """FMDV-VH with a dictionary fallback for pattern-free columns."""
 
     variant = "hybrid"
+    name = "hybrid"
 
     def __init__(
         self,
@@ -69,21 +64,34 @@ class HybridValidator:
         self._pattern_solver = FMDVCombined(index, config)
         self._dictionary = DictionaryValidator(corpus_columns, config)
 
-    def infer(self, values: Sequence[str]) -> HybridResult:
+    def fingerprint(self) -> str:
+        """Stable identity: the composition of both underlying validators."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(b"hybrid|")
+        h.update(self._pattern_solver.fingerprint().encode("utf-8"))
+        h.update(self._dictionary.fingerprint().encode("utf-8"))
+        return h.hexdigest()
+
+    def infer(self, values: Sequence[str]) -> InferenceResult:
         pattern_result = self._pattern_solver.infer(list(values))
         if pattern_result.rule is not None:
-            return HybridResult(
-                pattern_rule=pattern_result.rule, dictionary_rule=None, reason="ok"
+            return InferenceResult(
+                pattern_result.rule,
+                self.variant,
+                pattern_result.candidates_considered,
+                "ok",
             )
-        dictionary_rule = self._dictionary.infer(values)
+        dictionary_rule = self._dictionary.infer_rule(values)
         if dictionary_rule is not None:
-            return HybridResult(
-                pattern_rule=None,
-                dictionary_rule=dictionary_rule,
-                reason=f"pattern infeasible ({pattern_result.reason}); dictionary fallback",
+            return InferenceResult(
+                dictionary_rule,
+                self.variant,
+                pattern_result.candidates_considered,
+                f"pattern infeasible ({pattern_result.reason}); dictionary fallback",
             )
-        return HybridResult(
-            pattern_rule=None,
-            dictionary_rule=None,
-            reason=f"pattern infeasible ({pattern_result.reason}); not categorical either",
+        return InferenceResult(
+            None,
+            self.variant,
+            pattern_result.candidates_considered,
+            f"pattern infeasible ({pattern_result.reason}); not categorical either",
         )

@@ -16,11 +16,13 @@ type drift (a numeric feed suddenly delivering text) for free.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.validate.drift import drift_detected
+from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationReport
 
 #: Tukey fence multiplier; 3.0 is the conventional "far out" fence.
@@ -94,11 +96,29 @@ class NumericRule:
             ),
         )
 
+    # -- serialization (wire format v1) --------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "lower": self.lower,
+            "upper": self.upper,
+            "theta_train": self.theta_train,
+            "train_size": self.train_size,
+            "significance": self.significance,
+            "drift_test": self.drift_test,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "NumericRule":
+        data = {k: v for k, v in payload.items() if k != "kind"}
+        return cls(**data)  # type: ignore[arg-type]
+
 
 class NumericValidator:
     """Infer envelope rules for numeric string columns."""
 
     variant = "numeric"
+    name = "numeric"
 
     def __init__(
         self,
@@ -114,7 +134,26 @@ class NumericValidator:
         self.drift_test = drift_test
         self.min_numeric_fraction = min_numeric_fraction
 
-    def infer(self, values: Sequence[str]) -> NumericRule | None:
+    def fingerprint(self) -> str:
+        """Stable identity of this validator's knobs."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(
+            f"numeric|{self.fence}|{self.significance}|{self.drift_test}"
+            f"|{self.min_numeric_fraction}".encode("utf-8")
+        )
+        return h.hexdigest()
+
+    def infer(self, values: Sequence[str]) -> InferenceResult:
+        """Protocol-shaped inference: wraps :meth:`infer_rule` in the unified
+        :class:`~repro.validate.result.InferenceResult`."""
+        rule = self.infer_rule(values)
+        if rule is None:
+            return InferenceResult(
+                None, self.variant, 0, "column is not numeric enough"
+            )
+        return InferenceResult(rule, self.variant, 1, "ok")
+
+    def infer_rule(self, values: Sequence[str]) -> NumericRule | None:
         """Infer an envelope, or None when the column is not numeric."""
         if not values:
             return None

@@ -12,11 +12,20 @@ A rule couples a domain pattern with how it should be enforced:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.pattern import Pattern
 from repro.validate.drift import drift_detected
+
+
+def dumps_canonical(payload: object) -> str:
+    """Deterministic JSON (sorted keys, compact, raw unicode) — equal
+    objects serialize to identical bytes, which the wire tests pin down."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
 
 
 @dataclass(frozen=True)
@@ -32,6 +41,30 @@ class ValidationReport:
 
     def __bool__(self) -> bool:  # truthiness == "an alarm was raised"
         return self.flagged
+
+    # -- serialization (wire format v1) --------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "flagged": self.flagged,
+            "p_value": self.p_value,
+            "train_bad_fraction": self.train_bad_fraction,
+            "test_bad_fraction": self.test_bad_fraction,
+            "n_test": self.n_test,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ValidationReport":
+        data = {k: v for k, v in payload.items() if k != "kind"}
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        return dumps_canonical(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ValidationReport":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -140,6 +173,17 @@ class ValidationRule:
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "ValidationRule":
-        data = dict(payload)
+        data = {k: v for k, v in payload.items() if k != "kind"}
         data["pattern"] = Pattern.from_key(str(data["pattern"]))
         return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        """Deterministic JSON encoding of :meth:`to_dict`."""
+        return dumps_canonical(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ValidationRule":
+        """Inverse of :meth:`to_json`; tolerates the wire envelopes' extra
+        ``"kind"`` tag so a rule lifted out of an ``InferResponse`` payload
+        reconstructs directly."""
+        return cls.from_dict(json.loads(text))

@@ -187,3 +187,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["--help"])
         assert "data-lake patterns" in capsys.readouterr().out
+
+
+class TestServeArgs:
+    def test_serve_rejects_bad_max_concurrency(self, workspace, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "serve", "--index", str(workspace / "lake.idx"),
+            "--max-concurrency", "0",
+        ])
+        assert code == 2
+        assert "--max-concurrency" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_rate(self, workspace, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main([
+            "serve", "--index", str(workspace / "lake.idx"), "--rate", "-1",
+        ])
+        assert code == 2
+        assert "--rate" in capsys.readouterr().err

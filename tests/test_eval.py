@@ -9,7 +9,7 @@ import pytest
 
 from repro import AutoValidateConfig
 from repro.baselines import TFDV
-from repro.baselines.base import BaselineRule, Validator
+from repro.baselines.base import BaselineRule, BaselineValidator
 from repro.datalake import ENTERPRISE_PROFILE, generate_corpus
 from repro.eval import (
     AutoValidateMethod,
@@ -107,7 +107,7 @@ class TestMetrics:
         assert row["rules"] == "2/3"
 
 
-class _AlwaysFlag(Validator):
+class _AlwaysFlag(BaselineValidator):
     name = "always-flag"
 
     def fit(self, train_values, context=None):
@@ -118,7 +118,7 @@ class _AlwaysFlag(Validator):
         return _Rule()
 
 
-class _NeverFlag(Validator):
+class _NeverFlag(BaselineValidator):
     name = "never-flag"
 
     def fit(self, train_values, context=None):
@@ -129,14 +129,14 @@ class _NeverFlag(Validator):
         return _Rule()
 
 
-class _Abstain(Validator):
+class _Abstain(BaselineValidator):
     name = "abstain"
 
     def fit(self, train_values, context=None):
         return None
 
 
-class _Crash(Validator):
+class _Crash(BaselineValidator):
     name = "crash"
 
     def fit(self, train_values, context=None):
@@ -222,3 +222,31 @@ class TestSignificance:
             paired_t_test([1.0], [1.0, 2.0])
         with pytest.raises(ValueError):
             paired_sign_test([1.0], [1.0, 2.0])
+
+
+class TestAutoValidateMethodRegistry:
+    """Registry-name construction must not degrade context-dependent methods."""
+
+    def test_runner_context_reaches_registry_baselines(self, small_corpus_columns):
+        from repro.baselines import SchemaMatchingPattern
+        from repro.baselines.base import FitContext
+        from repro.eval.runner import AutoValidateMethod
+
+        context = FitContext.from_columns(small_corpus_columns[:40])
+        train = small_corpus_columns[0][:30]
+
+        direct = SchemaMatchingPattern().fit(list(train), context)
+        wrapped = AutoValidateMethod("sm-p")
+        via_registry = wrapped.fit(list(train), context)
+        # Both abstain or both fit — the registry wrapper must not silently
+        # drop the context and force abstention.
+        assert (direct is None) == (via_registry is None)
+
+    def test_corpus_columns_kwarg_builds_noindex(self, small_corpus_columns):
+        from repro.eval.runner import AutoValidateMethod
+
+        method = AutoValidateMethod(
+            "fmdv-noindex", corpus_columns=small_corpus_columns[:30]
+        )
+        assert method.name == "FMDV-NOINDEX"
+        method.fit(list(small_corpus_columns[0][:20]))  # must not raise

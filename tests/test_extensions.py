@@ -19,16 +19,16 @@ def _cities(rng: random.Random, n: int) -> list[str]:
 
 class TestDictionaryValidator:
     def test_categorical_column_gets_rule(self, rng):
-        rule = DictionaryValidator().infer(_cities(rng, 80))
+        rule = DictionaryValidator().infer_rule(_cities(rng, 80))
         assert rule is not None
         assert rule.conforms("Seattle") or rule.conforms("Tokyo")
 
     def test_high_cardinality_abstains(self):
         values = [f"unique-{i}" for i in range(300)]
-        assert DictionaryValidator().infer(values) is None
+        assert DictionaryValidator().infer_rule(values) is None
 
     def test_empty_abstains(self):
-        assert DictionaryValidator().infer([]) is None
+        assert DictionaryValidator().infer_rule([]) is None
 
     def test_expansion_absorbs_corpus_vocabulary(self, rng):
         """Set expansion: a corpus column of the same domain contributes
@@ -38,8 +38,8 @@ class TestDictionaryValidator:
         ]
         train = [v for v in all_cities[:3] for _ in range(10)]
         corpus = [[v for v in all_cities for _ in range(5)]]
-        bare = DictionaryValidator().infer(train)
-        expanded = DictionaryValidator(corpus).infer(train)
+        bare = DictionaryValidator().infer_rule(train)
+        expanded = DictionaryValidator(corpus).infer_rule(train)
         assert not bare.conforms("Tokyo")
         assert expanded.conforms("Tokyo")
         assert expanded.expanded_from == 1
@@ -47,11 +47,11 @@ class TestDictionaryValidator:
     def test_expansion_ignores_unrelated_columns(self, rng):
         train = _cities(rng, 60)
         corpus = [DOMAIN_REGISTRY["guid"].sample_many(rng, 40)]
-        rule = DictionaryValidator(corpus).infer(train)
+        rule = DictionaryValidator(corpus).infer_rule(train)
         assert rule.expanded_from == 0
 
     def test_distributional_validation(self, rng):
-        rule = DictionaryValidator().infer(_cities(rng, 100))
+        rule = DictionaryValidator().infer_rule(_cities(rng, 100))
         same = _cities(rng, 300)
         assert not rule.validate(same).flagged
         shifted = ["Atlantis"] * 150 + _cities(rng, 150)
@@ -59,7 +59,7 @@ class TestDictionaryValidator:
 
     def test_few_novel_values_tolerated(self, rng):
         """One unseen city in 300 must not alarm (the TFDV trap)."""
-        rule = DictionaryValidator().infer(_cities(rng, 100))
+        rule = DictionaryValidator().infer_rule(_cities(rng, 100))
         nearly_same = _cities(rng, 299) + ["Novel Town"]
         assert not rule.validate(nearly_same).flagged
 
@@ -109,21 +109,21 @@ class TestNumericValidator:
     def test_envelope_on_gaussian_data(self):
         rng = random.Random(1)
         values = [f"{rng.gauss(100, 10):.2f}" for _ in range(500)]
-        rule = NumericValidator().infer(values)
+        rule = NumericValidator().infer_rule(values)
         assert rule is not None
         assert rule.lower < 70 < 130 < rule.upper
 
     def test_non_numeric_column_abstains(self, rng):
-        assert NumericValidator().infer(_cities(rng, 50)) is None
+        assert NumericValidator().infer_rule(_cities(rng, 50)) is None
 
     def test_mixed_column_below_threshold_abstains(self):
         values = ["1.5"] * 50 + ["n/a"] * 10
-        assert NumericValidator().infer(values) is None
+        assert NumericValidator().infer_rule(values) is None
 
     def test_shift_detected(self):
         rng = random.Random(2)
         train = [f"{rng.gauss(100, 10):.2f}" for _ in range(400)]
-        rule = NumericValidator().infer(train)
+        rule = NumericValidator().infer_rule(train)
         same = [f"{rng.gauss(100, 10):.2f}" for _ in range(400)]
         shifted = [f"{rng.gauss(500, 10):.2f}" for _ in range(400)]
         assert not rule.validate(same).flagged
@@ -132,7 +132,7 @@ class TestNumericValidator:
     def test_type_drift_detected(self):
         rng = random.Random(3)
         train = [str(rng.randint(0, 1000)) for _ in range(300)]
-        rule = NumericValidator().infer(train)
+        rule = NumericValidator().infer_rule(train)
         textual = ["not-a-number"] * 100 + [str(rng.randint(0, 1000)) for _ in range(200)]
         report = rule.validate(textual)
         assert report.flagged
@@ -140,18 +140,18 @@ class TestNumericValidator:
     def test_single_outlier_tolerated(self):
         rng = random.Random(4)
         train = [f"{rng.gauss(0, 1):.3f}" for _ in range(300)]
-        rule = NumericValidator().infer(train)
+        rule = NumericValidator().infer_rule(train)
         nearly_same = [f"{rng.gauss(0, 1):.3f}" for _ in range(299)] + ["9999999"]
         assert not rule.validate(nearly_same).flagged
 
     def test_constant_column(self):
-        rule = NumericValidator().infer(["5.0"] * 100)
+        rule = NumericValidator().infer_rule(["5.0"] * 100)
         assert rule is not None
         assert rule.conforms("5.0")
         assert not rule.conforms("6.0")
 
     def test_nan_and_inf_rejected(self):
-        rule = NumericValidator().infer(["1.0"] * 100)
+        rule = NumericValidator().infer_rule(["1.0"] * 100)
         assert not rule.conforms("nan")
         assert not rule.conforms("inf")
 
@@ -162,7 +162,7 @@ class TestNumericValidator:
     def test_envelope_scales_with_fence(self):
         rng = random.Random(5)
         values = [f"{rng.gauss(0, 1):.3f}" for _ in range(400)]
-        tight = NumericValidator(fence=1.5).infer(values)
-        loose = NumericValidator(fence=4.0).infer(values)
+        tight = NumericValidator(fence=1.5).infer_rule(values)
+        loose = NumericValidator(fence=4.0).infer_rule(values)
         assert tight.upper < loose.upper
         assert tight.lower > loose.lower

@@ -244,3 +244,82 @@ class TestDiskBackedParallel:
             small_index, small_config, variant="fmdv", parallel_backend="serial"
         ).infer_many(batch)
         assert results == serial
+
+
+class TestWeightedChunks:
+    def test_covers_everything_exactly_once(self):
+        from repro.service.parallel import weighted_chunks
+
+        for n_items in (1, 5, 16, 33):
+            for n_chunks in (1, 2, 7):
+                weights = [(i * 37) % 11 + 1 for i in range(n_items)]
+                bins = weighted_chunks(weights, n_chunks)
+                flat = sorted(i for chunk in bins for i in chunk)
+                assert flat == list(range(n_items))
+                assert all(chunk == sorted(chunk) for chunk in bins)
+                assert all(chunk for chunk in bins)
+
+    def test_skewed_batch_does_not_straggle_one_worker(self):
+        """One huge column plus many small ones: the huge column gets a bin
+        of its own and the small ones spread over the other bins (the
+        ROADMAP skew scenario contiguous chunking got wrong)."""
+        from repro.service.parallel import weighted_chunks
+
+        weights = [1000] + [10] * 9
+        bins = weighted_chunks(weights, 4)
+        loads = sorted(sum(weights[i] for i in chunk) for chunk in bins)
+        assert loads[-1] == 1000          # the giant is alone in its bin
+        assert max(loads[:-1]) <= 40      # small items balanced across the rest
+
+    def test_deterministic(self):
+        from repro.service.parallel import weighted_chunks
+
+        weights = [5, 1, 5, 3, 3, 8, 1, 1]
+        assert weighted_chunks(weights, 3) == weighted_chunks(list(weights), 3)
+
+    def test_equal_weights_spread_round_robin(self):
+        from repro.service.parallel import weighted_chunks
+
+        bins = weighted_chunks([7] * 6, 3)
+        assert sorted(len(chunk) for chunk in bins) == [2, 2, 2]
+
+    def test_zero_weight_items_still_distributed(self):
+        from repro.service.parallel import weighted_chunks
+
+        bins = weighted_chunks([0] * 8, 4)
+        assert sorted(len(chunk) for chunk in bins) == [2, 2, 2, 2]
+
+
+class TestExecutorDedup:
+    """Dedup happens inside the executor too (not only in the service), so
+    direct ParallelExecutor users get one solve per distinct column."""
+
+    def test_executor_infer_many_dedupes_by_digest(
+        self, small_index, small_config
+    ):
+        from repro.service.parallel import ParallelExecutor, index_spec_for
+
+        executor = ParallelExecutor(workers=2, backend="process")
+        try:
+            column = DOMAIN_REGISTRY["guid"].sample_many(random.Random(1), 30)
+            other = DOMAIN_REGISTRY["status"].sample_many(random.Random(2), 30)
+            shuffled = list(reversed(column))  # same multiset => same digest
+            batch = [column, other, shuffled, column]
+            results, delta = executor.infer_many(
+                batch,
+                None,
+                index_spec=index_spec_for(small_index),
+                config=small_config,
+                default_variant="fmdv",
+                generation="g",
+            )
+            assert len(results) == 4
+            assert results[0] is results[3]     # exact repeat: same object
+            assert results[0] is results[2]     # permutation: same digest
+            assert results[0].rule is not None
+            # 2 unique solves + 2 duplicates accounted as cache hits
+            assert delta["inferences"] == 4
+            assert delta["result_cache_hits"] == 2
+            assert delta["space_cache_misses"] == 2
+        finally:
+            executor.close()

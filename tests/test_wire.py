@@ -1,0 +1,264 @@
+"""Property-style wire round-trip tests (repro.api.wire).
+
+Random rules / reports / results — including unicode values and
+``found=False`` abstentions — must survive ``to_json -> from_json``
+*byte-identically* across many seeds: equality of the reconstructed object
+AND equality of its re-serialization, which pins the canonical encoder
+(sorted keys, compact separators, raw unicode).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api.wire import (
+    WIRE_VERSION,
+    BatchEnvelope,
+    ErrorResponse,
+    InferRequest,
+    InferResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireError,
+)
+from repro.core.atoms import Atom
+from repro.core.pattern import Pattern
+from repro.validate.dictionary import DictionaryRule
+from repro.validate.numeric import NumericRule
+from repro.validate.result import (
+    InferenceResult,
+    RuleSerializationError,
+    rule_from_payload,
+    rule_to_payload,
+)
+from repro.validate.rule import ValidationReport, ValidationRule
+
+N_SEEDS = 30
+
+#: Alphabet for random values/constants: ASCII, separators that stress the
+#: pattern-key escaping (pipe, backslash — 'p' included so the escaped-pipe
+#: marker arises literally — quotes), and multi-byte unicode.
+_ALPHABET = (
+    "abcpXYZ019 _-|\\\"'/.:$€éß中日韓🙂  "
+)
+
+
+def _text(rng: random.Random, max_len: int = 12) -> str:
+    return "".join(
+        rng.choice(_ALPHABET) for _ in range(rng.randint(0, max_len))
+    )
+
+
+def _pattern(rng: random.Random) -> Pattern:
+    makers = [
+        lambda: Atom.const(_text(rng, 6) or "x"),
+        lambda: Atom.digit(rng.randint(1, 6)),
+        lambda: Atom.upper(rng.randint(1, 4)),
+        lambda: Atom.lower(rng.randint(1, 4)),
+        lambda: Atom.letter(rng.randint(1, 4)),
+        lambda: Atom.alnum(rng.randint(1, 4)),
+        Atom.digit_plus,
+        Atom.letter_plus,
+        Atom.alnum_plus,
+        Atom.num,
+        Atom.any,
+    ]
+    return Pattern([rng.choice(makers)() for _ in range(rng.randint(1, 7))])
+
+
+def _validation_rule(rng: random.Random) -> ValidationRule:
+    return ValidationRule(
+        pattern=_pattern(rng),
+        theta_train=rng.random(),
+        train_size=rng.randint(1, 10_000),
+        strict=rng.random() < 0.5,
+        significance=rng.choice([0.01, 0.05, 0.001]),
+        drift_test=rng.choice(["fisher", "chisquare"]),
+        est_fpr=rng.random(),
+        coverage=rng.randint(0, 1_000_000),
+        variant=rng.choice(["fmdv", "fmdv-v", "fmdv-h", "fmdv-vh", "cmdv"]),
+    )
+
+
+def _dictionary_rule(rng: random.Random) -> DictionaryRule:
+    return DictionaryRule(
+        vocabulary=frozenset(_text(rng) for _ in range(rng.randint(1, 40))),
+        theta_train=rng.random(),
+        train_size=rng.randint(1, 5_000),
+        significance=0.01,
+        drift_test=rng.choice(["fisher", "chisquare"]),
+        expanded_from=rng.randint(0, 9),
+    )
+
+
+def _numeric_rule(rng: random.Random) -> NumericRule:
+    low = rng.uniform(-1e9, 1e9)
+    return NumericRule(
+        lower=low,
+        upper=low + rng.uniform(0, 1e6),
+        theta_train=rng.random(),
+        train_size=rng.randint(1, 5_000),
+        significance=0.01,
+        drift_test="fisher",
+    )
+
+
+def _report(rng: random.Random) -> ValidationReport:
+    return ValidationReport(
+        flagged=rng.random() < 0.5,
+        p_value=None if rng.random() < 0.3 else rng.random(),
+        train_bad_fraction=rng.random(),
+        test_bad_fraction=rng.random(),
+        n_test=rng.randint(0, 100_000),
+        reason=_text(rng, 40),
+    )
+
+
+def _result(rng: random.Random) -> InferenceResult:
+    roll = rng.random()
+    if roll < 0.25:
+        rule = None  # the found=False case
+    elif roll < 0.6:
+        rule = _validation_rule(rng)
+    elif roll < 0.85:
+        rule = _dictionary_rule(rng)
+    else:
+        rule = _numeric_rule(rng)
+    return InferenceResult(
+        rule=rule,
+        variant=rng.choice(["fmdv-vh", "hybrid", "dictionary", "numeric"]),
+        candidates_considered=rng.randint(0, 500),
+        reason=_text(rng, 30),
+    )
+
+
+def _assert_byte_identical_roundtrip(obj, cls):
+    first = obj.to_json()
+    back = cls.from_json(first)
+    assert back == obj
+    assert back.to_json() == first  # byte-identical re-serialization
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+class TestPropertyRoundTrips:
+    def test_validation_rule(self, seed):
+        rng = random.Random(seed)
+        _assert_byte_identical_roundtrip(_validation_rule(rng), ValidationRule)
+
+    def test_dictionary_rule_via_payload(self, seed):
+        rng = random.Random(seed)
+        rule = _dictionary_rule(rng)
+        payload = rule_to_payload(rule)
+        assert payload["kind"] == "dictionary"
+        assert rule_from_payload(json.loads(json.dumps(payload))) == rule
+
+    def test_numeric_rule_via_payload(self, seed):
+        rng = random.Random(seed)
+        rule = _numeric_rule(rng)
+        assert rule_from_payload(rule_to_payload(rule)) == rule
+
+    def test_report(self, seed):
+        rng = random.Random(seed)
+        _assert_byte_identical_roundtrip(_report(rng), ValidationReport)
+
+    def test_inference_result(self, seed):
+        rng = random.Random(seed)
+        _assert_byte_identical_roundtrip(_result(rng), InferenceResult)
+
+    def test_envelopes(self, seed):
+        rng = random.Random(seed)
+        values = tuple(_text(rng) for _ in range(rng.randint(0, 20)))
+        _assert_byte_identical_roundtrip(
+            InferRequest(values=values, variant=rng.choice([None, "vh", "fmdv"])),
+            InferRequest,
+        )
+        _assert_byte_identical_roundtrip(
+            InferResponse(result=_result(rng), generation=_text(rng)),
+            InferResponse,
+        )
+        _assert_byte_identical_roundtrip(
+            ValidateRequest(rule=_validation_rule(rng), values=values),
+            ValidateRequest,
+        )
+        _assert_byte_identical_roundtrip(
+            ValidateResponse(report=_report(rng)), ValidateResponse
+        )
+        _assert_byte_identical_roundtrip(
+            ErrorResponse(code="rate_limited", message=_text(rng), status=429),
+            ErrorResponse,
+        )
+
+    def test_batch_envelope(self, seed):
+        rng = random.Random(seed)
+        batch = BatchEnvelope(
+            items=tuple(
+                InferRequest(values=(_text(rng),), variant=None)
+                for _ in range(rng.randint(0, 8))
+            )
+        )
+        _assert_byte_identical_roundtrip(batch, BatchEnvelope)
+
+
+class TestWireValidation:
+    def test_rejects_wrong_version(self):
+        payload = json.loads(InferRequest(values=("a",)).to_json())
+        payload["v"] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="wire version"):
+            InferRequest.from_json(json.dumps(payload))
+
+    def test_rejects_wrong_type(self):
+        text = InferRequest(values=("a",)).to_json()
+        with pytest.raises(WireError, match="envelope type"):
+            InferResponse.from_json(text)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(WireError, match="invalid JSON"):
+            InferRequest.from_json("{nope")
+
+    def test_rejects_non_string_values(self):
+        payload = json.loads(InferRequest(values=("a",)).to_json())
+        payload["values"] = ["a", 3]
+        with pytest.raises(WireError, match="values"):
+            InferRequest.from_json(json.dumps(payload))
+
+    def test_rejects_unknown_batch_item_type(self):
+        payload = json.loads(
+            BatchEnvelope(items=(InferRequest(values=("a",)),)).to_json()
+        )
+        payload["items"][0]["type"] = "mystery"
+        with pytest.raises(WireError, match="unknown type"):
+            BatchEnvelope.from_json(json.dumps(payload))
+
+    def test_rejects_unknown_rule_kind(self):
+        with pytest.raises(RuleSerializationError, match="unknown rule kind"):
+            rule_from_payload({"kind": "sorcery"})
+
+    def test_rule_subclasses_serialize_by_isinstance(self):
+        """A user subclass of a serializable rule kind must still go on the
+        wire (dispatch is isinstance-based, not class-name string match)."""
+
+        class PercentRule(NumericRule):
+            pass
+
+        rule = PercentRule(lower=0.0, upper=100.0, theta_train=0.0, train_size=10)
+        payload = rule_to_payload(rule)
+        assert payload["kind"] == "numeric"
+        assert rule_from_payload(payload) == NumericRule(
+            lower=0.0, upper=100.0, theta_train=0.0, train_size=10
+        )
+        assert InferenceResult(rule, "numeric").kind == "numeric"
+
+    def test_baseline_rules_are_not_serializable(self):
+        from repro.baselines.base import PredicateRule
+
+        rule = PredicateRule(lambda v: True, "always fine")
+        with pytest.raises(RuleSerializationError, match="not wire-serializable"):
+            rule_to_payload(rule)
+
+    def test_unicode_survives_raw(self):
+        """ensure_ascii=False: multi-byte text must not be \\u-escaped."""
+        request = InferRequest(values=("中🙂é",))
+        assert "中🙂é" in request.to_json()
