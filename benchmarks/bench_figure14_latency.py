@@ -228,6 +228,118 @@ def test_figure14_latency(benchmark, enterprise_benchmark, enterprise_index, ent
         assert latencies["Service (cold batch)"] / max(ms_parallel, 1e-9) >= 2.0
 
 
+def _cold_start_probe(index_path, probe_key: str) -> dict:
+    """Measure one cold start in a *fresh* interpreter: open the index,
+    run one lookup, report peak RSS and per-phase latency.
+
+    A subprocess is the only honest cold start — in-process measurements
+    inherit the parent's page cache of Python allocations and previously
+    imported modules.  RSS is the *delta* of ``VmRSS`` across
+    open + first lookup (current resident set from ``/proc/self/status``;
+    ``ru_maxrss`` is useless here — Linux carries the high-water mark
+    across fork/exec, so a child forked from a fat parent reports the
+    parent's peak).  The interpreter + import baseline cancels out of the
+    delta, isolating what the index layout itself keeps resident.
+    """
+    import json as json_module
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    code = (
+        "import json, time\n"
+        "def vm_rss_kb():\n"
+        "    try:\n"
+        "        with open('/proc/self/status') as fh:\n"
+        "            for line in fh:\n"
+        "                if line.startswith('VmRSS:'):\n"
+        "                    return int(line.split()[1])\n"
+        "    except OSError:\n"
+        "        pass\n"
+        "    import resource  # non-Linux fallback: peak, not current\n"
+        "    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss\n"
+        "from repro.index.store import open_index\n"
+        f"path, key = {str(index_path)!r}, {probe_key!r}\n"
+        "rss_before = vm_rss_kb()\n"
+        "start = time.perf_counter()\n"
+        "index = open_index(path)\n"
+        "opened = time.perf_counter()\n"
+        "entry = index.lookup_key(key)\n"
+        "looked_up = time.perf_counter()\n"
+        "assert entry is not None, 'probe key missing from index'\n"
+        "print(json.dumps({\n"
+        "    'open_ms': (opened - start) * 1000.0,\n"
+        "    'first_lookup_ms': (looked_up - opened) * 1000.0,\n"
+        "    'rss_kb': vm_rss_kb() - rss_before,\n"
+        "}))\n"
+    )
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=120,
+        env={
+            "PYTHONPATH": package_root,
+            "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+        },
+    )
+    assert result.returncode == 0, f"cold-start probe failed: {result.stderr}"
+    return json_module.loads(result.stdout)
+
+
+def test_figure14_cold_start_v2_vs_v3(enterprise_corpus, tmp_path):
+    """The v3 claim: an mmap binary index cold-starts with lower RSS and a
+    faster first lookup than the gzip-JSON v2 layout on the same content.
+
+    The corpus index is padded to lake scale (~120k patterns) so the
+    layout cost dominates the interpreter baseline: a v2 first lookup
+    gunzips and dict-materializes a whole shard, a v3 first lookup maps
+    the shard (no data pages read) and binary-searches ~17 key probes.
+    """
+    import random as random_module
+
+    from repro.index import IndexEntry, PatternIndex
+    from repro.index.store import save_index
+
+    sample = [c.values[:60] for c in list(enterprise_corpus.columns())[:240]]
+    real = build_index(sample)
+    probe_key = min(real.keys())
+    rng = random_module.Random(14)
+    entries = dict(real.items())
+    while len(entries) < 120_000:
+        key = "|".join(
+            f"D{rng.randint(1, 9)}" for _ in range(rng.randint(2, 10))
+        ) + f"|C:pad{rng.randint(0, 10**9)}"
+        entries[key] = IndexEntry(fpr_sum=rng.random(), coverage=rng.randint(1, 500))
+    big = PatternIndex(entries, real.meta)
+
+    save_index(big, tmp_path / "idx.v2", format="v2", n_shards=4)
+    save_index(big, tmp_path / "idx.v3", format="v3", n_shards=4)
+    v2 = _cold_start_probe(tmp_path / "idx.v2", probe_key)
+    v3 = _cold_start_probe(tmp_path / "idx.v3", probe_key)
+
+    rows = [
+        {
+            "layout": name,
+            "open ms": f"{probe['open_ms']:.1f}",
+            "first lookup ms": f"{probe['first_lookup_ms']:.2f}",
+            "cold-start RSS MB": f"{probe['rss_kb'] / 1024:.1f}",
+        }
+        for name, probe in (("v2 gzip-JSON shards", v2), ("v3 mmap binary", v3))
+    ]
+    record_report(
+        f"Figure 14 extension: cold start over {len(big)} patterns "
+        "(fresh interpreter per row)",
+        render_table(rows),
+    )
+
+    # The acceptance criteria: strictly less resident memory AND a faster
+    # first lookup on identical content.
+    assert v3["rss_kb"] < v2["rss_kb"], (v3, v2)
+    assert v3["first_lookup_ms"] < v2["first_lookup_ms"], (v3, v2)
+
+
 def test_figure14_v2_index_fidelity(enterprise_corpus, tmp_path):
     """Index format v2 end to end: partial indexes merged, sharded to disk
     and reloaded must carry bit-identical FPR_T/Cov_T statistics."""

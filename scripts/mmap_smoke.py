@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Mmap cold-start smoke test for the v3 index store (CI `store-matrix`).
+
+Asserts the property the v3 format exists for: opening an index and
+serving a lookup must NOT read full shard files —
+
+1. opening a v3 directory maps zero shards and reads zero data bytes
+   beyond the manifest,
+2. one lookup maps exactly one shard and materializes no dict entries,
+3. the lookup's answer matches the in-memory index bit for bit,
+4. resource proof, two ways (each catches what the other can't): the
+   bytes read via the file API (`/proc/self/io` rchar — blind to mmap
+   page faults) AND the resident-set growth (`/proc/self/status` VmRSS —
+   which mmap page-ins do pay for) both stay far below the total shard
+   payload during open + first lookup,
+5. an `auto-validate serve` subprocess boots over the v3 directory and
+   answers /healthz with `"index_format": "v3"`.
+
+Exit code 0 on success; any failure raises (non-zero exit).
+
+Usage: python scripts/mmap_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+
+def _read_bytes_so_far() -> int | None:
+    """Bytes this process has read via the file API (Linux /proc I/O
+    accounting; None where unavailable).  Does NOT count mmap page
+    faults — pair with :func:`_vm_rss_kb`, which does."""
+    try:
+        for line in Path("/proc/self/io").read_text().splitlines():
+            if line.startswith("rchar:"):
+                return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _vm_rss_kb() -> int | None:
+    """Current resident set (kB); grows when mmapped pages are touched."""
+    try:
+        for line in Path("/proc/self/status").read_text().splitlines():
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def main(workdir: str | None = None) -> int:
+    import random
+
+    from repro.index.index import IndexEntry, IndexMeta, PatternIndex
+    from repro.index.store import MmapShardedPatternIndex, open_index, save_index
+
+    root = Path(workdir or tempfile.mkdtemp(prefix="mmap-smoke-"))
+    rng = random.Random(3)
+    entries = {}
+    while len(entries) < 50_000:
+        key = f"D{rng.randint(1, 9)}|C:smoke{rng.randint(0, 10**9)}"
+        entries[key] = IndexEntry(fpr_sum=rng.random(), coverage=rng.randint(1, 100))
+    index = PatternIndex(entries, IndexMeta(columns_scanned=50_000, corpus_name="smoke"))
+    out = root / "smoke.v3"
+    save_index(index, out, format="v3", n_shards=8)
+    shard_bytes = sum(p.stat().st_size for p in out.glob("shard-*.bin"))
+    print(f"wrote {len(index)} entries, {shard_bytes} shard bytes at {out}")
+
+    read_before = _read_bytes_so_far()
+    rss_before = _vm_rss_kb()
+    loaded = open_index(out)
+    assert isinstance(loaded, MmapShardedPatternIndex), type(loaded)
+    assert loaded.mapped_shard_count == 0, "open must not touch shard files"
+    assert len(loaded) == len(index), "len() must come from the manifest"
+    assert loaded.mapped_shard_count == 0
+
+    probe = min(entries)
+    assert loaded.lookup_key(probe) == index.lookup_key(probe)
+    assert loaded.mapped_shard_count == 1, "a lookup maps exactly one shard"
+    assert len(loaded._entries) == 0, "the mmap path must not build dicts"
+    print("open+lookup ok: 1 shard mapped, 0 dict entries materialized")
+
+    read_after = _read_bytes_so_far()
+    if read_before is not None and read_after is not None:
+        consumed = read_after - read_before
+        # Manifest + header + the ~16 binary-search probes: a few KB.
+        # Reading even ONE full shard (~ shard_bytes/8) would blow this.
+        budget = shard_bytes // 16
+        assert consumed < budget, (
+            f"cold start read {consumed} bytes via the file API; full shard "
+            f"files are being read (budget {budget} of {shard_bytes} bytes)"
+        )
+        print(f"io accounting ok: {consumed} bytes read of {shard_bytes} on disk")
+    rss_after = _vm_rss_kb()
+    if rss_before is not None and rss_after is not None:
+        grown_kb = rss_after - rss_before
+        # rchar is blind to mmap page faults; RSS is not.  Touching every
+        # shard page (e.g. a CRC pass at map time) would page the whole
+        # payload in; the binary search touches a handful of 4K pages.
+        budget_kb = max(256, shard_bytes // 1024 // 4)
+        assert grown_kb < budget_kb, (
+            f"cold start grew RSS by {grown_kb} kB; shard pages are being "
+            f"faulted in wholesale (budget {budget_kb} kB)"
+        )
+        print(f"rss accounting ok: +{grown_kb} kB resident of {shard_bytes // 1024} kB mapped")
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--index", str(out), "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+             "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+             "PYTHONUNBUFFERED": "1"},
+    )
+    try:
+        ready = process.stdout.readline()
+        assert "serving on http://" in ready, (
+            f"server failed to boot: {ready!r}\n{process.stderr.read()}"
+        )
+        base_url = ready.split()[2]
+        with urllib.request.urlopen(base_url + "/healthz", timeout=60) as response:
+            health = json.loads(response.read())
+        assert health["status"] == "ok", health
+        assert health["index_format"] == "v3", health
+        print(f"serve ok: healthz reports index_format={health['index_format']}")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=15)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -44,6 +44,13 @@ from repro.core.pattern import Pattern
 from repro.core.tokenizer import Token, token_count, tokenize
 from repro.index.builder import IndexBuilder, build_index, build_index_parallel
 from repro.index.index import PatternIndex, ShardedPatternIndex
+from repro.index.store import (
+    IndexStore,
+    MmapShardedPatternIndex,
+    merge_indexes,
+    open_index,
+    save_index,
+)
 from repro.monitor import FeedMonitor, FeedReport
 from repro.service import (
     AsyncValidationService,
@@ -63,7 +70,7 @@ from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationReport, ValidationRule
 from repro.validate.vertical import FMDVVertical
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "API_VERSION",
@@ -100,7 +107,9 @@ __all__ = [
     "NumericValidator",
     "GeneralizationHierarchy",
     "IndexBuilder",
+    "IndexStore",
     "InferenceResult",
+    "MmapShardedPatternIndex",
     "NoIndexFMDV",
     "Pattern",
     "PatternIndex",
@@ -114,6 +123,9 @@ __all__ = [
     "ValidationService",
     "build_index",
     "build_index_parallel",
+    "merge_indexes",
+    "open_index",
+    "save_index",
     "token_count",
     "tokenize",
     "__version__",

@@ -12,8 +12,15 @@ Three layers, all stable under :data:`API_VERSION`:
 * **Wire** — the envelope types (:class:`InferRequest`,
   :class:`InferResponse`, :class:`ValidateRequest`,
   :class:`ValidateResponse`, :class:`BatchEnvelope`,
+  :class:`AdminConfigRequest`/:class:`AdminConfigResponse`,
   :class:`ErrorResponse`) with deterministic, versioned
   ``to_json``/``from_json``.  Schema reference: ``src/repro/api/WIRE.md``.
+* **Stores** — index persistence behind the runtime-checkable
+  :class:`IndexStore` protocol: :func:`open_index` /
+  :func:`save_index` / :func:`merge_indexes` dispatch on the registered
+  format (v1 monolithic, v2 sharded JSON, v3 mmap binary);
+  :func:`register_store` adds third-party layouts.  Byte layout
+  reference: ``src/repro/index/FORMAT.md``.
 
 Quickstart::
 
@@ -35,6 +42,8 @@ from repro.api.registry import (
 )
 from repro.api.wire import (
     WIRE_VERSION,
+    AdminConfigRequest,
+    AdminConfigResponse,
     BatchEnvelope,
     ErrorResponse,
     InferRequest,
@@ -42,6 +51,15 @@ from repro.api.wire import (
     ValidateRequest,
     ValidateResponse,
     WireError,
+)
+from repro.index.store import (
+    IndexStore,
+    available_formats,
+    get_store,
+    merge_indexes,
+    open_index,
+    register_store,
+    save_index,
 )
 from repro.validate.result import (
     InferenceResult,
@@ -55,8 +73,11 @@ API_VERSION = "v1"
 
 __all__ = [
     "API_VERSION",
+    "AdminConfigRequest",
+    "AdminConfigResponse",
     "BatchEnvelope",
     "ErrorResponse",
+    "IndexStore",
     "InferRequest",
     "InferResponse",
     "InferenceResult",
@@ -67,11 +88,17 @@ __all__ = [
     "Validator",
     "WIRE_VERSION",
     "WireError",
+    "available_formats",
     "available_validators",
+    "get_store",
     "get_validator",
+    "merge_indexes",
+    "open_index",
+    "register_store",
     "register_validator",
     "resolve_name",
     "rule_from_payload",
     "rule_to_payload",
+    "save_index",
     "validator_summary",
 ]

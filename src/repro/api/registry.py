@@ -24,6 +24,12 @@ Built-in names (plus historical aliases):
 
 Every resolved object satisfies :class:`repro.api.Validator`.  Third-party
 engines register with :func:`register_validator`.
+
+The index persistence registry rides along here: :func:`register_store` /
+:func:`get_store` / :func:`available_formats` (re-exported from
+:mod:`repro.index.store`) are the same extension point for on-disk index
+formats that :func:`register_validator` is for inference engines, so
+third-party packages have one module to import for both registries.
 """
 
 from __future__ import annotations
@@ -47,6 +53,12 @@ from repro.baselines import (
 )
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.index.index import PatternIndex
+from repro.index.store import (  # noqa: F401 - registry re-exports
+    IndexStore,
+    available_formats,
+    get_store,
+    register_store,
+)
 from repro.validate.combined import FMDVCombined
 from repro.validate.dictionary import DictionaryValidator
 from repro.validate.fmdv import CMDV, FMDV, NoIndexFMDV

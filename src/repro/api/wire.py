@@ -185,6 +185,77 @@ class ValidateResponse(_Envelope):
         return cls(report=report)
 
 
+def _optional_number(payload: Mapping[str, Any], field_name: str) -> float | None:
+    value = payload.get(field_name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f'"{field_name}" must be a number or null')
+    return float(value)
+
+
+@dataclass(frozen=True)
+class AdminConfigRequest(_Envelope):
+    """Hot-reload part of the serving config (loopback-only admin route).
+
+    Every field is optional: omitted/null fields keep their current
+    value, so ``{"rate": 100}`` bumps the rate limit without touching the
+    default variant — and never drops the index caches.
+    """
+
+    wire_type: ClassVar[str] = "admin_config_request"
+
+    rate: float | None = None
+    burst: float | None = None
+    variant: str | None = None
+
+    def _body(self) -> dict[str, Any]:
+        return {"rate": self.rate, "burst": self.burst, "variant": self.variant}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "AdminConfigRequest":
+        variant = payload.get("variant")
+        if variant is not None and not isinstance(variant, str):
+            raise WireError('"variant" must be a string or null')
+        return cls(
+            rate=_optional_number(payload, "rate"),
+            burst=_optional_number(payload, "burst"),
+            variant=variant,
+        )
+
+
+@dataclass(frozen=True)
+class AdminConfigResponse(_Envelope):
+    """The full active serving config after (or without) an update."""
+
+    wire_type: ClassVar[str] = "admin_config_response"
+
+    rate: float
+    burst: float
+    variant: str
+    generation: str = ""
+    index_format: str = ""
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "variant": self.variant,
+            "generation": self.generation,
+            "index_format": self.index_format,
+        }
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "AdminConfigResponse":
+        return cls(
+            rate=float(payload.get("rate", 0.0)),
+            burst=float(payload.get("burst", 0.0)),
+            variant=str(payload.get("variant", "")),
+            generation=str(payload.get("generation", "")),
+            index_format=str(payload.get("index_format", "")),
+        )
+
+
 #: Envelope types allowed inside a batch, by their wire tag.
 _BATCHABLE: dict[str, type] = {}
 

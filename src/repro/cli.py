@@ -5,16 +5,22 @@ Installed as the ``auto-validate`` console script::
     auto-validate generate --profile enterprise --tables 100 --out lake/
     auto-validate index    --corpus lake/ --out lake.idx.gz
     auto-validate index    --corpus lake/ --out lake.idx --shards 16
+    auto-validate index    --corpus lake/ --out lake.v3 --format v3
+    auto-validate merge    --a part-a.v3 --b part-b.v3 --out whole.v3
     auto-validate infer    --index lake.idx.gz --column feed.txt --rule rule.json
     auto-validate infer    --index lake.idx --column a.txt b.txt c.txt
     auto-validate validate --rule rule.json --column tomorrow.txt
     auto-validate tag      --index lake.idx.gz --examples ex.txt --corpus lake/
 
 Column files are plain text, one value per line.  Rules round-trip as JSON
-(:meth:`repro.validate.rule.ValidationRule.to_dict`).  ``--shards`` writes
-the sharded v2 index layout (a directory); ``--index`` accepts either
-format.  Inference runs through :class:`repro.service.ValidationService`,
-so repeated columns inside one ``infer`` batch are answered from cache.
+(:meth:`repro.validate.rule.ValidationRule.to_dict`).  Index layouts go
+through the pluggable :class:`repro.index.store.IndexStore` registry:
+``--shards`` writes the sharded v2 layout, ``--format v3`` the mmap-able
+binary layout, and ``--index`` auto-detects any of them on read.
+``merge`` combines two same-format indexes shard by shard in bounded
+memory (the distributed-build reduce step).  Inference runs through
+:class:`repro.service.ValidationService`, so repeated columns inside one
+``infer`` batch are answered from cache.
 
 Serving:
 
@@ -54,7 +60,14 @@ from repro.datalake.generator import (
 )
 from repro.datalake.io import load_corpus, save_corpus
 from repro.index.builder import build_index
-from repro.index.index import MAX_SHARDS, PatternIndex
+from repro.index.index import MAX_SHARDS
+from repro.index.store import (
+    available_formats,
+    detect_format,
+    merge_indexes,
+    open_index,
+    save_index,
+)
 from repro.service import AsyncValidationService, ValidationService
 from repro.server import TenantRateLimiter, ValidationHTTPServer
 from repro.validate.autotag import AutoTagger
@@ -87,22 +100,64 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_index(args: argparse.Namespace) -> int:
+def _index_layout(args: argparse.Namespace) -> tuple[str, int] | None:
+    """Resolve (format, n_shards) from --format/--shards, or None on bad
+    arguments.  --shards without --format keeps the historical meaning:
+    0 = v1 single file, N > 0 = v2 directory with N shards."""
     if args.shards < 0 or args.shards > MAX_SHARDS:
         print(f"--shards must be in [0, {MAX_SHARDS}] (0 writes the single-file "
               "v1 format)", file=sys.stderr)
+        return None
+    if args.format is None:
+        format = "v2" if args.shards > 0 else "v1"
+    else:
+        format = args.format
+        if format == "v1" and args.shards > 0:
+            print("--format v1 is a single file; drop --shards", file=sys.stderr)
+            return None
+    n_shards = args.shards if args.shards > 0 else 16
+    return format, n_shards
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    layout = _index_layout(args)
+    if layout is None:
         return 2
+    format, n_shards = layout
     corpus = load_corpus(args.corpus)
     index = build_index(corpus.column_values(), corpus_name=corpus.name)
-    if args.shards > 0:
-        index.save_sharded(args.out, n_shards=args.shards)
-        layout = f"{args.shards} shards (format v2)"
-    else:
-        index.save(args.out)
-        layout = "single file (format v1)"
+    save_index(index, args.out, format=format, n_shards=n_shards)
+    described = (
+        "single file (format v1)" if format == "v1"
+        else f"{n_shards} shards (format {format})"
+    )
     print(
         f"indexed {index.meta.columns_scanned} columns -> "
-        f"{len(index)} patterns at {args.out} [{layout}]"
+        f"{len(index)} patterns at {args.out} [{described}]"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    try:
+        format_a, format_b = detect_format(args.a), detect_format(args.b)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if format_a != format_b:
+        print(f"cannot merge mixed formats: {args.a} is {format_a}, "
+              f"{args.b} is {format_b}", file=sys.stderr)
+        return 2
+    try:
+        stats = merge_indexes(args.a, args.b, args.out)
+    except (OSError, ValueError) as exc:
+        # OSError covers e.g. a truncated gzip member discovered mid-read.
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"merged {args.a} + {args.b} -> {args.out} [format {format_a}]: "
+        f"{stats.total_entries} patterns in {stats.n_shards} shards "
+        f"(peak {stats.max_resident_entries} entries resident)"
     )
     return 0
 
@@ -209,7 +264,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_tag(args: argparse.Namespace) -> int:
-    index = PatternIndex.load(args.index)
+    index = open_index(args.index)
     examples = _read_column(args.examples)
     tagger = AutoTagger(index, _config(args), fnr_target=args.fnr_target)
     tag = tagger.tag(examples)
@@ -257,8 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True,
                    help="output index path (.json.gz file, or directory with --shards)")
     p.add_argument("--shards", type=int, default=0,
-                   help="write a sharded v2 index directory with N shards (0 = v1 file)")
+                   help="shard count for directory formats (with no --format: "
+                        "0 = v1 file, N > 0 = v2 directory)")
+    p.add_argument("--format", choices=sorted(available_formats()), default=None,
+                   help="index store format (v1 = single file, v2 = gzip-JSON "
+                        "shards, v3 = mmap-able binary shards; default v2 when "
+                        "--shards is set, else v1)")
     p.set_defaults(fn=_cmd_index)
+
+    p = sub.add_parser("merge",
+                       help="merge two same-format indexes shard-by-shard "
+                            "(bounded memory)")
+    p.add_argument("--a", required=True, help="first index (v2/v3 directory or v1 file)")
+    p.add_argument("--b", required=True,
+                   help="second index (same format and shard count as --a)")
+    p.add_argument("--out", required=True, help="output index path")
+    p.set_defaults(fn=_cmd_merge)
 
     p = sub.add_parser("infer", help="infer validation rules for columns")
     p.add_argument("--index", required=True)

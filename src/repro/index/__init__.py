@@ -17,8 +17,25 @@ from repro.index.index import (
     PatternIndex,
     ShardedPatternIndex,
     StaleIndexError,
+    check_merge_compatible,
     index_digest,
     shard_of,
+)
+from repro.index.store import (
+    IndexStore,
+    MergeStats,
+    MmapShardedPatternIndex,
+    V1MonolithicStore,
+    V2ShardedStore,
+    V3BinaryStore,
+    available_formats,
+    default_format,
+    detect_format,
+    get_store,
+    merge_indexes,
+    open_index,
+    register_store,
+    save_index,
 )
 
 __all__ = [
@@ -26,11 +43,26 @@ __all__ = [
     "IndexEntry",
     "IndexMeta",
     "IndexStats",
+    "IndexStore",
+    "MergeStats",
+    "MmapShardedPatternIndex",
     "PatternIndex",
     "ShardedPatternIndex",
     "StaleIndexError",
+    "V1MonolithicStore",
+    "V2ShardedStore",
+    "V3BinaryStore",
+    "available_formats",
     "build_index",
     "build_index_parallel",
+    "check_merge_compatible",
+    "default_format",
+    "detect_format",
+    "get_store",
     "index_digest",
+    "merge_indexes",
+    "open_index",
+    "register_store",
+    "save_index",
     "shard_of",
 ]

@@ -37,6 +37,7 @@ from repro.core.pattern import Pattern
 
 _FORMAT_VERSION = 1
 _SHARDED_FORMAT_VERSION = 2
+_BINARY_FORMAT_VERSION = 3
 _MANIFEST_NAME = "manifest.json"
 
 #: Upper bound on v2 shard counts (callers can validate before building).
@@ -107,6 +108,72 @@ class IndexMeta:
     fingerprint: str = ""
 
 
+def _parse_fingerprint(fingerprint: str) -> dict[str, str] | None:
+    """Parse the ``knob=value;knob=value`` stamp of
+    :meth:`EnumerationConfig.fingerprint`; None when not in that shape."""
+    knobs: dict[str, str] = {}
+    for part in fingerprint.split(";"):
+        name, eq, value = part.partition("=")
+        if not eq or not name:
+            return None
+        knobs[name] = value
+    return knobs or None
+
+
+def check_merge_compatible(a: IndexMeta, b: IndexMeta) -> None:
+    """Raise :class:`ValueError` when indexes under ``a``/``b`` cannot merge.
+
+    Averaging impurities estimated under different enumeration knobs
+    silently corrupts ``FPR_T`` (Definition 3), so tau, min_coverage and —
+    when both sides are stamped — the full knob fingerprint must agree.
+    The error names exactly which knob mismatched so a failed distributed
+    build points at the misconfigured worker instead of a generic
+    "incompatible indexes".
+    """
+    if a.tau != b.tau:
+        raise ValueError(
+            f"cannot merge indexes built with different tau: {a.tau} != {b.tau}"
+        )
+    if a.min_coverage != b.min_coverage:
+        raise ValueError(
+            f"cannot merge indexes built with different min_coverage: "
+            f"{a.min_coverage} != {b.min_coverage}"
+        )
+    if a.fingerprint and b.fingerprint and a.fingerprint != b.fingerprint:
+        knobs_a = _parse_fingerprint(a.fingerprint)
+        knobs_b = _parse_fingerprint(b.fingerprint)
+        if knobs_a is not None and knobs_b is not None:
+            mismatched = sorted(
+                name
+                for name in knobs_a.keys() | knobs_b.keys()
+                if knobs_a.get(name) != knobs_b.get(name)
+            )
+            detail = ", ".join(
+                f"{name}: {knobs_a.get(name, '<absent>')} != "
+                f"{knobs_b.get(name, '<absent>')}"
+                for name in mismatched
+            )
+        else:  # non-standard stamp: fall back to the raw fingerprints
+            detail = f"{a.fingerprint!r} != {b.fingerprint!r}"
+        raise ValueError(
+            f"cannot merge indexes built with different enumeration knobs ({detail})"
+        )
+
+
+def merged_meta(a: IndexMeta, b: IndexMeta) -> IndexMeta:
+    """The meta of a merged index: counts add, identity fields keep the
+    first non-empty value (both merge paths — in-memory and shard-level —
+    must agree on this)."""
+    return IndexMeta(
+        columns_scanned=a.columns_scanned + b.columns_scanned,
+        values_scanned=a.values_scanned + b.values_scanned,
+        tau=a.tau,
+        min_coverage=a.min_coverage,
+        corpus_name=a.corpus_name or b.corpus_name,
+        fingerprint=a.fingerprint or b.fingerprint,
+    )
+
+
 @dataclass(frozen=True)
 class IndexStats:
     """Aggregate index statistics backing Figure 13.
@@ -162,6 +229,14 @@ class PatternIndex:
 
     def _ensure_all(self) -> None:
         """Hook for lazily-loaded subclasses; eager indexes hold everything."""
+
+    @property
+    def storage_format(self) -> str:
+        """Which on-disk layout backs this index: ``"memory"`` for plain
+        in-process indexes, ``"v2"``/``"v3"`` for disk-backed subclasses.
+        Surfaced by ``ServiceStats`` and ``/metrics`` so operators can see
+        what a serving process is actually reading from."""
+        return "memory"
 
     # -- identity -----------------------------------------------------------
 
@@ -243,36 +318,10 @@ class PatternIndex:
                     fpr_sum=existing.fpr_sum + entry.fpr_sum,
                     coverage=existing.coverage + entry.coverage,
                 )
-        meta = IndexMeta(
-            columns_scanned=self.meta.columns_scanned + other.meta.columns_scanned,
-            values_scanned=self.meta.values_scanned + other.meta.values_scanned,
-            tau=self.meta.tau,
-            min_coverage=self.meta.min_coverage,
-            corpus_name=self.meta.corpus_name or other.meta.corpus_name,
-            fingerprint=self.meta.fingerprint or other.meta.fingerprint,
-        )
-        return PatternIndex(merged, meta)
+        return PatternIndex(merged, merged_meta(self.meta, other.meta))
 
     def _check_merge_compatible(self, other: "PatternIndex") -> None:
-        if self.meta.tau != other.meta.tau:
-            raise ValueError(
-                f"cannot merge indexes built with different tau: "
-                f"{self.meta.tau} != {other.meta.tau}"
-            )
-        if self.meta.min_coverage != other.meta.min_coverage:
-            raise ValueError(
-                f"cannot merge indexes built with different min_coverage: "
-                f"{self.meta.min_coverage} != {other.meta.min_coverage}"
-            )
-        if (
-            self.meta.fingerprint
-            and other.meta.fingerprint
-            and self.meta.fingerprint != other.meta.fingerprint
-        ):
-            raise ValueError(
-                "cannot merge indexes built with different enumeration knobs: "
-                f"{self.meta.fingerprint!r} != {other.meta.fingerprint!r}"
-            )
+        check_merge_compatible(self.meta, other.meta)
 
     def save(self, path: str | Path) -> None:
         """Persist to a single gzip-compressed JSON file (format v1)."""
@@ -314,39 +363,43 @@ class PatternIndex:
                 {"version": _SHARDED_FORMAT_VERSION, "shard": i, "entries": bucket},
             )
             shards.append({"file": name, "entries": len(bucket)})
-        # Re-saving with a smaller shard count must not leave stale shards
-        # behind: the manifest would ignore them, but anything globbing the
-        # directory (backup/replication tooling) would read two indexes.
-        expected = {s["file"] for s in shards}
-        for stale in directory.glob("shard-*.json.gz"):
-            if stale.name not in expected:
-                stale.unlink()
-        manifest = {
-            "version": _SHARDED_FORMAT_VERSION,
-            "meta": asdict(self.meta),
-            "n_shards": n_shards,
-            "shards": shards,
-            "total_entries": len(self._entries),
-        }
-        manifest_tmp = directory / (_MANIFEST_NAME + ".tmp")
-        manifest_tmp.write_text(
-            json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
+        _remove_stale_shards(directory, {s["file"] for s in shards})
+        _publish_manifest(
+            directory,
+            {
+                "version": _SHARDED_FORMAT_VERSION,
+                "meta": asdict(self.meta),
+                "n_shards": n_shards,
+                "shards": shards,
+                "total_entries": len(self._entries),
+            },
         )
-        os.replace(manifest_tmp, directory / _MANIFEST_NAME)
 
     @classmethod
     def load(cls, path: str | Path, lazy: bool = True) -> "PatternIndex":
-        """Load an index written by :meth:`save` or :meth:`save_sharded`.
+        """Load an index written by any registered store (v1, v2 or v3).
 
         A v1 file loads eagerly into a plain :class:`PatternIndex` (the
-        upgrade path: load it and :meth:`save_sharded` to convert).  A v2
+        upgrade path: load it and re-save sharded to convert).  A v2
         directory loads as a :class:`ShardedPatternIndex` whose shards are
-        read on first touch; pass ``lazy=False`` to materialize everything
-        up front.
+        read on first touch; a v3 directory loads as an mmap-backed
+        :class:`repro.index.store.MmapShardedPatternIndex`.  Pass
+        ``lazy=False`` to materialize everything up front.
+
+        New call sites should prefer :func:`repro.index.store.open_index`,
+        which dispatches through the pluggable :class:`IndexStore` registry;
+        this classmethod is kept as a compatibility shim and goes through
+        the same format detection.
         """
         path = Path(path)
         if path.is_dir():
-            return ShardedPatternIndex._load(path, lazy=lazy)
+            # Delegate directories to the store registry (local import: the
+            # store module imports PatternIndex) so a format registered
+            # tomorrow loads through this shim too.  Plain files stay here:
+            # V1MonolithicStore.open is itself implemented on this method.
+            from repro.index.store import open_index
+
+            return open_index(path, lazy=lazy)
         with gzip.open(path, "rt", encoding="utf-8") as handle:
             payload = json.load(handle)
         if payload.get("version") != _FORMAT_VERSION:
@@ -385,6 +438,10 @@ class ShardedPatternIndex(PatternIndex):
         """The v2 directory this index was loaded from (spawn-safe handle:
         worker processes re-open the path instead of pickling shard state)."""
         return self._directory
+
+    @property
+    def storage_format(self) -> str:
+        return "v2"
 
     def content_digest(self) -> str:
         return self._digest_cache
@@ -444,6 +501,30 @@ class ShardedPatternIndex(PatternIndex):
     def _ensure_all(self) -> None:
         for i in range(self._n_shards):
             self._ensure_shard(i)
+
+
+def _remove_stale_shards(directory: Path, expected: set[str]) -> None:
+    """Remove shard files the new manifest will not reference.
+
+    Re-saving with a smaller shard count — or in a different format — must
+    not leave stale shards behind: the manifest would ignore them, but
+    anything globbing the directory (backup/replication tooling) would read
+    two indexes.  The glob covers every format's shard naming.
+    """
+    for stale in directory.glob("shard-*"):
+        if stale.name not in expected:
+            stale.unlink()
+
+
+def _publish_manifest(directory: Path, manifest: dict) -> None:
+    """Write ``manifest.json`` atomically (tmp file + rename), after every
+    shard file is already in place.  Shared by every directory-layout store
+    so manifest bytes are format-independent in shape and deterministic."""
+    manifest_tmp = directory / (_MANIFEST_NAME + ".tmp")
+    manifest_tmp.write_text(
+        json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
+    )
+    os.replace(manifest_tmp, directory / _MANIFEST_NAME)
 
 
 def _write_gzip_json(path: Path, payload: dict) -> None:

@@ -1,0 +1,775 @@
+"""Pluggable index persistence — the :class:`IndexStore` API.
+
+The pattern index is the one artifact every serving path depends on, and
+it outgrew its original trio of ad-hoc methods (``save`` /
+``save_sharded`` / ``load``): each new format meant another method on
+:class:`~repro.index.index.PatternIndex` and another ``isinstance`` fork
+at every call site.  This module replaces that with one runtime-checkable
+protocol and a registry of backends:
+
+* :class:`V1MonolithicStore` — the legacy single gzip-JSON file.
+* :class:`V2ShardedStore` — hash-partitioned gzip-JSON shard directory.
+* :class:`V3BinaryStore` — fixed-width binary shards (sorted key table +
+  offset array + packed records + CRC footer) that
+  :class:`MmapShardedPatternIndex` **mmaps** and binary-searches per
+  lookup instead of materializing dicts.  Cold start touches only the
+  manifest; a lookup touches only the pages the binary search walks.
+
+Call sites use the facade instead of concrete classes::
+
+    from repro.index.store import open_index, save_index, merge_indexes
+
+    index = open_index("lake.idx")            # format auto-detected
+    save_index(index, "lake.v3", format="v3") # or REPRO_INDEX_FORMAT
+    merge_indexes("part-a.v3", "part-b.v3", "whole.v3")
+
+``merge_indexes`` / :meth:`IndexStore.merge_into` combine two equal-shard
+directories shard by shard in bounded memory: at most one merged shard is
+resident at a time, never either full index (the map-reduce regime the
+paper runs on a SCOPE cluster, without the cluster).
+
+Binary shard layout (format v3, little-endian throughout; the full byte
+spec lives in ``src/repro/index/FORMAT.md``)::
+
+    header   20 B   magic "AVI3" | version u16 | flags u16 |
+                    shard_id u32 | n_entries u32 | key_blob_size u32
+    offsets  4*(n+1) B   cumulative u32 offsets into the key blob
+    keys     key_blob_size B   UTF-8 keys, sorted bytewise
+    records  16*n B  (fpr_sum f64, coverage u64) aligned with keys
+    footer    8 B   crc32 u32 of all preceding bytes | magic "AVI3"
+
+Every section's position is computable from the header, so a reader
+validates structure (magic, entry count vs. manifest, exact file size)
+without reading the data sections; the CRC is verified only when a shard
+is fully materialized, keeping cold starts free of full-file reads.  Torn
+or mid-rebuild files raise :class:`StaleIndexError`, same contract as v2.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import mmap
+import os
+import struct
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.index.index import (
+    MAX_SHARDS,
+    IndexEntry,
+    IndexMeta,
+    PatternIndex,
+    ShardedPatternIndex,
+    StaleIndexError,
+    _BINARY_FORMAT_VERSION,
+    _FORMAT_VERSION,
+    _MANIFEST_NAME,
+    _SHARDED_FORMAT_VERSION,
+    _publish_manifest,
+    _remove_stale_shards,
+    _write_gzip_json,
+    check_merge_compatible,
+    index_digest,
+    merged_meta,
+    shard_of,
+)
+
+#: Environment variable selecting the default ``save_index`` format.
+FORMAT_ENV = "REPRO_INDEX_FORMAT"
+
+#: One streamed index entry: ``(pattern key, fpr_sum, coverage)``.
+Entry = tuple[str, float, int]
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """What a shard-level merge did — and what it kept resident.
+
+    ``max_resident_entries`` is the peak number of entries held in memory
+    at any point of the merge; for sharded stores it is bounded by the
+    largest *merged shard*, not by either input index (the bounded-memory
+    guarantee tests assert against).
+    """
+
+    n_shards: int
+    total_entries: int
+    #: Entries streamed from both inputs via ``iter_entries``.
+    entries_read: int
+    max_resident_entries: int
+
+
+@runtime_checkable
+class IndexStore(Protocol):
+    """One on-disk index format: open, write, digest, stream, merge.
+
+    Implementations are stateless (all state lives on disk / in the
+    returned index), so one registered instance serves every caller.
+    Third-party formats register with :func:`register_store`.
+    """
+
+    #: Registry name (``"v1"``/``"v2"``/``"v3"`` for the built-ins).
+    name: str
+    #: The ``version`` tag this store reads and writes.
+    format_version: int
+
+    def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
+        """Load the index at ``path`` (lazily where the format allows)."""
+        ...
+
+    def write(self, index: PatternIndex, path: str | Path, *, n_shards: int = 16) -> None:
+        """Persist ``index`` at ``path`` (``n_shards`` where it applies)."""
+        ...
+
+    def digest(self, path: str | Path) -> str:
+        """Content digest of the on-disk index without loading entries —
+        the cache-generation token of ``src/repro/index/FORMAT.md``."""
+        ...
+
+    def iter_entries(self, path: str | Path) -> Iterator[Entry]:
+        """Stream ``(key, fpr_sum, coverage)`` without materializing the
+        whole index (at most one shard resident for sharded formats)."""
+        ...
+
+    def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
+        """Merge the indexes at ``a`` and ``b`` into ``out`` (same format)."""
+        ...
+
+
+# -- the registry and facade ---------------------------------------------------
+
+_STORES: dict[str, IndexStore] = {}
+
+
+def register_store(store: IndexStore, *, replace: bool = False) -> None:
+    """Register an :class:`IndexStore` backend under ``store.name``."""
+    if not isinstance(store, IndexStore):
+        raise TypeError(f"{store!r} does not satisfy the IndexStore protocol")
+    if not replace and store.name in _STORES:
+        raise ValueError(f"index store {store.name!r} is already registered")
+    _STORES[store.name] = store
+
+
+def get_store(name: str) -> IndexStore:
+    """The registered store for format ``name`` (e.g. ``"v3"``)."""
+    try:
+        return _STORES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index format {name!r}; choose from {available_formats()}"
+        ) from None
+
+
+def available_formats() -> list[str]:
+    """Sorted names of every registered index store."""
+    return sorted(_STORES)
+
+
+def default_format() -> str:
+    """The format ``save_index`` uses when none is requested:
+    ``REPRO_INDEX_FORMAT`` when set (the CI store matrix pins it),
+    otherwise ``"v2"``."""
+    env = os.environ.get(FORMAT_ENV, "").strip().lower()
+    return env if env in _STORES else "v2"
+
+
+def detect_format(path: str | Path) -> str:
+    """Which registered format the on-disk index at ``path`` carries.
+
+    A directory is identified by its manifest's ``version`` tag, a plain
+    file by the version inside the gzip payload (read lazily: v1 is the
+    only file layout, so the extension check never decompresses entries).
+    """
+    path = Path(path)
+    if path.is_dir():
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(f"not an index directory: {path} has no {_MANIFEST_NAME}")
+        version = json.loads(manifest_path.read_text(encoding="utf-8")).get("version")
+    else:
+        if not path.is_file():
+            raise ValueError(f"no index at {path}")
+        with open(path, "rb") as handle:
+            magic = handle.read(2)
+        if magic != b"\x1f\x8b":  # the gzip magic every v1 file starts with
+            raise ValueError(f"{path} is not an index file (not gzip)")
+        version = _FORMAT_VERSION
+    for store in _STORES.values():
+        if store.format_version == version:
+            return store.name
+    raise ValueError(f"unsupported index format version {version!r} at {path}")
+
+
+def _resolve_store(path: str | Path, store: IndexStore | str | None) -> IndexStore:
+    if store is None:
+        return get_store(detect_format(path))
+    if isinstance(store, str):
+        return get_store(store)
+    return store
+
+
+def open_index(
+    path: str | Path, *, store: IndexStore | str | None = None, lazy: bool = True
+) -> PatternIndex:
+    """Open an on-disk index through its store (auto-detected by default).
+
+    This is the one loading entry point for services, workers, the CLI
+    and the HTTP server; ``PatternIndex.load`` remains as a shim over the
+    same detection.
+    """
+    return _resolve_store(path, store).open(path, lazy=lazy)
+
+
+def save_index(
+    index: PatternIndex,
+    path: str | Path,
+    *,
+    format: IndexStore | str | None = None,
+    n_shards: int = 16,
+) -> None:
+    """Persist ``index`` at ``path`` in ``format`` (default:
+    :func:`default_format`, i.e. ``REPRO_INDEX_FORMAT`` or v2)."""
+    store = get_store(format) if isinstance(format, str) else format
+    if store is None:
+        store = get_store(default_format())
+    store.write(index, path, n_shards=n_shards)
+
+
+def store_digest(path: str | Path, *, store: IndexStore | str | None = None) -> str:
+    """Content digest of the on-disk index at ``path`` via its store.
+
+    This is what long-lived services stamp their cache generations with;
+    it equals :func:`repro.index.index.index_digest` for the built-in
+    formats but goes through the store so third-party backends can define
+    their own cheap content token.
+    """
+    return _resolve_store(path, store).digest(path)
+
+
+def merge_indexes(
+    a: str | Path, b: str | Path, out: str | Path, *, store: IndexStore | str | None = None
+) -> MergeStats:
+    """Merge two same-format on-disk indexes into ``out`` via their store.
+
+    For sharded formats (v2/v3) with equal ``n_shards`` this runs shard by
+    shard in bounded memory; see :meth:`IndexStore.merge_into`.
+    """
+    resolved = _resolve_store(a, store)
+    if store is None:
+        format_b = detect_format(b)
+        if format_b != resolved.name:
+            raise ValueError(
+                f"cannot merge mixed index formats: {a} is {resolved.name}, "
+                f"{b} is {format_b}; convert one side first "
+                "(open_index + save_index)"
+            )
+    return resolved.merge_into(a, b, out)
+
+
+# -- v1: monolithic gzip-JSON file --------------------------------------------
+
+
+class V1MonolithicStore:
+    """The legacy single-file format (entirely eager, kept for upgrade)."""
+
+    name = "v1"
+    format_version = _FORMAT_VERSION
+
+    def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
+        path = Path(path)
+        if path.is_dir():
+            raise ValueError(f"{path} is a directory, not a v1 index file")
+        return PatternIndex.load(path)
+
+    def write(self, index: PatternIndex, path: str | Path, *, n_shards: int = 16) -> None:
+        index.save(path)
+
+    def digest(self, path: str | Path) -> str:
+        return index_digest(path)
+
+    def iter_entries(self, path: str | Path) -> Iterator[Entry]:
+        with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != self.format_version:
+            raise ValueError(f"unsupported index format: {payload.get('version')!r}")
+        for key in sorted(payload["entries"]):
+            raw = payload["entries"][key]
+            yield key, float(raw[0]), int(raw[1])
+
+    def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
+        """v1 has no shards: both sides materialize (documented unbounded
+        memory); prefer converting to v2/v3 for lake-scale merges."""
+        index_a, index_b = self.open(a), self.open(b)
+        merged = index_a.merge(index_b)
+        merged.save(out)
+        return MergeStats(
+            n_shards=1,
+            total_entries=len(merged),
+            entries_read=len(index_a) + len(index_b),
+            max_resident_entries=len(index_a) + len(index_b) + len(merged),
+        )
+
+
+# -- shared machinery for directory-layout stores ------------------------------
+
+
+class _DirectoryStoreBase:
+    """Manifest handling + the bounded-memory shard merge, shared by every
+    directory-layout store.  Subclasses provide the shard codec
+    (``_iter_shard`` / ``_write_shard`` / ``_shard_file_name``)."""
+
+    name: str
+    format_version: int
+
+    def digest(self, path: str | Path) -> str:
+        return index_digest(path)
+
+    def _read_manifest(self, path: Path) -> dict:
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ValueError(f"not a sharded index: {path} has no {_MANIFEST_NAME}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("version") != self.format_version:
+            raise ValueError(
+                f"{path} is not a {self.name} index "
+                f"(manifest version {manifest.get('version')!r})"
+            )
+        if len(manifest["shards"]) != manifest["n_shards"]:
+            raise ValueError("corrupt manifest: shard list does not match n_shards")
+        return manifest
+
+    def iter_entries(self, path: str | Path) -> Iterator[Entry]:
+        path = Path(path)
+        manifest = self._read_manifest(path)
+        for i in range(int(manifest["n_shards"])):
+            yield from self._iter_shard(path, manifest, i)
+
+    def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
+        """Merge shard by shard: equal ``n_shards`` means equal hash
+        partitioning, so shard ``i`` of the output depends only on shard
+        ``i`` of each input — at most one merged shard is resident.
+        Shards are written first and the manifest published atomically
+        last, same crash contract as a plain save."""
+        a, b, out = Path(a), Path(b), Path(out)
+        if out.resolve() in (a.resolve(), b.resolve()):
+            raise ValueError("merge output must not overwrite an input index")
+        manifest_a, manifest_b = self._read_manifest(a), self._read_manifest(b)
+        if manifest_a["n_shards"] != manifest_b["n_shards"]:
+            raise ValueError(
+                f"cannot merge shard-by-shard: {a} has {manifest_a['n_shards']} "
+                f"shards, {b} has {manifest_b['n_shards']}; re-save one side "
+                "with a matching n_shards"
+            )
+        meta_a = IndexMeta(**dict(manifest_a["meta"]))
+        meta_b = IndexMeta(**dict(manifest_b["meta"]))
+        check_merge_compatible(meta_a, meta_b)
+
+        n_shards = int(manifest_a["n_shards"])
+        out.mkdir(parents=True, exist_ok=True)
+        shard_rows: list[dict] = []
+        total_entries = 0
+        entries_read = 0
+        max_resident = 0
+        for i in range(n_shards):
+            entries: dict[str, tuple[float, int]] = {}
+            for key, fpr_sum, coverage in self._iter_shard(a, manifest_a, i):
+                entries[key] = (fpr_sum, coverage)
+                entries_read += 1
+            for key, fpr_sum, coverage in self._iter_shard(b, manifest_b, i):
+                entries_read += 1
+                existing = entries.get(key)
+                if existing is None:
+                    entries[key] = (fpr_sum, coverage)
+                else:
+                    entries[key] = (existing[0] + fpr_sum, existing[1] + coverage)
+            max_resident = max(max_resident, len(entries))
+            total_entries += len(entries)
+            shard_rows.append(self._write_shard(out, i, entries))
+        _remove_stale_shards(out, {row["file"] for row in shard_rows})
+        _publish_manifest(
+            out,
+            {
+                "version": self.format_version,
+                "meta": asdict(merged_meta(meta_a, meta_b)),
+                "n_shards": n_shards,
+                "shards": shard_rows,
+                "total_entries": total_entries,
+            },
+        )
+        return MergeStats(
+            n_shards=n_shards,
+            total_entries=total_entries,
+            entries_read=entries_read,
+            max_resident_entries=max_resident,
+        )
+
+    # subclasses: the shard codec ------------------------------------------
+
+    def _shard_file_name(self, i: int) -> str:
+        raise NotImplementedError
+
+    def _iter_shard(self, path: Path, manifest: dict, i: int) -> Iterator[Entry]:
+        raise NotImplementedError
+
+    def _write_shard(self, path: Path, i: int, entries: dict[str, tuple[float, int]]) -> dict:
+        """Write one shard file; returns its manifest row."""
+        raise NotImplementedError
+
+
+# -- v2: gzip-JSON shard directory --------------------------------------------
+
+
+class V2ShardedStore(_DirectoryStoreBase):
+    """Today's sharded layout, wrapped (lazy dict-materializing shards)."""
+
+    name = "v2"
+    format_version = _SHARDED_FORMAT_VERSION
+
+    def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
+        path = Path(path)
+        self._read_manifest(path)  # fail with a precise error on v1/v3 input
+        return ShardedPatternIndex._load(path, lazy=lazy)
+
+    def write(self, index: PatternIndex, path: str | Path, *, n_shards: int = 16) -> None:
+        index.save_sharded(path, n_shards=n_shards)
+
+    def _shard_file_name(self, i: int) -> str:
+        return f"shard-{i:04d}.json.gz"
+
+    def _iter_shard(self, path: Path, manifest: dict, i: int) -> Iterator[Entry]:
+        shard_file = path / manifest["shards"][i]["file"]
+        try:
+            with gzip.open(shard_file, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, EOFError, json.JSONDecodeError) as exc:
+            raise StaleIndexError(
+                f"shard file {shard_file} unreadable (index rebuilt in place?): {exc}"
+            ) from exc
+        if len(payload["entries"]) != int(manifest["shards"][i]["entries"]):
+            raise StaleIndexError(
+                f"shard file {shard_file} has {len(payload['entries'])} entries, "
+                f"manifest recorded {manifest['shards'][i]['entries']} "
+                "(index rebuilt in place?)"
+            )
+        for key in sorted(payload["entries"]):
+            raw = payload["entries"][key]
+            yield key, float(raw[0]), int(raw[1])
+
+    def _write_shard(self, path: Path, i: int, entries: dict[str, tuple[float, int]]) -> dict:
+        name = self._shard_file_name(i)
+        _write_gzip_json(
+            path / name,
+            {
+                "version": self.format_version,
+                "shard": i,
+                "entries": {key: [fpr, cov] for key, (fpr, cov) in entries.items()},
+            },
+        )
+        return {"file": name, "entries": len(entries)}
+
+
+# -- v3: mmap-able binary shard directory -------------------------------------
+
+_V3_MAGIC = b"AVI3"
+_V3_HEADER = struct.Struct("<4sHHIII")  # magic, version, flags, shard, n, blob
+_V3_OFFSET = struct.Struct("<I")
+_V3_OFFSET_PAIR = struct.Struct("<II")
+_V3_RECORD = struct.Struct("<dQ")       # fpr_sum f64, coverage u64
+_V3_FOOTER = struct.Struct("<I4s")      # crc32 of preceding bytes, end magic
+
+
+def _v3_shard_bytes(shard_id: int, entries: dict[str, tuple[float, int]]) -> bytes:
+    """Serialize one shard: deterministic (sorted keys, no timestamps)."""
+    encoded = sorted(
+        (key.encode("utf-8", "surrogatepass"), key) for key in entries
+    )
+    blob = b"".join(raw for raw, _ in encoded)
+    if len(blob) >= 2**32:
+        raise ValueError(f"shard {shard_id} key blob exceeds the u32 offset space")
+    buffer = bytearray()
+    buffer += _V3_HEADER.pack(_V3_MAGIC, 3, 0, shard_id, len(encoded), len(blob))
+    offset = 0
+    for raw, _ in encoded:
+        buffer += _V3_OFFSET.pack(offset)
+        offset += len(raw)
+    buffer += _V3_OFFSET.pack(offset)
+    buffer += blob
+    for _, key in encoded:
+        fpr_sum, coverage = entries[key]
+        buffer += _V3_RECORD.pack(fpr_sum, coverage)
+    buffer += _V3_FOOTER.pack(zlib.crc32(bytes(buffer)), _V3_MAGIC)
+    return bytes(buffer)
+
+
+class _V3ShardReader:
+    """One mmapped binary shard: validated structurally at map time (no
+    data-section reads), binary-searched per lookup."""
+
+    __slots__ = (
+        "path", "n_entries", "_file", "_mm", "_size",
+        "_offsets_at", "_keys_at", "_records_at",
+    )
+
+    def __init__(self, path: Path, shard_id: int, expected_entries: int):
+        self.path = path
+        try:
+            self._file = open(path, "rb")
+        except OSError as exc:
+            raise StaleIndexError(
+                f"shard file {path} unreadable (index rebuilt in place?): {exc}"
+            ) from exc
+        try:
+            self._size = os.fstat(self._file.fileno()).st_size
+            if self._size < _V3_HEADER.size + _V3_FOOTER.size:
+                raise StaleIndexError(
+                    f"shard file {path} truncated below the v3 header "
+                    "(index rebuilt in place?)"
+                )
+            self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except StaleIndexError:
+            self._file.close()
+            raise
+        except (OSError, ValueError) as exc:
+            self._file.close()
+            raise StaleIndexError(
+                f"shard file {path} unmappable (index rebuilt in place?): {exc}"
+            ) from exc
+        magic, version, _flags, found_shard, n_entries, blob_size = _V3_HEADER.unpack_from(
+            self._mm, 0
+        )
+        if magic != _V3_MAGIC or version != 3:
+            # A torn rewrite (e.g. racing a v2 re-save) leaves arbitrary
+            # leading bytes; treat it as the rebuild race it is.
+            self._close()
+            raise StaleIndexError(
+                f"shard file {path} carries no v3 header (index rebuilt in place?)"
+            )
+        if found_shard != shard_id:
+            self._close()
+            raise ValueError(f"corrupt shard file: {path} claims shard {found_shard}")
+        if n_entries != expected_entries:
+            self._close()
+            raise StaleIndexError(
+                f"shard file {path} has {n_entries} entries, manifest recorded "
+                f"{expected_entries} (index rebuilt in place?)"
+            )
+        self.n_entries = n_entries
+        self._offsets_at = _V3_HEADER.size
+        self._keys_at = self._offsets_at + _V3_OFFSET.size * (n_entries + 1)
+        self._records_at = self._keys_at + blob_size
+        expected_size = self._records_at + _V3_RECORD.size * n_entries + _V3_FOOTER.size
+        if self._size != expected_size:
+            self._close()
+            raise StaleIndexError(
+                f"shard file {path} is {self._size} bytes, header promises "
+                f"{expected_size} (index rebuilt in place?)"
+            )
+        if self._mm[self._size - 4:] != _V3_MAGIC:
+            self._close()
+            raise StaleIndexError(
+                f"shard file {path} misses its end marker (torn write?)"
+            )
+
+    def _close(self) -> None:
+        if getattr(self, "_mm", None) is not None:
+            self._mm.close()
+        self._file.close()
+
+    def get(self, key: str) -> IndexEntry | None:
+        """Binary search over the sorted key table; O(log n) page touches."""
+        target = key.encode("utf-8", "surrogatepass")
+        lo, hi = 0, self.n_entries
+        while lo < hi:
+            mid = (lo + hi) // 2
+            start, end = _V3_OFFSET_PAIR.unpack_from(
+                self._mm, self._offsets_at + _V3_OFFSET.size * mid
+            )
+            candidate = self._mm[self._keys_at + start : self._keys_at + end]
+            if candidate == target:
+                fpr_sum, coverage = _V3_RECORD.unpack_from(
+                    self._mm, self._records_at + _V3_RECORD.size * mid
+                )
+                return IndexEntry(fpr_sum=fpr_sum, coverage=coverage)
+            if candidate < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return None
+
+    def iter_records(self) -> Iterator[Entry]:
+        """Stream every entry in key-byte order (sequential page touches)."""
+        for i in range(self.n_entries):
+            start, end = _V3_OFFSET_PAIR.unpack_from(
+                self._mm, self._offsets_at + _V3_OFFSET.size * i
+            )
+            key = self._mm[self._keys_at + start : self._keys_at + end].decode(
+                "utf-8", "surrogatepass"
+            )
+            fpr_sum, coverage = _V3_RECORD.unpack_from(
+                self._mm, self._records_at + _V3_RECORD.size * i
+            )
+            yield key, fpr_sum, coverage
+
+    def verify_crc(self) -> None:
+        """Full-file CRC check — deliberately *not* run at map time (it
+        would read every page and defeat the mmap cold start); callers run
+        it when they materialize or audit a shard."""
+        stored, _ = _V3_FOOTER.unpack_from(self._mm, self._size - _V3_FOOTER.size)
+        actual = zlib.crc32(self._mm[: self._size - _V3_FOOTER.size])
+        if actual != stored:
+            raise StaleIndexError(
+                f"shard file {self.path} fails its CRC "
+                f"(stored {stored:#010x}, computed {actual:#010x}; torn write?)"
+            )
+
+
+class MmapShardedPatternIndex(PatternIndex):
+    """A format-v3 index served straight out of mmapped shard files.
+
+    A key lookup hashes to its shard, maps that file on first touch
+    (structural header validation only — no data pages are read) and
+    binary-searches the sorted key table; nothing is materialized into
+    Python dicts until a whole-index operation (``items``/``stats``/
+    ``merge``/``save*``) forces everything in, CRC-checked per shard.
+    """
+
+    def __init__(self, directory: Path, manifest: dict):
+        super().__init__({}, IndexMeta(**dict(manifest["meta"])))
+        self._directory = directory
+        self._n_shards: int = int(manifest["n_shards"])
+        self._shard_files: list[str] = [s["file"] for s in manifest["shards"]]
+        self._shard_entry_counts: list[int] = [
+            int(s["entries"]) for s in manifest["shards"]
+        ]
+        self._total_entries: int = int(manifest["total_entries"])
+        self._readers: list[_V3ShardReader | None] = [None] * self._n_shards
+        self._materialized = False
+        self._digest_cache = index_digest(directory)
+
+    @classmethod
+    def _load(cls, directory: Path, manifest: dict, lazy: bool) -> "MmapShardedPatternIndex":
+        if manifest.get("version") != _BINARY_FORMAT_VERSION:
+            raise ValueError(f"unsupported index format: {manifest.get('version')!r}")
+        if len(manifest["shards"]) != manifest["n_shards"]:
+            raise ValueError("corrupt manifest: shard list does not match n_shards")
+        index = cls(directory, manifest)
+        if not lazy:
+            index._ensure_all()
+        return index
+
+    @property
+    def source_path(self) -> Path:
+        """The v3 directory backing this index (spawn-safe handle: worker
+        processes re-open the path instead of pickling mmap state)."""
+        return self._directory
+
+    @property
+    def storage_format(self) -> str:
+        return "v3"
+
+    @property
+    def mapped_shard_count(self) -> int:
+        """How many shard files are currently mmapped (observability)."""
+        return sum(reader is not None for reader in self._readers)
+
+    def content_digest(self) -> str:
+        return self._digest_cache
+
+    def lookup_key(self, key: str) -> IndexEntry | None:
+        if self._materialized:
+            return self._entries.get(key)
+        return self._reader(shard_of(key, self._n_shards)).get(key)
+
+    def __len__(self) -> int:
+        return self._total_entries
+
+    def _reader(self, i: int) -> _V3ShardReader:
+        reader = self._readers[i]
+        if reader is None:
+            reader = _V3ShardReader(
+                self._directory / self._shard_files[i], i, self._shard_entry_counts[i]
+            )
+            self._readers[i] = reader
+        return reader
+
+    def _ensure_all(self) -> None:
+        if self._materialized:
+            return
+        for i in range(self._n_shards):
+            reader = self._reader(i)
+            reader.verify_crc()
+            for key, fpr_sum, coverage in reader.iter_records():
+                self._entries[key] = IndexEntry(fpr_sum=fpr_sum, coverage=coverage)
+        self._materialized = True
+        # Lookups now come from the dict; holding n_shards open fds and
+        # mappings for the index's lifetime would just leak address space.
+        for i, reader in enumerate(self._readers):
+            if reader is not None:
+                reader._close()
+            self._readers[i] = None
+
+
+class V3BinaryStore(_DirectoryStoreBase):
+    """Fixed-width binary shards, mmapped and binary-searched per lookup."""
+
+    name = "v3"
+    format_version = _BINARY_FORMAT_VERSION
+
+    def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
+        path = Path(path)
+        manifest = self._read_manifest(path)
+        return MmapShardedPatternIndex._load(path, manifest, lazy=lazy)
+
+    def write(self, index: PatternIndex, path: str | Path, *, n_shards: int = 16) -> None:
+        """Persist as a v3 directory; deterministic byte-for-byte, same
+        write-shards-first / publish-manifest-last crash contract as v2."""
+        if not 1 <= n_shards <= MAX_SHARDS:
+            raise ValueError(f"n_shards must be in [1, {MAX_SHARDS}]")
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        buckets: list[dict[str, tuple[float, int]]] = [{} for _ in range(n_shards)]
+        for key, entry in index.items():
+            buckets[shard_of(key, n_shards)][key] = (entry.fpr_sum, entry.coverage)
+        shard_rows = [
+            self._write_shard(directory, i, bucket) for i, bucket in enumerate(buckets)
+        ]
+        _remove_stale_shards(directory, {row["file"] for row in shard_rows})
+        _publish_manifest(
+            directory,
+            {
+                "version": self.format_version,
+                "meta": asdict(index.meta),
+                "n_shards": n_shards,
+                "shards": shard_rows,
+                "total_entries": sum(row["entries"] for row in shard_rows),
+            },
+        )
+
+    def _shard_file_name(self, i: int) -> str:
+        return f"shard-{i:04d}.bin"
+
+    def _iter_shard(self, path: Path, manifest: dict, i: int) -> Iterator[Entry]:
+        reader = _V3ShardReader(
+            path / manifest["shards"][i]["file"],
+            i,
+            int(manifest["shards"][i]["entries"]),
+        )
+        try:
+            reader.verify_crc()
+            yield from reader.iter_records()
+        finally:
+            reader._close()
+
+    def _write_shard(self, path: Path, i: int, entries: dict[str, tuple[float, int]]) -> dict:
+        name = self._shard_file_name(i)
+        payload = _v3_shard_bytes(i, entries)
+        (path / name).write_bytes(payload)
+        crc, _ = _V3_FOOTER.unpack_from(payload, len(payload) - _V3_FOOTER.size)
+        return {"file": name, "entries": len(entries), "crc32": crc}
+
+
+register_store(V1MonolithicStore())
+register_store(V2ShardedStore())
+register_store(V3BinaryStore())

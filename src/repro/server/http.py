@@ -15,8 +15,12 @@ Routes (wire schema in ``src/repro/api/WIRE.md``):
 ``POST /v1/infer_batch``  :class:`BatchEnvelope` of ``InferRequest`` ->
                           ``BatchEnvelope`` of ``InferResponse`` (in order,
                           through the service's parallel/cached batch path)
-``GET /healthz``          liveness + serving generation
-``GET /metrics``          full ``ServiceStats`` + server counters (JSON)
+``POST /admin/config``    :class:`AdminConfigRequest` ->
+                          :class:`AdminConfigResponse` — hot config reload
+                          (loopback peers only; see below)
+``GET /healthz``          liveness + serving generation + index format
+``GET /metrics``          full ``ServiceStats`` + server counters + the
+                          active serving config (JSON)
 =====================  ======================================================
 
 Inference routes are guarded by a per-tenant token-bucket rate limiter
@@ -25,9 +29,19 @@ exhausted bucket answers ``429`` with a wire :class:`ErrorResponse`.
 ``/healthz`` and ``/metrics`` are never rate-limited (probes and scrapers
 must not be starved by tenant traffic).
 
-Connections are HTTP/1.1 keep-alive; bodies must carry ``Content-Length``
-(chunked transfer encoding is rejected with 411/400 — every mainstream
-client sends a length for JSON posts).
+``/admin/config`` changes rate/burst and the default variant on the
+*running* server without a restart — and, crucially, without dropping the
+index caches (cache entries are keyed by generation+variant, so entries
+for other variants stay warm).  It is accepted only from loopback peers
+(an operator on the box or a sidecar); everything else gets 403.  It is
+never rate-limited: an operator must be able to *raise* a misconfigured
+limit that is currently rejecting all traffic.
+
+Connections are HTTP/1.1 keep-alive.  Bodies arrive either with
+``Content-Length`` or as ``Transfer-Encoding: chunked`` (clients
+streaming very large columns don't need to know the total size up
+front); both paths enforce the same ``MAX_BODY_BYTES`` bound and answer
+413 past it.
 """
 
 from __future__ import annotations
@@ -37,6 +51,8 @@ import json
 from typing import Awaitable, Callable, Mapping
 
 from repro.api.wire import (
+    AdminConfigRequest,
+    AdminConfigResponse,
     BatchEnvelope,
     ErrorResponse,
     InferRequest,
@@ -62,6 +78,7 @@ MAX_HEADER_BYTES = 256 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     411: "Length Required",
@@ -70,6 +87,22 @@ _REASONS = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+def _is_loopback(peer: tuple | None) -> bool:
+    """Whether a transport peername is a loopback address.
+
+    Admin requests must originate on the box itself; a missing peername
+    (no transport info) fails closed.
+    """
+    if not peer:
+        return False
+    host = str(peer[0])
+    return (
+        host == "::1"
+        or host.startswith("127.")
+        or host.startswith("::ffff:127.")
+    )
 
 
 class _HTTPError(Exception):
@@ -107,6 +140,7 @@ class ValidationHTTPServer:
             "/v1/infer": (self._handle_infer, True),
             "/v1/validate": (self._handle_validate, True),
             "/v1/infer_batch": (self._handle_infer_batch, True),
+            "/admin/config": (self._handle_admin_config, True),
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -144,13 +178,14 @@ class ValidationHTTPServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        peer = writer.get_extra_info("peername")
         try:
             while True:
                 request = await self._read_request(reader)
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, headers, body)
+                status, payload = await self._dispatch(method, path, headers, body, peer)
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
@@ -217,10 +252,8 @@ class ValidationHTTPServer:
 
         body = b""
         if "chunked" in headers.get("transfer-encoding", "").lower():
-            raise _HTTPError(
-                411, "length_required", "chunked transfer encoding is unsupported"
-            )
-        if "content-length" in headers:
+            body = await self._read_chunked_body(reader)
+        elif "content-length" in headers:
             try:
                 length = int(headers["content-length"])
             except ValueError:
@@ -231,6 +264,57 @@ class ValidationHTTPServer:
                 raise _HTTPError(413, "payload_too_large", "request body too large")
             body = await reader.readexactly(length)
         return method, target.split("?", 1)[0], headers, body
+
+    async def _read_chunked_body(self, reader: asyncio.StreamReader) -> bytes:
+        """Decode a ``Transfer-Encoding: chunked`` body (RFC 9112 §7.1).
+
+        Clients streaming very large columns can't always know the total
+        size up front; chunked framing lets them start sending anyway.
+        The cumulative size is bounded by the same ``MAX_BODY_BYTES`` as
+        Content-Length bodies — the bound is enforced *before* each chunk
+        is read, so an attacker declaring a huge chunk never gets it
+        buffered.  Chunks coalesce into one bytearray as they arrive:
+        the bound must cover real memory, and a list of millions of tiny
+        chunk objects would cost ~50x their payload in object headers.
+        Chunk extensions are ignored; trailer headers are drained
+        (bounded) and discarded.
+        """
+        body = bytearray()
+        while True:
+            try:
+                size_line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError) as exc:
+                raise _HTTPError(400, "bad_request", f"oversized chunk-size line: {exc}")
+            if not size_line:
+                raise _HTTPError(400, "bad_request", "truncated chunked body")
+            size_text = size_line.decode("latin-1").strip().split(";", 1)[0]
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise _HTTPError(400, "bad_request", f"invalid chunk size {size_text!r}")
+            if size < 0:
+                raise _HTTPError(400, "bad_request", "invalid chunk size")
+            if size == 0:
+                break
+            if len(body) + size > MAX_BODY_BYTES:
+                raise _HTTPError(413, "payload_too_large", "chunked body too large")
+            body += await reader.readexactly(size)
+            if await reader.readexactly(2) != b"\r\n":
+                raise _HTTPError(400, "bad_request", "malformed chunk terminator")
+        trailer_bytes = 0
+        while True:  # drain (and discard) any trailer section
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError) as exc:
+                raise _HTTPError(400, "bad_request", f"oversized trailer line: {exc}")
+            if not line:
+                raise _HTTPError(400, "bad_request", "truncated chunked trailers")
+            trailer_bytes += len(line)
+            if trailer_bytes > MAX_HEADER_BYTES:
+                raise _HTTPError(400, "bad_request", "trailer block too large")
+            if line in (b"\r\n", b"\n"):
+                break
+        return bytes(body)
 
     def _write_response(
         self,
@@ -255,7 +339,12 @@ class ValidationHTTPServer:
     # -- routing -------------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Mapping[str, str],
+        body: bytes,
+        peer: tuple | None = None,
     ) -> tuple[int, str]:
         self.requests_total += 1
         try:
@@ -264,7 +353,14 @@ class ValidationHTTPServer:
                 raise _HTTPError(405, "method_not_allowed", f"{path} requires POST")
             if not needs_post and method not in ("GET", "HEAD"):
                 raise _HTTPError(405, "method_not_allowed", f"{path} requires GET")
-            if needs_post:
+            if handler == self._handle_admin_config:
+                # Loopback-only and never rate-limited: the operator must
+                # be able to fix a limiter that is rejecting everything.
+                if not _is_loopback(peer):
+                    raise _HTTPError(
+                        403, "forbidden", "/admin/config is loopback-only"
+                    )
+            elif needs_post:
                 tenant = headers.get("x-tenant", "")
                 # A batch costs one token per item, or /v1/infer_batch would
                 # bypass the per-tenant limit entirely (10k inferences for
@@ -325,7 +421,12 @@ class ValidationHTTPServer:
     async def _handle_healthz(self, _body: bytes) -> str:
         stats = self.service.stats()
         return dumps_canonical(
-            {"status": "ok", "generation": stats.generation, "api_version": "v1"}
+            {
+                "status": "ok",
+                "generation": stats.generation,
+                "index_format": stats.index_format,
+                "api_version": "v1",
+            }
         )
 
     async def _handle_metrics(self, _body: bytes) -> str:
@@ -343,12 +444,39 @@ class ValidationHTTPServer:
                 "generation": stats.generation,
                 "invalidations": stats.invalidations,
                 "parallel_batches": stats.parallel_batches,
+                "index_format": stats.index_format,
                 "requests_total": self.requests_total,
                 "rate_limited_total": self.rate_limited_total,
                 "errors_total": self.errors_total,
                 "tenants": self.rate_limiter.tenants(),
+                # The *active* serving config — after any /admin/config
+                # reloads — so operators can confirm what is enforced.
+                "config": {
+                    "rate": self.rate_limiter.rate,
+                    "burst": self.rate_limiter.burst,
+                    "variant": self.service.default_variant,
+                },
             }
         )
+
+    async def _handle_admin_config(self, body: bytes) -> str:
+        request = AdminConfigRequest.from_json(body)
+        # Fail before applying anything: a request must not half-apply
+        # (e.g. switch the variant, then die on a negative rate).
+        if request.rate is not None and request.rate < 0:
+            raise ValueError("rate must be >= 0 (0 disables limiting)")
+        if request.variant is not None:
+            self.service.set_default_variant(request.variant)
+        if request.rate is not None or request.burst is not None:
+            self.rate_limiter.reconfigure(request.rate, request.burst)
+        stats = self.service.stats()
+        return AdminConfigResponse(
+            rate=self.rate_limiter.rate,
+            burst=self.rate_limiter.burst,
+            variant=self.service.default_variant,
+            generation=stats.generation,
+            index_format=stats.index_format,
+        ).to_json()
 
     async def _handle_infer(self, body: bytes) -> str:
         request = InferRequest.from_json(body)

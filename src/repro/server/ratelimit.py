@@ -73,6 +73,25 @@ class TenantRateLimiter:
     def enabled(self) -> bool:
         return self.rate > 0
 
+    def reconfigure(self, rate: float | None = None, burst: float | None = None) -> None:
+        """Hot-swap the rate/burst settings (the ``/admin/config`` path).
+
+        Existing tenant buckets are dropped so every tenant starts on the
+        new policy immediately — a bucket refilling at the old rate would
+        keep enforcing stale limits for up to ``burst`` seconds.  ``None``
+        keeps the current value.
+        """
+        new_rate = self.rate if rate is None else rate
+        new_burst = self.burst if burst is None else burst
+        if new_rate < 0:
+            raise ValueError("rate must be >= 0 (0 disables limiting)")
+        with self._lock:
+            self.rate = new_rate
+            # Same clamp as the constructor: an enabled limiter needs a
+            # bucket that can hold at least one token.
+            self.burst = max(new_burst, 1.0) if new_rate > 0 else new_burst
+            self._buckets.clear()
+
     def allow(self, tenant: str, cost: float = 1.0) -> bool:
         """True when ``tenant`` may proceed; False means answer 429."""
         if not self.enabled:

@@ -105,6 +105,16 @@ class AsyncValidationService:
                 self.service.validate_many, rules, columns, workers
             )
 
+    @property
+    def default_variant(self) -> str:
+        """Canonical name of the variant un-annotated requests run."""
+        return self.service.variant
+
+    def set_default_variant(self, variant: str) -> None:
+        """Hot-swap the default variant on the wrapped service (the
+        ``/admin/config`` path); caches stay warm."""
+        self.service.set_default_variant(variant)
+
     def stats(self) -> ServiceStats:
         """Stats of the wrapped service (non-blocking: counters only)."""
         return self.service.stats()

@@ -37,7 +37,8 @@ from dataclasses import asdict
 from typing import TYPE_CHECKING, Sequence
 
 from repro.config import AutoValidateConfig
-from repro.index.index import IndexEntry, IndexMeta, PatternIndex, ShardedPatternIndex
+from repro.index.index import IndexEntry, IndexMeta, PatternIndex
+from repro.index.store import open_index
 from repro.service.cache import column_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
@@ -126,7 +127,7 @@ _WORKER_SERVICE = None
 def _index_from_spec(spec: tuple) -> PatternIndex:
     kind = spec[0]
     if kind == "path":
-        return PatternIndex.load(spec[1])
+        return open_index(spec[1])
     if kind == "entries":
         _, raw_entries, raw_meta = spec
         entries = {
@@ -140,12 +141,16 @@ def _index_from_spec(spec: tuple) -> PatternIndex:
 def index_spec_for(index: PatternIndex, index_path=None) -> tuple:
     """A picklable description of ``index`` for worker initializers.
 
-    Disk-backed indexes ship as a path (workers re-open and lazily load
-    shards themselves); in-memory indexes ship as their plain entry map.
-    Neither form carries compiled regexes or open file handles.
+    Disk-backed indexes (any store format: lazy v2 shards, mmap v3
+    binaries) expose ``source_path`` and ship as that path — workers
+    re-open them through the store registry and lazily load/map only the
+    shards their chunk touches.  In-memory indexes ship as their plain
+    entry map.  Neither form carries compiled regexes, open file handles
+    or mmap state.
     """
-    if isinstance(index, ShardedPatternIndex):
-        return ("path", str(index.source_path))
+    source_path = getattr(index, "source_path", None)
+    if source_path is not None:
+        return ("path", str(source_path))
     if index_path is not None:
         return ("path", str(index_path))
     return (

@@ -51,7 +51,8 @@ from typing import Iterable, Sequence
 
 from repro.api.registry import SOLVER_CLASSES as VARIANTS
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
-from repro.index.index import PatternIndex, StaleIndexError, index_digest
+from repro.index.index import PatternIndex, StaleIndexError
+from repro.index.store import open_index, store_digest
 from repro.service.cache import HypothesisSpaceCache, column_digest
 from repro.service.parallel import ParallelExecutor, index_spec_for
 from repro.validate.fmdv import FMDV, InferenceResult
@@ -74,6 +75,8 @@ class ServiceStats:
     invalidations: int = 0
     #: Batches dispatched to the process pool so far.
     parallel_batches: int = 0
+    #: On-disk layout backing the served index ("memory", "v2", "v3").
+    index_format: str = "memory"
 
     @property
     def result_hit_rate(self) -> float:
@@ -131,7 +134,8 @@ class ValidationService:
     def from_path(
         cls, index_path: str | Path, config: AutoValidateConfig = DEFAULT_CONFIG, **kwargs
     ) -> "ValidationService":
-        """Open a service over a saved index (v1 file or v2 shard directory).
+        """Open a service over a saved index (any registered store format:
+        v1 file, v2 shard directory, or mmap-backed v3 binary directory).
 
         A path-opened service *watches* the path: when the index is rebuilt
         or replaced on disk, the next call notices (cheap stat, then digest
@@ -139,10 +143,10 @@ class ValidationService:
         stale cached answer is ever served.
         """
         index_path = Path(index_path)
-        service = cls(PatternIndex.load(index_path), config, **kwargs)
+        service = cls(open_index(index_path), config, **kwargs)
         service._index_path = index_path
         service._disk_signature = service._stat_signature()
-        service._disk_digest = index_digest(index_path)
+        service._disk_digest = store_digest(index_path)
         return service
 
     # -- cache generations ---------------------------------------------------
@@ -181,13 +185,13 @@ class ValidationService:
                 return
             self._disk_signature = signature
             try:
-                digest = index_digest(self._index_path)
-            except OSError:
+                digest = store_digest(self._index_path)
+            except (OSError, ValueError):
                 return
             if digest == self._disk_digest:
                 return  # e.g. touch/re-save of identical content
             try:
-                reloaded = PatternIndex.load(self._index_path)
+                reloaded = open_index(self._index_path)
             except (OSError, ValueError):
                 return  # partially-written index: keep the current snapshot
             self._disk_digest = digest
@@ -220,6 +224,21 @@ class ValidationService:
             token = index.content_digest()
             if token != self._generation:
                 self._apply_new_generation(token)
+
+    def set_default_variant(self, variant: str) -> None:
+        """Switch the default solver variant without touching any cache.
+
+        The hot-config-reload path of ``POST /admin/config``: cached
+        hypothesis spaces and results are keyed by (generation, digest,
+        variant), so entries for other variants stay valid and warm — only
+        which solver answers un-annotated requests changes.
+        """
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
+            )
+        with self._lock:
+            self.variant = VARIANTS[variant].variant
 
     # -- inference -----------------------------------------------------------
 
@@ -429,6 +448,7 @@ class ValidationService:
                 generation=self._generation,
                 invalidations=self._invalidations,
                 parallel_batches=self._executor.parallel_batches,
+                index_format=self.index.storage_format,
             )
 
     def clear_caches(self) -> None:

@@ -164,6 +164,78 @@ class TestShardedIndexAndBatch:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestStoreFormatsAndMerge:
+    def test_index_format_v3_writes_binary_directory(self, workspace, capsys):
+        code = main([
+            "index", "--corpus", str(workspace / "lake"),
+            "--out", str(workspace / "lake.v3"), "--format", "v3", "--shards", "8",
+        ])
+        assert code == 0
+        assert "format v3" in capsys.readouterr().out
+        assert (workspace / "lake.v3" / "manifest.json").exists()
+        assert len(list((workspace / "lake.v3").glob("shard-*.bin"))) == 8
+
+    def test_infer_from_v3_index(self, workspace, capsys):
+        code = main([
+            "infer", "--index", str(workspace / "lake.v3"),
+            "--column", str(workspace / "feed.txt"),
+            "--min-coverage", "5",
+        ])
+        assert code == 0
+        assert "pattern:" in capsys.readouterr().out
+
+    def test_v3_infer_matches_v2_infer(self, workspace, capsys):
+        """The same corpus served from v2 and v3 must answer identically."""
+        args_tail = ["--column", str(workspace / "feed.txt"), "--min-coverage", "5"]
+        assert main(["infer", "--index", str(workspace / "lake.idx"), *args_tail]) == 0
+        v2_out = capsys.readouterr().out
+        assert main(["infer", "--index", str(workspace / "lake.v3"), *args_tail]) == 0
+        assert capsys.readouterr().out == v2_out
+
+    def test_format_v1_with_shards_rejected(self, workspace, capsys):
+        code = main([
+            "index", "--corpus", str(workspace / "lake"),
+            "--out", str(workspace / "x"), "--format", "v1", "--shards", "4",
+        ])
+        assert code == 2
+        assert "--format v1" in capsys.readouterr().err
+
+    def test_merge_subcommand(self, workspace, tmp_path, capsys):
+        from repro.core.enumeration import EnumerationConfig
+        from repro.index import build_index, open_index, save_index
+
+        a = build_index([["1:23"] * 20], EnumerationConfig(), corpus_name="a")
+        b = build_index([["4:56"] * 20], EnumerationConfig(), corpus_name="b")
+        save_index(a, tmp_path / "a.v3", format="v3", n_shards=4)
+        save_index(b, tmp_path / "b.v3", format="v3", n_shards=4)
+        code = main([
+            "merge", "--a", str(tmp_path / "a.v3"), "--b", str(tmp_path / "b.v3"),
+            "--out", str(tmp_path / "merged.v3"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged" in out and "4 shards" in out
+        merged = open_index(tmp_path / "merged.v3")
+        assert dict(merged.items()) == dict(a.merge(b).items())
+
+    def test_merge_mixed_formats_rejected(self, workspace, tmp_path, capsys):
+        code = main([
+            "merge", "--a", str(workspace / "lake.idx"),
+            "--b", str(workspace / "lake.v3"),
+            "--out", str(tmp_path / "nope"),
+        ])
+        assert code == 2
+        assert "mixed formats" in capsys.readouterr().err
+
+    def test_merge_missing_input_rejected(self, workspace, tmp_path, capsys):
+        code = main([
+            "merge", "--a", str(tmp_path / "ghost"),
+            "--b", str(workspace / "lake.v3"),
+            "--out", str(tmp_path / "nope"),
+        ])
+        assert code == 2
+
+
 class TestTag:
     def test_tag_sweeps_corpus(self, workspace, capsys):
         code = main([

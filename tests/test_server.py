@@ -404,6 +404,245 @@ class TestRateLimiting:
         assert payload["rate_limited_total"] >= 1
 
 
+class TestChunkedBodies:
+    """Transfer-Encoding: chunked requests (streaming clients)."""
+
+    def _post_chunked(self, server, path, payload: bytes, chunk_size=7,
+                      tail=b"0\r\n\r\n", extensions=False):
+        """POST ``payload`` split into chunks over a raw socket."""
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.server.port), timeout=30) as sock:
+            head = (
+                f"POST {path} HTTP/1.1\r\n"
+                "Host: localhost\r\nContent-Type: application/json\r\n"
+                "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            ).encode()
+            sock.sendall(head)
+            for start in range(0, len(payload), chunk_size):
+                chunk = payload[start:start + chunk_size]
+                ext = b";x=1" if extensions else b""
+                sock.sendall(f"{len(chunk):x}".encode() + ext + b"\r\n" + chunk + b"\r\n")
+            sock.sendall(tail)
+            raw = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                raw += data
+        header_blob, _, body = raw.partition(b"\r\n\r\n")
+        status = int(header_blob.split()[1])
+        return status, json.loads(body)
+
+    def test_chunked_infer_round_trip(self, served, feed_values):
+        payload = InferRequest(values=tuple(feed_values)).to_json().encode()
+        status, response = self._post_chunked(served, "/v1/infer", payload)
+        assert status == 200
+        result = InferResponse.from_json(json.dumps(response)).result
+        assert result.found
+
+    def test_chunk_extensions_ignored(self, served, feed_values):
+        payload = InferRequest(values=tuple(feed_values[:5])).to_json().encode()
+        status, _ = self._post_chunked(served, "/v1/infer", payload, extensions=True)
+        assert status == 200
+
+    def test_chunked_with_trailers(self, served, feed_values):
+        payload = InferRequest(values=tuple(feed_values[:5])).to_json().encode()
+        status, _ = self._post_chunked(
+            served, "/v1/infer", payload,
+            tail=b"0\r\nX-Checksum: abc\r\n\r\n",
+        )
+        assert status == 200
+
+    def test_oversized_chunked_body_answers_413(self, served):
+        """The bound is enforced on the declared size, before buffering."""
+        import socket
+
+        with socket.create_connection(("127.0.0.1", served.server.port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/infer HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            )
+            # One chunk claiming 128 MiB: rejected without sending the data.
+            sock.sendall(b"8000000\r\n")
+            raw = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                raw += data
+        assert b"413" in raw.split(b"\r\n", 1)[0]
+        assert b"payload_too_large" in raw
+
+    def test_malformed_chunk_size_answers_400(self, served):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", served.server.port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /v1/infer HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                b"zzz\r\n"
+            )
+            raw = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                raw += data
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+
+class TestAdminConfig:
+    """POST /admin/config: loopback-only hot reload, caches kept warm."""
+
+    @pytest.fixture()
+    def reloadable(self, small_index, small_config):
+        service = ValidationService(small_index, small_config, variant="fmdv-vh")
+        running = RunningServer(
+            service, rate_limiter=TenantRateLimiter(rate=50.0, burst=100.0)
+        )
+        yield running, service
+        running.close()
+        service.close()
+
+    def test_update_rate_and_burst(self, reloadable):
+        running, _ = reloadable
+        status, payload = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request",
+                        "rate": 5.0, "burst": 9.0}),
+        )
+        assert status == 200
+        assert payload["type"] == "admin_config_response"
+        assert (payload["rate"], payload["burst"]) == (5.0, 9.0)
+        _, metrics = http(running.base_url + "/metrics")
+        assert metrics["config"]["rate"] == 5.0
+        assert metrics["config"]["burst"] == 9.0
+
+    def test_update_variant_keeps_caches_warm(self, reloadable, feed_values):
+        running, service = reloadable
+        body = InferRequest(values=tuple(feed_values)).to_json()
+        http(running.base_url + "/v1/infer", body)
+        http(running.base_url + "/v1/infer", body)
+        warm = service.stats()
+        assert warm.result_cache_hits >= 1
+        generation = warm.generation
+
+        status, payload = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request", "variant": "fmdv"}),
+        )
+        assert status == 200
+        assert payload["variant"] == "fmdv"
+        after = service.stats()
+        # hot reload: same generation, nothing invalidated, cache intact
+        assert after.generation == generation
+        assert after.invalidations == 0
+        assert after.result_cache_size == warm.result_cache_size
+        # un-annotated requests now run the new default variant
+        _, inferred = http(running.base_url + "/v1/infer", body)
+        assert inferred["result"]["variant"] == "fmdv"
+
+    def test_partial_update_keeps_other_fields(self, reloadable):
+        running, _ = reloadable
+        status, payload = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request", "rate": 7.0}),
+        )
+        assert status == 200
+        assert payload["rate"] == 7.0
+        assert payload["burst"] == 100.0  # untouched
+        assert payload["variant"] == "fmdv-vh"
+
+    def test_empty_update_reports_active_config(self, reloadable):
+        running, _ = reloadable
+        status, payload = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request"}),
+        )
+        assert status == 200
+        assert payload["generation"]
+        assert payload["index_format"] == "memory"
+
+    def test_unknown_variant_rejected_atomically(self, reloadable):
+        running, _ = reloadable
+        status, payload = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request",
+                        "variant": "sorcery", "rate": 1.0}),
+        )
+        assert status == 400
+        # the rate update must not have been applied either
+        _, metrics = http(running.base_url + "/metrics")
+        assert metrics["config"]["rate"] == 50.0
+
+    def test_negative_rate_rejected_atomically(self, reloadable):
+        running, _ = reloadable
+        status, _ = http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request",
+                        "variant": "fmdv", "rate": -3.0}),
+        )
+        assert status == 400
+        _, metrics = http(running.base_url + "/metrics")
+        assert metrics["config"]["variant"] == "fmdv-vh"  # not half-applied
+
+    def test_admin_not_rate_limited(self, small_index, small_config):
+        service = ValidationService(small_index, small_config)
+        running = RunningServer(
+            service, rate_limiter=TenantRateLimiter(rate=0.001, burst=1.0)
+        )
+        try:
+            body = json.dumps({"v": 1, "type": "admin_config_request"})
+            statuses = [
+                http(running.base_url + "/admin/config", body)[0] for _ in range(5)
+            ]
+            assert statuses == [200] * 5
+        finally:
+            running.close()
+            service.close()
+
+    def test_loopback_guard_classifies_peers(self):
+        from repro.server.http import _is_loopback
+
+        assert _is_loopback(("127.0.0.1", 50000))
+        assert _is_loopback(("127.8.8.8", 50000))
+        assert _is_loopback(("::1", 50000, 0, 0))
+        assert _is_loopback(("::ffff:127.0.0.1", 50000, 0, 0))
+        assert not _is_loopback(("10.0.0.5", 50000))
+        assert not _is_loopback(("::ffff:10.0.0.5", 50000, 0, 0))
+        assert not _is_loopback(None)
+
+    def test_non_loopback_peer_answers_403(self, small_index, small_config):
+        """Dispatch with a routed peer address: 403 before any config is
+        touched (exercised directly — tests cannot dial in from off-box)."""
+        service = ValidationService(small_index, small_config)
+        server = ValidationHTTPServer(AsyncValidationService(service))
+        body = json.dumps({"v": 1, "type": "admin_config_request", "rate": 1.0})
+        status, payload = asyncio.run(
+            server._dispatch(
+                "POST", "/admin/config", {}, body.encode(), ("10.1.2.3", 55555)
+            )
+        )
+        assert status == 403
+        assert json.loads(payload)["code"] == "forbidden"
+        assert not server.rate_limiter.enabled  # nothing was applied
+        service.close()
+
+    def test_reconfigured_limits_apply_immediately(self, reloadable, feed_values):
+        running, _ = reloadable
+        http(
+            running.base_url + "/admin/config",
+            json.dumps({"v": 1, "type": "admin_config_request",
+                        "rate": 0.001, "burst": 1.0}),
+        )
+        body = InferRequest(values=tuple(feed_values[:5])).to_json()
+        url = running.base_url + "/v1/infer"
+        first, _ = http(url, body, headers={"X-Tenant": "t"})
+        second, _ = http(url, body, headers={"X-Tenant": "t"})
+        assert (first, second) == (200, 429)
+
+
 # -- the live `auto-validate serve` process (acceptance criterion) -------------
 
 

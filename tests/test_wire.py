@@ -16,6 +16,8 @@ import pytest
 
 from repro.api.wire import (
     WIRE_VERSION,
+    AdminConfigRequest,
+    AdminConfigResponse,
     BatchEnvelope,
     ErrorResponse,
     InferRequest,
@@ -191,6 +193,27 @@ class TestPropertyRoundTrips:
             ErrorResponse,
         )
 
+    def test_admin_config_envelopes(self, seed):
+        rng = random.Random(seed)
+        _assert_byte_identical_roundtrip(
+            AdminConfigRequest(
+                rate=rng.choice([None, 0.0, rng.random() * 100]),
+                burst=rng.choice([None, 1.0, rng.random() * 50 + 1]),
+                variant=rng.choice([None, "vh", "fmdv"]),
+            ),
+            AdminConfigRequest,
+        )
+        _assert_byte_identical_roundtrip(
+            AdminConfigResponse(
+                rate=rng.random() * 100,
+                burst=rng.random() * 50 + 1,
+                variant="fmdv-vh",
+                generation=_text(rng),
+                index_format=rng.choice(["memory", "v2", "v3"]),
+            ),
+            AdminConfigResponse,
+        )
+
     def test_batch_envelope(self, seed):
         rng = random.Random(seed)
         batch = BatchEnvelope(
@@ -231,6 +254,19 @@ class TestWireValidation:
         payload["items"][0]["type"] = "mystery"
         with pytest.raises(WireError, match="unknown type"):
             BatchEnvelope.from_json(json.dumps(payload))
+
+    def test_admin_config_rejects_non_numeric_rate(self):
+        with pytest.raises(WireError, match="rate"):
+            AdminConfigRequest.from_json(
+                json.dumps({"v": 1, "type": "admin_config_request", "rate": "fast"})
+            )
+
+    def test_admin_config_rejects_boolean_rate(self):
+        """JSON true is not a rate (bool is an int subclass — easy trap)."""
+        with pytest.raises(WireError, match="rate"):
+            AdminConfigRequest.from_json(
+                json.dumps({"v": 1, "type": "admin_config_request", "rate": True})
+            )
 
     def test_rejects_unknown_rule_kind(self):
         with pytest.raises(RuleSerializationError, match="unknown rule kind"):
