@@ -1,0 +1,170 @@
+"""Offline index-build throughput and residency (the streaming pipeline).
+
+The paper's offline stage scans millions of columns in a SCOPE map-reduce
+job (§2.4); this bench starts the perf trajectory for our equivalent —
+``build_index_streaming`` — against the serial in-memory reference on a
+~50k-value synthetic enterprise corpus:
+
+* **throughput** (values/sec) for the serial build, the single-process
+  streaming build, and the spawn-pool streaming build;
+* **residency**: tracemalloc peaks plus the builder's modelled
+  ``peak_builder_bytes``, asserted against the spill watermark;
+* **byte identity**: every streamed regime must reproduce the serial
+  ``build_index`` → ``save_index`` output bit for bit (the fixed-point
+  aggregation guarantee).
+
+Results land in ``BENCH_index_build.json`` at the repo root (uploaded as
+a CI artifact by the ``build-matrix`` job) and in the session report.
+The ≥2x parallel-speedup gate only arms on machines with ≥4 cores —
+single/dual-core runners still assert identity and residency.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+import tracemalloc
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.datalake.generator import ENTERPRISE_PROFILE, generate_corpus
+from repro.eval.reporting import render_table
+from repro.index.builder import build_index, build_index_streaming
+from repro.index.store import open_index, save_index
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_JSON = REPO_ROOT / "BENCH_index_build.json"
+
+SPILL_MB = 4.0
+N_SHARDS = 8
+FORMAT = "v3"
+PARALLEL_WORKERS = 4
+
+
+def _dirs_byte_identical(a: Path, b: Path) -> bool:
+    files_a = sorted(p.name for p in a.iterdir())
+    files_b = sorted(p.name for p in b.iterdir())
+    if files_a != files_b:
+        return False
+    return all((a / name).read_bytes() == (b / name).read_bytes() for name in files_a)
+
+
+def _timed(fn):
+    """(wall seconds, tracemalloc peak bytes, fn result) of one build."""
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return elapsed, peak, result
+
+
+def test_bench_index_build(tmp_path):
+    corpus = generate_corpus(replace(ENTERPRISE_PROFILE, n_tables=90), seed=9)
+    columns = [list(c.values) for c in corpus.columns()]
+    n_values = sum(len(c) for c in columns)
+    assert n_values >= 50_000, n_values
+
+    serial_out = tmp_path / "serial"
+
+    def serial_build():
+        index = build_index(columns, corpus_name="bench")
+        save_index(index, serial_out, format=FORMAT, n_shards=N_SHARDS)
+        return index
+
+    serial_s, serial_peak, serial_index = _timed(serial_build)
+
+    stream1_out = tmp_path / "stream-1w"
+    stream1_s, stream1_peak, stream1 = _timed(
+        lambda: build_index_streaming(
+            columns, stream1_out, corpus_name="bench",
+            workers=1, spill_mb=SPILL_MB, format=FORMAT, n_shards=N_SHARDS,
+        )
+    )
+    assert _dirs_byte_identical(serial_out, stream1_out), "streamed != serial bytes"
+
+    streamn_out = tmp_path / f"stream-{PARALLEL_WORKERS}w"
+    streamn_s, _, streamn = _timed(
+        lambda: build_index_streaming(
+            columns, streamn_out, corpus_name="bench",
+            workers=PARALLEL_WORKERS, spill_mb=SPILL_MB, format=FORMAT,
+            n_shards=N_SHARDS,
+        )
+    )
+    assert _dirs_byte_identical(serial_out, streamn_out), "parallel != serial bytes"
+
+    # Residency: the builder's modelled peak respects the watermark (plus
+    # at most one column's worth of entries, the atomic aggregation step),
+    # and the streamed build allocates less than the full-dict build.
+    spill_bytes = stream1.spill_bytes
+    one_column_slack = 4096 * 256  # max_patterns * generous per-entry cost
+    assert stream1.peak_builder_bytes <= spill_bytes + one_column_slack
+    assert streamn.peak_builder_bytes <= spill_bytes + one_column_slack
+    assert stream1.n_runs > 1, "watermark never tripped - residency claim vacuous"
+    assert stream1_peak < serial_peak
+
+    # Fidelity: the streamed artifact answers lookups like the in-memory one.
+    reloaded = open_index(stream1_out)
+    probe = min(key for key, _ in serial_index.items())
+    assert reloaded.lookup_key(probe) == serial_index.lookup_key(probe)
+
+    n_cores = os.cpu_count() or 1
+    speedup = serial_s / max(streamn_s, 1e-9)
+    if n_cores >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"{PARALLEL_WORKERS}-worker streamed build is only {speedup:.2f}x "
+            f"the serial build on {n_cores} cores"
+        )
+
+    payload = {
+        "corpus": {"columns": len(columns), "values": n_values,
+                   "patterns": len(serial_index)},
+        "config": {"format": FORMAT, "n_shards": N_SHARDS, "spill_mb": SPILL_MB,
+                   "parallel_workers": PARALLEL_WORKERS, "cpu_count": n_cores},
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "values_per_sec": round(n_values / serial_s),
+            "tracemalloc_peak_bytes": serial_peak,
+        },
+        "streamed_1w": {
+            "seconds": round(stream1_s, 3),
+            "values_per_sec": round(n_values / stream1_s),
+            "tracemalloc_peak_bytes": stream1_peak,
+            "peak_builder_bytes": stream1.peak_builder_bytes,
+            "spill_bytes": spill_bytes,
+            "n_runs": stream1.n_runs,
+            "byte_identical_to_serial": True,
+        },
+        f"streamed_{PARALLEL_WORKERS}w": {
+            "seconds": round(streamn_s, 3),
+            "values_per_sec": round(n_values / streamn_s),
+            "peak_builder_bytes": streamn.peak_builder_bytes,
+            "n_runs": streamn.n_runs,
+            "byte_identical_to_serial": True,
+            "speedup_vs_serial": round(speedup, 2),
+            "speedup_gate_armed": n_cores >= PARALLEL_WORKERS,
+        },
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    rows = [
+        {"regime": "serial build_index + save_index",
+         "s": f"{serial_s:.1f}", "values/s": f"{n_values / serial_s:,.0f}",
+         "peak": f"{serial_peak / 2**20:.1f} MB traced"},
+        {"regime": "streamed, 1 worker",
+         "s": f"{stream1_s:.1f}", "values/s": f"{n_values / stream1_s:,.0f}",
+         "peak": f"{stream1.peak_builder_bytes / 2**20:.2f} MB builder "
+                 f"(watermark {SPILL_MB:g} MB, {stream1.n_runs} runs)"},
+        {"regime": f"streamed, {PARALLEL_WORKERS} spawn workers",
+         "s": f"{streamn_s:.1f}", "values/s": f"{n_values / streamn_s:,.0f}",
+         "peak": f"{speedup:.2f}x serial on {n_cores} cores"},
+    ]
+    record_report(
+        f"Index build: {n_values} values, byte-identical streamed vs serial",
+        render_table(rows),
+    )

@@ -42,12 +42,19 @@ from repro.core.enumeration import EnumerationConfig, PatternStats
 from repro.core.hierarchy import GeneralizationHierarchy
 from repro.core.pattern import Pattern
 from repro.core.tokenizer import Token, token_count, tokenize
-from repro.index.builder import IndexBuilder, build_index, build_index_parallel
+from repro.index.builder import (
+    BuildStats,
+    IndexBuilder,
+    build_index,
+    build_index_parallel,
+    build_index_streaming,
+)
 from repro.index.index import PatternIndex, ShardedPatternIndex
 from repro.index.store import (
     IndexStore,
     MmapShardedPatternIndex,
     merge_indexes,
+    merge_many,
     open_index,
     save_index,
 )
@@ -70,7 +77,7 @@ from repro.validate.result import InferenceResult
 from repro.validate.rule import ValidationReport, ValidationRule
 from repro.validate.vertical import FMDVVertical
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "API_VERSION",
@@ -123,7 +130,10 @@ __all__ = [
     "ValidationService",
     "build_index",
     "build_index_parallel",
+    "build_index_streaming",
+    "BuildStats",
     "merge_indexes",
+    "merge_many",
     "open_index",
     "save_index",
     "token_count",

@@ -57,6 +57,7 @@ from repro.index.store import (
     available_formats,
     get_store,
     merge_indexes,
+    merge_many,
     open_index,
     register_store,
     save_index,
@@ -93,6 +94,7 @@ __all__ = [
     "get_store",
     "get_validator",
     "merge_indexes",
+    "merge_many",
     "open_index",
     "register_store",
     "register_validator",

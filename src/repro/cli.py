@@ -6,7 +6,10 @@ Installed as the ``auto-validate`` console script::
     auto-validate index    --corpus lake/ --out lake.idx.gz
     auto-validate index    --corpus lake/ --out lake.idx --shards 16
     auto-validate index    --corpus lake/ --out lake.v3 --format v3
+    auto-validate index    --corpus lake/ --out lake.v3 --format v3 \
+                           --workers 8 --spill-mb 64
     auto-validate merge    --a part-a.v3 --b part-b.v3 --out whole.v3
+    auto-validate merge    part-a.v3 part-b.v3 part-c.v3 --out whole.v3
     auto-validate infer    --index lake.idx.gz --column feed.txt --rule rule.json
     auto-validate infer    --index lake.idx --column a.txt b.txt c.txt
     auto-validate validate --rule rule.json --column tomorrow.txt
@@ -17,8 +20,12 @@ Column files are plain text, one value per line.  Rules round-trip as JSON
 through the pluggable :class:`repro.index.store.IndexStore` registry:
 ``--shards`` writes the sharded v2 layout, ``--format v3`` the mmap-able
 binary layout, and ``--index`` auto-detects any of them on read.
-``merge`` combines two same-format indexes shard by shard in bounded
-memory (the distributed-build reduce step).  Inference runs through
+``merge`` combines N same-format indexes shard by shard with a k-way
+heap merge in bounded memory (the distributed-build reduce step), and
+``index --workers N --spill-mb M`` builds with the streaming pipeline:
+workers spill sorted partial runs past the watermark and the runs merge
+straight into the final shards, byte-identical to the serial build
+without ever holding the full pattern dict.  Inference runs through
 :class:`repro.service.ValidationService`, so repeated columns inside one
 ``infer`` batch are answered from cache.
 
@@ -59,12 +66,17 @@ from repro.datalake.generator import (
     generate_corpus,
 )
 from repro.datalake.io import load_corpus, save_corpus
-from repro.index.builder import build_index
+from repro.index.builder import (
+    DEFAULT_SPILL_MB,
+    build_index,
+    build_index_parallel,
+    build_index_streaming,
+)
 from repro.index.index import MAX_SHARDS
 from repro.index.store import (
     available_formats,
     detect_format,
-    merge_indexes,
+    merge_many,
     open_index,
     save_index,
 )
@@ -124,8 +136,40 @@ def _cmd_index(args: argparse.Namespace) -> int:
     if layout is None:
         return 2
     format, n_shards = layout
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 = serial in-memory build)", file=sys.stderr)
+        return 2
+    if args.workers > 0 and format != "v1" and args.spill_mb <= 0:
+        print("--spill-mb must be positive", file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus)
-    index = build_index(corpus.column_values(), corpus_name=corpus.name)
+    if args.workers > 0 and format != "v1":
+        # The streaming bounded-memory pipeline: spill sorted runs past the
+        # watermark, k-way merge them straight into the final shards.
+        stats = build_index_streaming(
+            corpus.column_values(),
+            args.out,
+            corpus_name=corpus.name,
+            workers=args.workers,
+            spill_mb=args.spill_mb,
+            format=format,
+            n_shards=n_shards,
+        )
+        print(
+            f"indexed {stats.columns_scanned} columns -> "
+            f"{stats.total_entries} patterns at {args.out} "
+            f"[{n_shards} shards (format {format}), streamed: "
+            f"workers={args.workers} n_runs={stats.n_runs} "
+            f"peak_builder_bytes={stats.peak_builder_bytes} "
+            f"spill_bytes={stats.spill_bytes}]"
+        )
+        return 0
+    if args.workers > 1:  # v1 has no streaming write: parallel scan, one save
+        index = build_index_parallel(
+            corpus.column_values(), corpus_name=corpus.name, workers=args.workers
+        )
+    else:
+        index = build_index(corpus.column_values(), corpus_name=corpus.name)
     save_index(index, args.out, format=format, n_shards=n_shards)
     described = (
         "single file (format v1)" if format == "v1"
@@ -139,24 +183,32 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
+    paths = [p for p in (args.a, args.b) if p] + list(args.inputs)
+    if len(paths) < 2:
+        print("merge needs at least two input indexes (--a/--b and/or "
+              "positional paths)", file=sys.stderr)
+        return 2
     try:
-        format_a, format_b = detect_format(args.a), detect_format(args.b)
+        formats = [detect_format(p) for p in paths]
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    if format_a != format_b:
-        print(f"cannot merge mixed formats: {args.a} is {format_a}, "
-              f"{args.b} is {format_b}", file=sys.stderr)
-        return 2
+    first = formats[0]
+    for path, format in zip(paths, formats):
+        if format != first:
+            print(f"cannot merge mixed formats: {paths[0]} is {first}, "
+                  f"{path} is {format}", file=sys.stderr)
+            return 2
     try:
-        stats = merge_indexes(args.a, args.b, args.out)
+        stats = merge_many(paths, args.out)
     except (OSError, ValueError) as exc:
         # OSError covers e.g. a truncated gzip member discovered mid-read.
         print(str(exc), file=sys.stderr)
         return 1
     print(
-        f"merged {args.a} + {args.b} -> {args.out} [format {format_a}]: "
-        f"{stats.total_entries} patterns in {stats.n_shards} shards "
+        f"merged {' + '.join(str(p) for p in paths)} -> {args.out} "
+        f"[format {first}]: {stats.total_entries} patterns in "
+        f"{stats.n_shards} shards "
         f"(peak {stats.max_resident_entries} entries resident)"
     )
     return 0
@@ -228,6 +280,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = ValidationService.from_path(
         args.index,
         _config(args),
+        prefetch=args.prefetch,
         variant=args.variant,
         workers=args.workers or None,
         parallel_backend="process" if args.workers > 1 else None,
@@ -318,14 +371,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="index store format (v1 = single file, v2 = gzip-JSON "
                         "shards, v3 = mmap-able binary shards; default v2 when "
                         "--shards is set, else v1)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="build with the streaming bounded-memory pipeline "
+                        "across N worker processes (0 = classic serial "
+                        "in-memory build; 1 = stream in-process). Directory "
+                        "formats (v2/v3) only: the monolithic v1 file always "
+                        "builds in memory (with a parallel scan when N > 1)")
+    p.add_argument("--spill-mb", type=float, default=DEFAULT_SPILL_MB,
+                   dest="spill_mb",
+                   help="per-worker memory watermark in MiB past which "
+                        f"sorted runs spill to disk (default {DEFAULT_SPILL_MB:g}; "
+                        "only with --workers >= 1)")
     p.set_defaults(fn=_cmd_index)
 
     p = sub.add_parser("merge",
-                       help="merge two same-format indexes shard-by-shard "
-                            "(bounded memory)")
-    p.add_argument("--a", required=True, help="first index (v2/v3 directory or v1 file)")
-    p.add_argument("--b", required=True,
-                   help="second index (same format and shard count as --a)")
+                       help="merge N same-format indexes shard-by-shard with "
+                            "a k-way heap merge (bounded memory)")
+    p.add_argument("inputs", nargs="*",
+                   help="indexes to merge (two or more; v2/v3 directories "
+                        "with equal shard counts, or v1 files)")
+    p.add_argument("--a", help="first index (legacy spelling of the first "
+                               "positional input)")
+    p.add_argument("--b", help="second index (legacy spelling)")
     p.add_argument("--out", required=True, help="output index path")
     p.set_defaults(fn=_cmd_merge)
 
@@ -349,7 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_validate)
 
     p = sub.add_parser("serve", help="serve the /v1 validation API over HTTP")
-    p.add_argument("--index", required=True, help="saved index (v1 file or v2 dir)")
+    p.add_argument("--index", required=True,
+                   help="saved index (any registered format: v1 file, "
+                        "v2/v3 directory)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="listen port (0 picks a free one; see the readiness line)")
@@ -362,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-tenant burst capacity (token-bucket size)")
     p.add_argument("--max-concurrency", type=int, default=32, dest="max_concurrency",
                    help="max in-flight inference calls on the event loop")
+    p.add_argument("--prefetch", action="store_true",
+                   help="warm the page cache behind a v3 index on a "
+                        "background thread after open (and after every "
+                        "in-place rebuild); first lookups are not blocked")
     add_config_args(p)
     p.set_defaults(fn=_cmd_serve)
 

@@ -209,13 +209,19 @@ def enumerate_column_patterns(
         passes.append((alnum_signature, alnum_runs))
     passes.append((signature, tokenize))
 
+    # One counting pass over the raw values; everything after works on the
+    # distinct values with multiplicities.  Machine-generated columns repeat
+    # values heavily, so tokenization and signatures — the per-value cost
+    # that dominates the offline corpus scan — are computed once per
+    # distinct value, not once per occurrence.
+    value_counts: Counter[str] = Counter(v for v in values if v)
+
     for signature_fn, tokens_fn in passes:
         if budget <= 0:
             break
-        by_signature: dict[tuple[str, ...], Counter[str]] = defaultdict(Counter)
-        for v in values:
-            if v:
-                by_signature[signature_fn(v)][v] += 1
+        by_signature: dict[tuple[str, ...], dict[str, int]] = defaultdict(dict)
+        for v, count in value_counts.items():
+            by_signature[signature_fn(v)][v] = count
         groups = sorted(
             by_signature.items(), key=lambda item: (-sum(item[1].values()), item[0])
         )
@@ -264,7 +270,7 @@ def hypothesis_space(
 
 
 def _enumerate_group(
-    counter: Counter[str],
+    counter: dict[str, int],
     min_count: int,
     budget: int,
     config: EnumerationConfig,
@@ -272,7 +278,7 @@ def _enumerate_group(
 ) -> dict[Pattern, int]:
     """Drill-down enumeration for one signature group (same token shape)."""
     distinct = list(counter.keys())
-    weights = np.array([counter[v] for v in distinct], dtype=np.int64)
+    weights = np.fromiter(counter.values(), dtype=np.int64, count=len(distinct))
     token_rows = [tokens_fn(v) for v in distinct]
     width = len(token_rows[0])
     group_total = int(weights.sum())
@@ -366,7 +372,19 @@ def _position_options(
     options: list[_Option] = []
     full = np.ones(n, dtype=bool)
     texts = [t.text for t in tokens]
-    lengths = np.array([len(t) for t in tokens], dtype=np.int64)
+    weight_list = weights.tolist()
+    # One vectorized pass per aligned position: lengths as an int array and
+    # texts as small-int codes.  Every option mask below is a single numpy
+    # comparison against these, instead of a per-option list comprehension
+    # over the group's tokens (the old hot loop rebuilt python-level masks
+    # for every candidate atom of every position of every column).
+    lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
+    text_ids: dict[str, int] = {}
+    text_codes = np.fromiter(
+        (text_ids.setdefault(t, len(text_ids)) for t in texts),
+        dtype=np.int64,
+        count=n,
+    )
 
     # Most general first: the cross-class and unbounded atoms.
     if hierarchy.use_alnum_plus:
@@ -380,41 +398,49 @@ def _position_options(
 
     # Fixed-length options, most frequent lengths first.
     length_weights: Counter[int] = Counter()
-    for length, w in zip(lengths.tolist(), weights.tolist()):
+    for length, w in zip(lengths.tolist(), weight_list):
         length_weights[length] += w
     frequent_lengths = [
         length
         for length, w in length_weights.most_common(config.max_length_options)
         if w >= option_floor
     ]
+    case_masks = None
+    if cls is not CharClass.DIGIT and hierarchy.use_case_classes and frequent_lengths:
+        # Case classes are length-independent: build them once per position
+        # and intersect per length, instead of re-scanning the texts for
+        # every frequent length.
+        case_masks = (
+            np.fromiter((t.isupper() for t in texts), dtype=bool, count=n),
+            np.fromiter((t.islower() for t in texts), dtype=bool, count=n),
+        )
     for length in frequent_lengths:
         mask = lengths == length
         if hierarchy.use_alnum_fixed:
-            options.append(_Option(Atom.alnum(length), mask.copy()))
+            options.append(_Option(Atom.alnum(length), mask))
         if cls is CharClass.DIGIT:
-            options.append(_Option(Atom.digit(length), mask.copy()))
+            options.append(_Option(Atom.digit(length), mask))
         else:
-            options.append(_Option(Atom.letter(length), mask.copy()))
-            if hierarchy.use_case_classes:
-                upper_mask = mask & np.array([t.isupper() for t in texts])
+            options.append(_Option(Atom.letter(length), mask))
+            if case_masks is not None:
+                upper_mask = mask & case_masks[0]
                 if int(weights[upper_mask].sum()) >= option_floor:
                     options.append(_Option(Atom.upper(length), upper_mask))
-                lower_mask = mask & np.array([t.islower() for t in texts])
+                lower_mask = mask & case_masks[1]
                 if int(weights[lower_mask].sum()) >= option_floor:
                     options.append(_Option(Atom.lower(length), lower_mask))
 
     # Constant options, most frequent texts first.
     text_weights: Counter[str] = Counter()
-    for text, w in zip(texts, weights.tolist()):
+    for text, w in zip(texts, weight_list):
         text_weights[text] += w
     frequent_texts = [
         text
         for text, w in text_weights.most_common(config.max_const_options)
         if w >= option_floor and len(text) <= hierarchy.max_const_length
     ]
-    text_array = np.array(texts, dtype=object)
     for text in frequent_texts:
-        options.append(_Option(Atom.const(text), text_array == text))
+        options.append(_Option(Atom.const(text), text_codes == text_ids[text]))
 
     return options
 
@@ -434,27 +460,33 @@ def _alnum_position_options(
     """
     n = len(tokens)
     options: list[_Option] = [_Option(Atom.alnum_plus(), np.ones(n, dtype=bool))]
+    weight_list = weights.tolist()
 
-    lengths = np.array([len(t) for t in tokens], dtype=np.int64)
+    lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
     length_weights: Counter[int] = Counter()
-    for length, w in zip(lengths.tolist(), weights.tolist()):
+    for length, w in zip(lengths.tolist(), weight_list):
         length_weights[length] += w
     for length, w in length_weights.most_common(config.max_length_options):
         if w >= option_floor:
             options.append(_Option(Atom.alnum(length), lengths == length))
 
     texts = [t.text for t in tokens]
+    text_ids: dict[str, int] = {}
+    text_codes = np.fromiter(
+        (text_ids.setdefault(t, len(text_ids)) for t in texts),
+        dtype=np.int64,
+        count=n,
+    )
     text_weights: Counter[str] = Counter()
-    for text, w in zip(texts, weights.tolist()):
+    for text, w in zip(texts, weight_list):
         text_weights[text] += w
     frequent_texts = [
         text
         for text, w in text_weights.most_common(config.max_const_options)
         if w >= option_floor and len(text) <= config.hierarchy.max_const_length
     ]
-    text_array = np.array(texts, dtype=object)
     for text in frequent_texts:
-        options.append(_Option(Atom.const(text), text_array == text))
+        options.append(_Option(Atom.const(text), text_codes == text_ids[text]))
 
     return options
 

@@ -17,6 +17,7 @@ it is the quantity bounded by the token limit ``tau`` during offline indexing
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -117,12 +118,19 @@ def token_count(value: str) -> int:
     return len(tokenize(value))
 
 
+@lru_cache(maxsize=65536)
 def signature(value: str) -> Signature:
     """Class-level signature of a value, with symbol runs kept verbatim.
 
     The signature determines which values can share a (non-trivial) pattern:
     the per-position generalization chains of Figure 4 never cross the
     digit/letter boundary below ``<alnum>``, and symbols never generalize.
+
+    Cached (like :func:`tokenize`): the offline scan computes signatures for
+    every distinct value of millions of columns, and machine-generated data
+    repeats values heavily.  The component strings are interned so signature
+    tuples hash/compare on pointer-equal parts across values — grouping by
+    signature is a dict operation in the enumeration hot loop.
 
     >>> signature("9:07")
     ('D', ':', 'D')
@@ -136,7 +144,7 @@ def signature(value: str) -> Signature:
         elif token.cls is CharClass.LETTER:
             parts.append("L")
         else:
-            parts.append(token.text)
+            parts.append(sys.intern(token.text))
     return tuple(parts)
 
 
@@ -163,8 +171,10 @@ def alnum_runs(value: str) -> tuple[Token, ...]:
     return tuple(merged)
 
 
+@lru_cache(maxsize=65536)
 def alnum_signature(value: str) -> Signature:
-    """Class-level signature at the merged alphanumeric-run granularity.
+    """Class-level signature at the merged alphanumeric-run granularity
+    (cached and interned like :func:`signature`).
 
     >>> alnum_signature("b216-57a0")
     ('A', '-', 'A')
@@ -174,5 +184,5 @@ def alnum_signature(value: str) -> Signature:
         if token.cls is CharClass.ALNUM:
             parts.append("A")
         else:
-            parts.append(token.text)
+            parts.append(sys.intern(token.text))
     return tuple(parts)

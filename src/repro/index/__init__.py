@@ -9,7 +9,14 @@ the pattern).  The result is a lookup table orders of magnitude smaller than
 the corpus, which makes online inference interactive.
 """
 
-from repro.index.builder import IndexBuilder, build_index, build_index_parallel
+from repro.index.builder import (
+    BuildStats,
+    IndexBuilder,
+    SpillingIndexBuilder,
+    build_index,
+    build_index_parallel,
+    build_index_streaming,
+)
 from repro.index.index import (
     IndexEntry,
     IndexMeta,
@@ -32,13 +39,17 @@ from repro.index.store import (
     default_format,
     detect_format,
     get_store,
+    iter_run_file,
     merge_indexes,
+    merge_many,
     open_index,
     register_store,
     save_index,
+    write_run_file,
 )
 
 __all__ = [
+    "BuildStats",
     "IndexBuilder",
     "IndexEntry",
     "IndexMeta",
@@ -48,6 +59,7 @@ __all__ = [
     "MmapShardedPatternIndex",
     "PatternIndex",
     "ShardedPatternIndex",
+    "SpillingIndexBuilder",
     "StaleIndexError",
     "V1MonolithicStore",
     "V2ShardedStore",
@@ -55,14 +67,18 @@ __all__ = [
     "available_formats",
     "build_index",
     "build_index_parallel",
+    "build_index_streaming",
     "check_merge_compatible",
     "default_format",
     "detect_format",
     "get_store",
     "index_digest",
+    "iter_run_file",
     "merge_indexes",
+    "merge_many",
     "open_index",
     "register_store",
     "save_index",
     "shard_of",
+    "write_run_file",
 ]

@@ -22,11 +22,17 @@ Call sites use the facade instead of concrete classes::
     index = open_index("lake.idx")            # format auto-detected
     save_index(index, "lake.v3", format="v3") # or REPRO_INDEX_FORMAT
     merge_indexes("part-a.v3", "part-b.v3", "whole.v3")
+    merge_many(["a.v3", "b.v3", "c.v3"], "whole.v3")   # k-way, N inputs
 
-``merge_indexes`` / :meth:`IndexStore.merge_into` combine two equal-shard
-directories shard by shard in bounded memory: at most one merged shard is
-resident at a time, never either full index (the map-reduce regime the
-paper runs on a SCOPE cluster, without the cluster).
+``merge_many`` / :meth:`IndexStore.merge_into` combine equal-shard
+directories shard by shard in bounded memory with a k-way heap merge
+over the key-sorted per-shard streams: at most one merged shard is
+resident at a time, never any full index (the map-reduce regime the
+paper runs on a SCOPE cluster, without the cluster).  The same module
+holds the offline builder's *run-spill* codec (``write_run_file`` /
+``iter_run_file``: v3-layout files with exact fixed-point partials) and
+the streaming shard writer ``write_v3_shard_streaming`` — see
+``src/repro/index/FORMAT.md`` for both contracts.
 
 Binary shard layout (format v3, little-endian throughout; the full byte
 spec lives in ``src/repro/index/FORMAT.md``)::
@@ -48,14 +54,17 @@ or mid-rebuild files raise :class:`StaleIndexError`, same contract as v2.
 from __future__ import annotations
 
 import gzip
+import heapq
 import json
 import mmap
 import os
 import struct
+import tempfile
+import threading
 import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.index.index import (
     MAX_SHARDS,
@@ -90,15 +99,17 @@ class MergeStats:
 
     ``max_resident_entries`` is the peak number of entries held in memory
     at any point of the merge; for sharded stores it is bounded by the
-    largest *merged shard*, not by either input index (the bounded-memory
+    largest *merged shard*, not by any input index (the bounded-memory
     guarantee tests assert against).
     """
 
     n_shards: int
     total_entries: int
-    #: Entries streamed from both inputs via ``iter_entries``.
+    #: Entries streamed from every input via ``iter_entries``.
     entries_read: int
     max_resident_entries: int
+    #: How many indexes were merged (2 for plain ``merge_indexes``).
+    n_inputs: int = 2
 
 
 @runtime_checkable
@@ -134,7 +145,13 @@ class IndexStore(Protocol):
         ...
 
     def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
-        """Merge the indexes at ``a`` and ``b`` into ``out`` (same format)."""
+        """Merge the indexes at ``a`` and ``b`` into ``out`` (same format).
+
+        Stores may additionally provide ``merge_many(paths, out)`` for
+        N-input merges; :func:`merge_many` uses it when present and falls
+        back to pairwise folding otherwise (kept out of the protocol so
+        third-party stores written against v1 of the API stay valid).
+        """
         ...
 
 
@@ -211,15 +228,30 @@ def _resolve_store(path: str | Path, store: IndexStore | str | None) -> IndexSto
 
 
 def open_index(
-    path: str | Path, *, store: IndexStore | str | None = None, lazy: bool = True
+    path: str | Path,
+    *,
+    store: IndexStore | str | None = None,
+    lazy: bool = True,
+    prefetch: bool = False,
 ) -> PatternIndex:
     """Open an on-disk index through its store (auto-detected by default).
 
     This is the one loading entry point for services, workers, the CLI
     and the HTTP server; ``PatternIndex.load`` remains as a shim over the
     same detection.
+
+    ``prefetch=True`` starts a background page-cache warmer on indexes
+    that support it (format v3: a daemon thread walks every shard file
+    with plain buffered reads after open, so later mmap lookups hit warm
+    pages) — opening never blocks on it, and formats without a
+    ``start_prefetch`` hook ignore the flag.
     """
-    return _resolve_store(path, store).open(path, lazy=lazy)
+    index = _resolve_store(path, store).open(path, lazy=lazy)
+    if prefetch:
+        starter = getattr(index, "start_prefetch", None)
+        if starter is not None:
+            starter()
+    return index
 
 
 def save_index(
@@ -254,18 +286,68 @@ def merge_indexes(
     """Merge two same-format on-disk indexes into ``out`` via their store.
 
     For sharded formats (v2/v3) with equal ``n_shards`` this runs shard by
-    shard in bounded memory; see :meth:`IndexStore.merge_into`.
+    shard in bounded memory; the 2-ary spelling of :func:`merge_many`.
     """
-    resolved = _resolve_store(a, store)
+    return merge_many([a, b], out, store=store)
+
+
+def merge_many(
+    paths: Sequence[str | Path], out: str | Path, *, store: IndexStore | str | None = None
+) -> MergeStats:
+    """Merge N ≥ 2 same-format on-disk indexes into ``out`` via their store.
+
+    Directory formats (v2/v3) with equal ``n_shards`` merge shard by shard
+    with one k-way heap merge over the key-sorted per-shard entry streams:
+    output shard ``i`` depends only on input shards ``i``, so at most one
+    *merged shard* (plus one streamed shard per input for v2) is resident —
+    never any full index, regardless of how many inputs there are.  Inputs
+    built with incompatible enumeration knobs are rejected with an error
+    naming the offending file.  Third-party stores without a ``merge_many``
+    method fall back to pairwise folding through temporary outputs.
+    """
+    paths = [Path(p) for p in paths]
+    if len(paths) < 2:
+        raise ValueError("merge needs at least two input indexes")
+    resolved = _resolve_store(paths[0], store)
     if store is None:
-        format_b = detect_format(b)
-        if format_b != resolved.name:
-            raise ValueError(
-                f"cannot merge mixed index formats: {a} is {resolved.name}, "
-                f"{b} is {format_b}; convert one side first "
-                "(open_index + save_index)"
-            )
-    return resolved.merge_into(a, b, out)
+        for p in paths[1:]:
+            format_p = detect_format(p)
+            if format_p != resolved.name:
+                raise ValueError(
+                    f"cannot merge mixed index formats: {paths[0]} is "
+                    f"{resolved.name}, {p} is {format_p}; convert one side "
+                    "first (open_index + save_index)"
+                )
+    impl = getattr(resolved, "merge_many", None)
+    if impl is not None:
+        return impl(paths, out)
+    # Registered store predating merge_many: fold pairwise, intermediate
+    # results in a scratch directory next to the output.  The folds'
+    # stats aggregate so the caller still sees the whole merge: every
+    # entry streamed by any fold counts as read, and the peak residency
+    # is the worst fold's.
+    out = Path(out)
+    stats: MergeStats | None = None
+    entries_read = 0
+    max_resident = 0
+    with tempfile.TemporaryDirectory(
+        prefix=".avmerge-", dir=str(out.parent) or "."
+    ) as scratch:
+        current: Path = paths[0]
+        for i, p in enumerate(paths[1:]):
+            target = out if i == len(paths) - 2 else Path(scratch) / f"fold-{i}"
+            stats = resolved.merge_into(current, p, target)
+            entries_read += stats.entries_read
+            max_resident = max(max_resident, stats.max_resident_entries)
+            current = target
+    assert stats is not None
+    return MergeStats(
+        n_shards=stats.n_shards,
+        total_entries=stats.total_entries,
+        entries_read=entries_read,
+        max_resident_entries=max_resident,
+        n_inputs=len(paths),
+    )
 
 
 # -- v1: monolithic gzip-JSON file --------------------------------------------
@@ -299,16 +381,36 @@ class V1MonolithicStore:
             yield key, float(raw[0]), int(raw[1])
 
     def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
-        """v1 has no shards: both sides materialize (documented unbounded
-        memory); prefer converting to v2/v3 for lake-scale merges."""
-        index_a, index_b = self.open(a), self.open(b)
-        merged = index_a.merge(index_b)
+        return self.merge_many([a, b], out)
+
+    def merge_many(self, paths: Sequence[str | Path], out: str | Path) -> MergeStats:
+        """v1 has no shards: inputs materialize one at a time while the
+        running merge accumulates (documented unbounded memory); prefer
+        converting to v2/v3 for lake-scale merges."""
+        paths = [Path(p) for p in paths]
+        if len(paths) < 2:
+            raise ValueError("merge needs at least two input indexes")
+        if Path(out).resolve() in {p.resolve() for p in paths}:
+            raise ValueError("merge output must not overwrite an input index")
+        merged = self.open(paths[0])
+        entries_read = len(merged)
+        max_resident = len(merged)
+        for p in paths[1:]:
+            part = self.open(p)
+            entries_read += len(part)
+            previous = len(merged)
+            try:
+                merged = merged.merge(part)
+            except ValueError as exc:
+                raise ValueError(f"{p}: {exc}") from None
+            max_resident = max(max_resident, previous + len(part) + len(merged))
         merged.save(out)
         return MergeStats(
             n_shards=1,
             total_entries=len(merged),
-            entries_read=len(index_a) + len(index_b),
-            max_resident_entries=len(index_a) + len(index_b) + len(merged),
+            entries_read=entries_read,
+            max_resident_entries=max_resident,
+            n_inputs=len(paths),
         )
 
 
@@ -347,37 +449,57 @@ class _DirectoryStoreBase:
             yield from self._iter_shard(path, manifest, i)
 
     def merge_into(self, a: str | Path, b: str | Path, out: str | Path) -> MergeStats:
-        """Merge shard by shard: equal ``n_shards`` means equal hash
-        partitioning, so shard ``i`` of the output depends only on shard
-        ``i`` of each input — at most one merged shard is resident.
-        Shards are written first and the manifest published atomically
-        last, same crash contract as a plain save."""
-        a, b, out = Path(a), Path(b), Path(out)
-        if out.resolve() in (a.resolve(), b.resolve()):
-            raise ValueError("merge output must not overwrite an input index")
-        manifest_a, manifest_b = self._read_manifest(a), self._read_manifest(b)
-        if manifest_a["n_shards"] != manifest_b["n_shards"]:
-            raise ValueError(
-                f"cannot merge shard-by-shard: {a} has {manifest_a['n_shards']} "
-                f"shards, {b} has {manifest_b['n_shards']}; re-save one side "
-                "with a matching n_shards"
-            )
-        meta_a = IndexMeta(**dict(manifest_a["meta"]))
-        meta_b = IndexMeta(**dict(manifest_b["meta"]))
-        check_merge_compatible(meta_a, meta_b)
+        return self.merge_many([a, b], out)
 
-        n_shards = int(manifest_a["n_shards"])
+    def merge_many(self, paths: Sequence[str | Path], out: str | Path) -> MergeStats:
+        """k-way merge, shard by shard: equal ``n_shards`` means equal hash
+        partitioning, so shard ``i`` of the output depends only on shard
+        ``i`` of each input.  The per-shard entry streams are already
+        key-sorted (every format's ``_iter_shard`` contract), so a heap
+        merge (:func:`heapq.merge`, stable in input order) aggregates equal
+        keys as they pop — at most one *merged* shard is resident however
+        many inputs there are.  Shards are written first and the manifest
+        published atomically last, same crash contract as a plain save.
+        Incompatible inputs are rejected with the offending file named.
+        """
+        paths = [Path(p) for p in paths]
+        out = Path(out)
+        if len(paths) < 2:
+            raise ValueError("merge needs at least two input indexes")
+        if out.resolve() in {p.resolve() for p in paths}:
+            raise ValueError("merge output must not overwrite an input index")
+        manifests = [self._read_manifest(p) for p in paths]
+        n_shards = int(manifests[0]["n_shards"])
+        for p, manifest in zip(paths[1:], manifests[1:]):
+            if int(manifest["n_shards"]) != n_shards:
+                raise ValueError(
+                    f"cannot merge shard-by-shard: {paths[0]} has {n_shards} "
+                    f"shards, {p} has {manifest['n_shards']}; re-save one "
+                    "side with a matching n_shards"
+                )
+        metas = [IndexMeta(**dict(m["meta"])) for m in manifests]
+        folded = metas[0]
+        for p, meta in zip(paths[1:], metas[1:]):
+            try:
+                check_merge_compatible(folded, meta)
+            except ValueError as exc:
+                raise ValueError(f"{p}: {exc}") from None
+            folded = merged_meta(folded, meta)
+
         out.mkdir(parents=True, exist_ok=True)
         shard_rows: list[dict] = []
         total_entries = 0
         entries_read = 0
         max_resident = 0
         for i in range(n_shards):
+            streams = [
+                self._iter_shard(p, manifest, i)
+                for p, manifest in zip(paths, manifests)
+            ]
             entries: dict[str, tuple[float, int]] = {}
-            for key, fpr_sum, coverage in self._iter_shard(a, manifest_a, i):
-                entries[key] = (fpr_sum, coverage)
-                entries_read += 1
-            for key, fpr_sum, coverage in self._iter_shard(b, manifest_b, i):
+            for key, fpr_sum, coverage in heapq.merge(
+                *streams, key=lambda entry: entry[0]
+            ):
                 entries_read += 1
                 existing = entries.get(key)
                 if existing is None:
@@ -392,7 +514,7 @@ class _DirectoryStoreBase:
             out,
             {
                 "version": self.format_version,
-                "meta": asdict(merged_meta(meta_a, meta_b)),
+                "meta": asdict(folded),
                 "n_shards": n_shards,
                 "shards": shard_rows,
                 "total_entries": total_entries,
@@ -403,6 +525,7 @@ class _DirectoryStoreBase:
             total_entries=total_entries,
             entries_read=entries_read,
             max_resident_entries=max_resident,
+            n_inputs=len(paths),
         )
 
     # subclasses: the shard codec ------------------------------------------
@@ -501,6 +624,193 @@ def _v3_shard_bytes(shard_id: int, entries: dict[str, tuple[float, int]]) -> byt
         buffer += _V3_RECORD.pack(fpr_sum, coverage)
     buffer += _V3_FOOTER.pack(zlib.crc32(bytes(buffer)), _V3_MAGIC)
     return bytes(buffer)
+
+
+# -- run-spill files and streaming shard writes (the offline build path) -------
+
+#: Header flag marking a v3-layout file as a *run-spill* file: a sorted
+#: partial aggregate spilled by the streaming builder, with 32-byte
+#: extended-precision records instead of the serving format's 16-byte ones.
+V3_RUN_FLAG = 0x1
+
+#: Run record: fpr_fixed u192 (lo, mid, hi u64) + coverage u64.  The fixed-
+#: point fpr partial (2**-105 units, see ``repro.index.builder``) is kept
+#: exact across spills so the k-way run merge is partition-independent and
+#: the final index is byte-identical to a serial build.
+_V3_RUN_RECORD = struct.Struct("<QQQQ")
+_MASK64 = (1 << 64) - 1
+
+#: One streamed run entry: ``(pattern key, fpr_fixed, coverage)``.
+RunEntry = tuple[str, int, int]
+
+
+def write_run_file(
+    path: str | Path, run_id: int, fpr_fixed: dict[str, int], coverages: dict[str, int]
+) -> int:
+    """Spill one sorted partial run (v3 shard layout, ``V3_RUN_FLAG`` set).
+
+    Keys are sorted bytewise like a serving shard; records carry the exact
+    fixed-point fpr partial.  Returns the number of entries written.
+    """
+    encoded = sorted((key.encode("utf-8", "surrogatepass"), key) for key in fpr_fixed)
+    blob = b"".join(raw for raw, _ in encoded)
+    if len(blob) >= 2**32:
+        raise ValueError(f"run {run_id} key blob exceeds the u32 offset space")
+    buffer = bytearray()
+    buffer += _V3_HEADER.pack(
+        _V3_MAGIC, 3, V3_RUN_FLAG, run_id & 0xFFFFFFFF, len(encoded), len(blob)
+    )
+    offset = 0
+    for raw, _ in encoded:
+        buffer += _V3_OFFSET.pack(offset)
+        offset += len(raw)
+    buffer += _V3_OFFSET.pack(offset)
+    buffer += blob
+    for _, key in encoded:
+        fixed = fpr_fixed[key]
+        if fixed >> 192:
+            raise ValueError(f"fpr accumulator overflow for pattern {key!r}")
+        buffer += _V3_RUN_RECORD.pack(
+            fixed & _MASK64, (fixed >> 64) & _MASK64, fixed >> 128, coverages[key]
+        )
+    buffer += _V3_FOOTER.pack(zlib.crc32(bytes(buffer)), _V3_MAGIC)
+    Path(path).write_bytes(buffer)
+    return len(encoded)
+
+
+def iter_run_file(path: str | Path) -> Iterator[RunEntry]:
+    """Stream a run-spill file in key order, O(1) resident (mmap-backed)."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        size = os.fstat(handle.fileno()).st_size
+        with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+            magic, version, flags, _run_id, n_entries, blob_size = _V3_HEADER.unpack_from(
+                mm, 0
+            )
+            if magic != _V3_MAGIC or version != 3 or not flags & V3_RUN_FLAG:
+                raise ValueError(f"{path} is not a v3 run-spill file")
+            offsets_at = _V3_HEADER.size
+            keys_at = offsets_at + _V3_OFFSET.size * (n_entries + 1)
+            records_at = keys_at + blob_size
+            expected = records_at + _V3_RUN_RECORD.size * n_entries + _V3_FOOTER.size
+            if size != expected:
+                raise ValueError(
+                    f"run file {path} is {size} bytes, header promises {expected} "
+                    "(torn spill?)"
+                )
+            for i in range(n_entries):
+                start, end = _V3_OFFSET_PAIR.unpack_from(
+                    mm, offsets_at + _V3_OFFSET.size * i
+                )
+                key = mm[keys_at + start : keys_at + end].decode(
+                    "utf-8", "surrogatepass"
+                )
+                lo, mid, hi, coverage = _V3_RUN_RECORD.unpack_from(
+                    mm, records_at + _V3_RUN_RECORD.size * i
+                )
+                yield key, lo | (mid << 64) | (hi << 128), coverage
+
+
+class _Crc32Writer:
+    """Tracks the running CRC-32 of everything written (footer support)."""
+
+    __slots__ = ("_handle", "crc")
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.crc = 0
+
+    def write(self, data: bytes) -> None:
+        self.crc = zlib.crc32(data, self.crc)
+        self._handle.write(data)
+
+
+def _stream_v3_container(
+    path: Path,
+    shard_id: int,
+    flags: int,
+    source: Callable[[], Iterable[tuple]],
+    n_entries: int,
+    key_blob_size: int,
+    record_for: Callable[[tuple], bytes],
+) -> int:
+    """Write one v3-layout file from a sorted re-iterable stream, O(1)
+    resident.  ``source()`` must return a fresh iterator of tuples whose
+    first element is the key bytes, in bytewise key order, each time it is
+    called; it is walked three times (offset table, key blob, records —
+    ``record_for`` packs the record section).  Returns the CRC-32.
+    """
+    if key_blob_size >= 2**32:
+        raise ValueError(f"shard {shard_id} key blob exceeds the u32 offset space")
+    with open(path, "wb", buffering=1 << 18) as handle:
+        writer = _Crc32Writer(handle)
+        writer.write(
+            _V3_HEADER.pack(_V3_MAGIC, 3, flags, shard_id, n_entries, key_blob_size)
+        )
+        offset = 0
+        seen = 0
+        for entry in source():
+            writer.write(_V3_OFFSET.pack(offset))
+            offset += len(entry[0])
+            seen += 1
+        if seen != n_entries or offset != key_blob_size:
+            raise ValueError(
+                f"shard {shard_id} source yielded {seen} entries / {offset} key "
+                f"bytes, caller promised {n_entries} / {key_blob_size}"
+            )
+        writer.write(_V3_OFFSET.pack(offset))
+        for entry in source():
+            writer.write(entry[0])
+        for entry in source():
+            writer.write(record_for(entry))
+        handle.write(_V3_FOOTER.pack(writer.crc, _V3_MAGIC))
+    return writer.crc
+
+
+def write_v3_shard_streaming(
+    path: str | Path,
+    shard_id: int,
+    source: Callable[[], Iterable[tuple[bytes, float, int]]],
+    n_entries: int,
+    key_blob_size: int,
+) -> int:
+    """Write one serving-format v3 shard from a sorted stream, O(1) resident.
+
+    ``source()`` yields ``(key_bytes, fpr_sum, coverage)``; the output is
+    byte-identical to :func:`_v3_shard_bytes` over the same entries.
+    Returns the shard's CRC-32 (the manifest row value).
+    """
+    return _stream_v3_container(
+        Path(path), shard_id, 0, source, n_entries, key_blob_size,
+        lambda entry: _V3_RECORD.pack(entry[1], entry[2]),
+    )
+
+
+def _pack_run_record(entry: tuple) -> bytes:
+    _, fixed, coverage = entry
+    if fixed >> 192:
+        raise ValueError("fpr accumulator overflow")
+    return _V3_RUN_RECORD.pack(
+        fixed & _MASK64, (fixed >> 64) & _MASK64, fixed >> 128, coverage
+    )
+
+
+def write_run_file_streaming(
+    path: str | Path,
+    run_id: int,
+    source: Callable[[], Iterable[tuple[bytes, int, int]]],
+    n_entries: int,
+    key_blob_size: int,
+) -> int:
+    """Write one run-spill file from a sorted stream (the consolidation
+    step of the cascaded run merge).  ``source()`` yields ``(key_bytes,
+    fpr_fixed, coverage)``; layout and exactness match
+    :func:`write_run_file`.  Returns the CRC-32.
+    """
+    return _stream_v3_container(
+        Path(path), run_id & 0xFFFFFFFF, V3_RUN_FLAG, source,
+        n_entries, key_blob_size, _pack_run_record,
+    )
 
 
 class _V3ShardReader:
@@ -647,6 +957,8 @@ class MmapShardedPatternIndex(PatternIndex):
         self._readers: list[_V3ShardReader | None] = [None] * self._n_shards
         self._materialized = False
         self._digest_cache = index_digest(directory)
+        self._prefetch_thread: threading.Thread | None = None
+        self._prefetched_shards = 0
 
     @classmethod
     def _load(cls, directory: Path, manifest: dict, lazy: bool) -> "MmapShardedPatternIndex":
@@ -673,6 +985,45 @@ class MmapShardedPatternIndex(PatternIndex):
     def mapped_shard_count(self) -> int:
         """How many shard files are currently mmapped (observability)."""
         return sum(reader is not None for reader in self._readers)
+
+    @property
+    def prefetched_shard_count(self) -> int:
+        """Shard files the background prefetcher has finished warming."""
+        return self._prefetched_shards
+
+    def start_prefetch(self) -> threading.Thread:
+        """Warm the OS page cache behind the shard files (opt-in, async).
+
+        A daemon thread walks every shard file with plain buffered reads —
+        the offset tables, key blobs and records all pass through the page
+        cache, so later mmap binary searches fault onto warm pages.  It
+        never touches the reader/mmap state lookups use, so the first
+        lookup is served immediately, concurrently with the warm-up; a
+        second call returns the already-running thread.  Best-effort: I/O
+        errors are left for the foreground path to report.
+        """
+        if self._prefetch_thread is None:
+            thread = threading.Thread(
+                target=self._prefetch_all,
+                name=f"avi3-prefetch-{self._directory.name}",
+                daemon=True,
+            )
+            self._prefetch_thread = thread
+            thread.start()
+        return self._prefetch_thread
+
+    def _prefetch_all(self) -> None:
+        for name in self._shard_files:
+            try:
+                with open(self._directory / name, "rb") as handle:
+                    while handle.read(1 << 20):
+                        pass
+            except OSError:
+                # Racing a rebuild: lookups raise StaleIndexError anyway.
+                # Not counted — prefetched_shard_count only reports shards
+                # actually read through the page cache.
+                continue
+            self._prefetched_shards += 1
 
     def content_digest(self) -> str:
         return self._digest_cache

@@ -125,6 +125,7 @@ class ValidationService:
         )
         # Generation tracking: the token every cache entry is stamped with.
         self._index_path: Path | None = None
+        self._prefetch = False
         self._disk_signature: tuple | None = None
         self._disk_digest: str | None = None
         self._generation = index.content_digest()
@@ -132,7 +133,12 @@ class ValidationService:
 
     @classmethod
     def from_path(
-        cls, index_path: str | Path, config: AutoValidateConfig = DEFAULT_CONFIG, **kwargs
+        cls,
+        index_path: str | Path,
+        config: AutoValidateConfig = DEFAULT_CONFIG,
+        *,
+        prefetch: bool = False,
+        **kwargs,
     ) -> "ValidationService":
         """Open a service over a saved index (any registered store format:
         v1 file, v2 shard directory, or mmap-backed v3 binary directory).
@@ -141,10 +147,16 @@ class ValidationService:
         or replaced on disk, the next call notices (cheap stat, then digest
         check), reloads the index and bumps the cache generation so no
         stale cached answer is ever served.
+
+        ``prefetch=True`` warms the page cache behind formats that support
+        it (v3) on a background thread — first lookups are served
+        immediately while the warm-up proceeds — and re-warms after every
+        generation reload.
         """
         index_path = Path(index_path)
-        service = cls(open_index(index_path), config, **kwargs)
+        service = cls(open_index(index_path, prefetch=prefetch), config, **kwargs)
         service._index_path = index_path
+        service._prefetch = prefetch
         service._disk_signature = service._stat_signature()
         service._disk_digest = store_digest(index_path)
         return service
@@ -191,7 +203,7 @@ class ValidationService:
             if digest == self._disk_digest:
                 return  # e.g. touch/re-save of identical content
             try:
-                reloaded = open_index(self._index_path)
+                reloaded = open_index(self._index_path, prefetch=self._prefetch)
             except (OSError, ValueError):
                 return  # partially-written index: keep the current snapshot
             self._disk_digest = digest
