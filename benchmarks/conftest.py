@@ -67,7 +67,7 @@ def pytest_sessionstart(session):
     """Clear stale rendered results from previous (possibly differently
     scaled) runs, so benchmarks/results/ reflects exactly one session."""
     if RESULTS_DIR.exists():
-        for stale in RESULTS_DIR.glob("*.txt"):
+        for stale in sorted(RESULTS_DIR.glob("*.txt")):
             stale.unlink()
 
 

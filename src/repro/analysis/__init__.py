@@ -1,0 +1,50 @@
+"""repro-lint: AST-based checker for this repo's reproducibility invariants.
+
+Usage (library)::
+
+    from repro.analysis import lint_paths
+    report = lint_paths(["src"])
+    assert report.ok, report.format_human()
+
+Usage (CLI)::
+
+    auto-validate lint src/ --format json
+    python -m repro.analysis src/ scripts/ benchmarks/
+
+Rule families (see ``src/repro/analysis/RULES.md``): determinism
+(AV101-AV103), spawn safety (AV201), lock discipline (AV301),
+fixed-point exactness (AV401), resource lifecycle (AV501).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    LINT_REPORT_VERSION,
+    Finding,
+    LintReport,
+    LintRule,
+    ModuleContext,
+    all_rules,
+    available_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+import repro.analysis.rules  # noqa: F401  (registers the built-in rules)
+
+__all__ = [
+    "LINT_REPORT_VERSION",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "all_rules",
+    "available_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

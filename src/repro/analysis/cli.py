@@ -1,0 +1,96 @@
+"""Command-line entry point for repro-lint.
+
+Reachable as ``python -m repro.analysis`` and as the ``lint`` subcommand
+of the ``auto-validate`` CLI.  Exit codes: 0 clean, 1 violations found,
+2 usage error (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.core import all_rules, available_rules, get_rule, lint_paths
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="check repro's determinism/spawn/lock/fixed-point invariants",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint CLI surface (shared with ``auto-validate lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is the canonical CI artifact)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}")
+            print(f"       {rule.description}")
+        return EXIT_CLEAN
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [get_rule(rule_id.strip()) for rule_id in args.rules.split(",")]
+        except ValueError:
+            print(
+                f"error: unknown rule in {args.rules!r}; "
+                f"available: {', '.join(available_rules())}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

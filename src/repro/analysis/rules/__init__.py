@@ -1,0 +1,43 @@
+"""Built-in rule families, registered on import.
+
+Importing this package (which ``repro.analysis`` does) registers every
+built-in rule with the shared registry; third-party rules register
+through the same :func:`repro.analysis.register_rule` entry point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import register_rule
+from repro.analysis.rules.determinism import (
+    BareHashRule,
+    SetIterationRule,
+    UnsortedListingRule,
+)
+from repro.analysis.rules.fixedpoint import FixedPointRule
+from repro.analysis.rules.lifecycle import ResourceLifecycleRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.spawn_safety import SpawnSafetyRule
+
+BUILTIN_RULES = (
+    UnsortedListingRule,
+    SetIterationRule,
+    BareHashRule,
+    SpawnSafetyRule,
+    LockDisciplineRule,
+    FixedPointRule,
+    ResourceLifecycleRule,
+)
+
+for _cls in BUILTIN_RULES:
+    register_rule(_cls(), replace=True)
+
+__all__ = [
+    "BUILTIN_RULES",
+    "BareHashRule",
+    "FixedPointRule",
+    "LockDisciplineRule",
+    "ResourceLifecycleRule",
+    "SetIterationRule",
+    "SpawnSafetyRule",
+    "UnsortedListingRule",
+]

@@ -1,0 +1,85 @@
+"""Shared AST utilities for the built-in lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ancestors
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain rooted at a Name, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (None for computed callees)."""
+    return dotted_name(node.func)
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The innermost function/method definition containing ``node``."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_class(node: ast.AST) -> ast.ClassDef | None:
+    """The innermost class definition containing ``node``."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def has_call_ancestor(node: ast.AST, names: frozenset[str]) -> bool:
+    """Is ``node`` (transitively) an argument of a call to one of ``names``?
+
+    The walk stops at the enclosing statement, so wrapping in a later
+    statement does not count — only expressions like ``sorted(x.glob(...))``.
+    """
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            found = call_name(ancestor)
+            if found is not None and found in names:
+                return True
+        if isinstance(ancestor, ast.stmt):
+            return False
+    return False
+
+
+def is_self_attribute(node: ast.AST, attr: str | None = None) -> bool:
+    """Is ``node`` an ``self.<attr>`` access (any attr when None)?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def iteration_targets(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression iterated by a for statement or a comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+def safe_unparse(node: ast.AST) -> str:
+    """``ast.unparse`` that never raises (rules only substring-match it)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return ""

@@ -1,0 +1,204 @@
+"""Determinism rules (AV1xx).
+
+Byte-identical builds and byte-stable wire envelopes are load-bearing
+invariants of this codebase: two machines indexing the same lake must
+produce the same manifest digest (it is the cache-generation token), and
+equal envelopes must serialize to equal bytes.  Three sources of hidden
+nondeterminism keep sneaking into such code paths in every codebase:
+
+* **unsorted directory listings** — ``os.listdir`` / ``Path.glob`` order
+  is filesystem-dependent (AV101);
+* **set/frozenset iteration** — order depends on ``PYTHONHASHSEED`` for
+  strings (AV102);
+* **bare ``hash()``** — randomized per process for strings, so anything
+  derived from it differs across hosts and runs (AV103).
+
+AV101 applies tree-wide (scripts and benchmarks assert byte identity, so
+their own sweeps must be ordered).  AV102/AV103 are scoped to the
+serialization-critical modules named in their ``scope`` — set iteration
+feeding a log line is fine; feeding a shard file is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRule, ModuleContext, ancestors
+from repro.analysis.rules._helpers import (
+    call_name,
+    has_call_ancestor,
+    iteration_targets,
+)
+
+#: Module-level listing functions whose result order is fs-dependent.
+_LISTING_FUNCS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+#: Method names (``Path`` API) whose result order is fs-dependent.
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Wrappers that impose a deterministic order on a listing.
+_ORDERING_CALLS = frozenset({"sorted", "max", "min", "sum", "len", "set", "frozenset"})
+
+
+class UnsortedListingRule(LintRule):
+    """AV101: a directory listing is consumed without ``sorted(...)``.
+
+    ``os.listdir``/``glob``/``iterdir`` return entries in filesystem
+    order, which differs across hosts, filesystems and even reruns.  Any
+    consumer that cares about order — and in this codebase the consumers
+    write shard files, compute digests or assert byte identity — must
+    wrap the listing in ``sorted(...)``.  Order-insensitive aggregations
+    (``len``/``sum``/``set``/``min``/``max``) also count as safe.
+    """
+
+    rule_id = "AV101"
+    name = "determinism/unsorted-listing"
+    description = (
+        "os.listdir/glob/iterdir results used without sorted() — listing "
+        "order is filesystem-dependent and breaks byte-deterministic builds"
+    )
+    scope = ()  # tree-wide
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            is_listing = name in _LISTING_FUNCS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LISTING_METHODS
+            )
+            if not is_listing:
+                continue
+            if has_call_ancestor(node, _ORDERING_CALLS):
+                continue
+            display = name or f"<expr>.{node.func.attr}"  # type: ignore[union-attr]
+            yield self.finding(
+                module,
+                node,
+                f"{display}(...) is consumed without sorted(): listing order "
+                "is filesystem-dependent; wrap it in sorted(...)",
+            )
+
+
+class SetIterationRule(LintRule):
+    """AV102: iterating a set in a serialization-critical module.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` for strings.  In
+    the modules this rule is scoped to, iteration results flow into wire
+    envelopes, shard files or digests, where they must be sorted first.
+    Membership tests (``x in {...}``) are fine and not flagged.
+    """
+
+    rule_id = "AV102"
+    name = "determinism/set-iteration"
+    description = (
+        "iteration over a set/frozenset in serialization-critical code — "
+        "order is PYTHONHASHSEED-dependent; iterate sorted(...) instead"
+    )
+    scope = (
+        "repro/api/",
+        "repro/index/",
+        "repro/service/cache.py",
+        "repro/validate/rule.py",
+        "repro/validate/result.py",
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        set_names = self._set_bound_names(module.tree)
+        for target in iteration_targets(module.tree):
+            if not self._is_set_like(target, set_names):
+                continue
+            # A comprehension whose *result* goes straight into sorted()
+            # (or an order-insensitive reducer) is deterministic.
+            if has_call_ancestor(target, _ORDERING_CALLS):
+                continue
+            yield self.finding(
+                module,
+                target,
+                "iteration over a set has PYTHONHASHSEED-dependent order "
+                "in a serialization-critical module; use "
+                "sorted(<set>) to fix the order",
+            )
+
+    @staticmethod
+    def _set_bound_names(tree: ast.AST) -> frozenset[str]:
+        """Names assigned a set literal/constructor anywhere in the module
+        (one-hop only — no dataflow through calls or reassignment)."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value_is_set = isinstance(node.value, (ast.Set, ast.SetComp)) or (
+                isinstance(node.value, ast.Call)
+                and call_name(node.value) in ("set", "frozenset")
+            )
+            if not value_is_set:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return frozenset(names)
+
+    @staticmethod
+    def _is_set_like(node: ast.expr, set_names: frozenset[str] = frozenset()) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            return call_name(node) in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            # dict-view algebra (keys() | keys()) yields sets
+            return any(
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr == "keys"
+                for side in (node.left, node.right)
+            )
+        return False
+
+
+class BareHashRule(LintRule):
+    """AV103: bare ``hash()`` in modules that write bytes or digests.
+
+    ``hash(str)`` is salted per interpreter process (PYTHONHASHSEED), so
+    any value derived from it differs between the build host and the
+    serving fleet.  Index/wire/service code must use the stable digests
+    (``zlib.crc32``, ``hashlib.blake2b``, ``column_digest``) instead.
+    ``__hash__`` implementations are exempt — that is what ``hash()`` is
+    for.
+    """
+
+    rule_id = "AV103"
+    name = "determinism/bare-hash"
+    description = (
+        "bare hash() in index/wire/service code — PYTHONHASHSEED-salted; "
+        "use zlib.crc32 or hashlib digests for anything persisted or keyed"
+    )
+    scope = ("repro/api/", "repro/index/", "repro/service/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "hash"):
+                continue
+            if self._inside_dunder_hash(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "bare hash() is PYTHONHASHSEED-salted and differs across "
+                "processes; use a stable digest (zlib.crc32, hashlib) here",
+            )
+
+    @staticmethod
+    def _inside_dunder_hash(node: ast.AST) -> bool:
+        return any(
+            isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and ancestor.name == "__hash__"
+            for ancestor in ancestors(node)
+        )

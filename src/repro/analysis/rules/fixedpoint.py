@@ -1,0 +1,133 @@
+"""Fixed-point exactness rule (AV401).
+
+The streamed index builder is byte-identical to the serial one *only*
+because per-key FPR mass is accumulated in exact 2**-105 fixed-point
+integers (``impurity_to_fixed`` / ``fixed_to_fpr_sum``,
+``repro.index.fixedpoint``).  Integer addition is associative, so run
+order, shard order and merge fan-in cannot change the result.  One
+``float`` addition in that path silently reintroduces order-dependent
+rounding — the builds still "work", they just stop being byte-equal
+across machines, which poisons the manifest digest and every cache
+keyed on it.
+
+AV401 therefore bans float-accumulation shapes in the impurity paths
+(``repro/index/builder.py`` and ``repro/core/enumeration.py``):
+
+* ``math.fsum(...)`` — a float accumulator by definition;
+* ``sum(...)`` over anything mentioning ``impurity``/``fpr``;
+* ``x += ...`` / ``a + b`` on impurity/FPR values whose right-hand side
+  is not routed through ``impurity_to_fixed(...)``.
+
+Additions already wrapped in ``impurity_to_fixed(...)`` are exact
+(integers) and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRule, ModuleContext
+from repro.analysis.rules._helpers import call_name, has_call_ancestor, safe_unparse
+
+#: Substrings marking a value as impurity/FPR mass.
+_IMPURITY_MARKERS = ("impurity", "fpr")
+
+#: Calls that convert to the exact integer domain; additions inside or on
+#: their results are exact by construction.
+_EXACT_CALLS = frozenset({"impurity_to_fixed"})
+
+
+def _mentions_impurity(node: ast.AST) -> bool:
+    text = safe_unparse(node).lower()
+    return any(marker in text for marker in _IMPURITY_MARKERS)
+
+
+def _routed_through_fixed(node: ast.AST) -> bool:
+    """Does ``node``'s text route every impurity term through the exact domain?"""
+    text = safe_unparse(node)
+    return "impurity_to_fixed" in text or "_fixed" in text
+
+
+class FixedPointRule(LintRule):
+    """AV401: float accumulation in an exact fixed-point impurity path."""
+
+    rule_id = "AV401"
+    name = "fixedpoint/float-accumulation"
+    description = (
+        "float accumulation (fsum/sum/+=/+) over impurity or FPR values in "
+        "the exact fixed-point paths — route through impurity_to_fixed()"
+    )
+    scope = ("repro/index/builder.py", "repro/core/enumeration.py")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                yield from self._check_aug_assign(module, node)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                yield from self._check_bin_add(module, node)
+
+    def _check_call(self, module: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        name = call_name(node)
+        if name == "math.fsum" or name == "fsum":
+            yield self.finding(
+                module,
+                node,
+                "math.fsum is a float accumulator; impurity mass must be "
+                "summed as 2**-105 fixed-point integers "
+                "(impurity_to_fixed + int addition)",
+            )
+            return
+        if name == "sum" and any(_mentions_impurity(arg) for arg in node.args):
+            if all(_routed_through_fixed(arg) for arg in node.args):
+                return
+            yield self.finding(
+                module,
+                node,
+                "sum() over impurity/FPR values accumulates in float and is "
+                "order-dependent; convert terms with impurity_to_fixed() and "
+                "sum the integers",
+            )
+
+    def _check_aug_assign(
+        self, module: ModuleContext, node: ast.AugAssign
+    ) -> Iterator[Finding]:
+        if not _mentions_impurity(node.target):
+            return
+        if _routed_through_fixed(node.value) or _routed_through_fixed(node.target):
+            return
+        yield self.finding(
+            module,
+            node,
+            f"'{safe_unparse(node.target)} += ...' accumulates impurity/FPR "
+            "in float; add impurity_to_fixed(...) integers instead",
+        )
+
+    def _check_bin_add(
+        self, module: ModuleContext, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        if has_call_ancestor(node, _EXACT_CALLS):
+            return  # the whole addition is converted to the exact domain
+        for side in (node.left, node.right):
+            if self._is_raw_impurity_term(side):
+                yield self.finding(
+                    module,
+                    node,
+                    f"addition involving '{safe_unparse(side)}' mixes a raw "
+                    "float impurity term into an accumulation; wrap the term "
+                    "in impurity_to_fixed(...)",
+                )
+                return
+
+    @staticmethod
+    def _is_raw_impurity_term(node: ast.expr) -> bool:
+        """A direct ``.impurity(...)`` call or ``*fpr_sum*`` name, unwrapped."""
+        if isinstance(node, ast.Call):
+            return (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "impurity"
+            )
+        text = safe_unparse(node)
+        return "fpr_sum" in text and "_fixed" not in text

@@ -1,0 +1,132 @@
+"""Resource-lifecycle rule (AV501).
+
+The index layer maps shard files with ``mmap.mmap`` and keeps raw fds
+from ``os.open`` for CRC-verified reads.  A leaked mapping or fd is not
+a crash — it is an fd-exhaustion failure hours into a long merge, or a
+Windows-style "file in use" error when a builder tries to replace a
+shard that a forgotten reader still maps.
+
+AV501 requires every resource acquisition in ``repro/index/`` to have a
+visible release in the same lexical scope.  An acquisition
+(``mmap.mmap`` / ``open`` / ``os.open`` / ``gzip.open``) passes when it
+is:
+
+* used as a context manager (``with mmap.mmap(...) as mm:``), directly
+  or via ``contextlib.closing(...)``;
+* bound to a local name that is later ``.close()``d (or
+  ``os.close()``d for raw fds) somewhere in the same function;
+* bound to ``self.<attr>`` in a class that calls
+  ``self.<attr>.close()`` (or ``os.close(self.<attr>)``) somewhere —
+  the reader-handle pattern, where ``_close()`` releases what
+  ``__init__`` acquired.
+
+Everything else — an acquisition whose result is dropped, returned raw,
+or stored without a paired close — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRule, ModuleContext, ancestors, parent_of
+from repro.analysis.rules._helpers import (
+    call_name,
+    dotted_name,
+    enclosing_class,
+    enclosing_function,
+    is_self_attribute,
+)
+
+#: Calls that acquire an OS-level resource needing an explicit release.
+_ACQUIRE_CALLS = frozenset({"mmap.mmap", "open", "os.open", "gzip.open", "os.fdopen"})
+
+#: Wrappers that turn a raw resource into a context manager.
+_CLOSING_WRAPPERS = frozenset({"contextlib.closing", "closing"})
+
+
+class ResourceLifecycleRule(LintRule):
+    """AV501: a resource acquisition with no visible paired release."""
+
+    rule_id = "AV501"
+    name = "lifecycle/unreleased-resource"
+    description = (
+        "mmap.mmap/open/os.open in repro/index/ must be released: use a "
+        "'with' block, contextlib.closing, or pair with .close()/os.close()"
+    )
+    scope = ("repro/index/",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in _ACQUIRE_CALLS:
+                continue
+            if self._is_context_managed(node):
+                continue
+            if self._is_closed_binding(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{name}(...) has no visible release; use 'with', "
+                "contextlib.closing, or pair it with .close()/os.close() "
+                "in the same scope",
+            )
+
+    # -- release detection ---------------------------------------------------
+
+    @staticmethod
+    def _is_context_managed(node: ast.Call) -> bool:
+        """Inside a ``with`` item, or wrapped in ``contextlib.closing``."""
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, ast.withitem):
+                return True
+            if isinstance(ancestor, ast.Call):
+                name = call_name(ancestor)
+                if name is not None and name in _CLOSING_WRAPPERS:
+                    return True
+            if isinstance(ancestor, ast.stmt):
+                return False
+        return False
+
+    def _is_closed_binding(self, node: ast.Call) -> bool:
+        """Bound to a name/attribute with a matching close in scope."""
+        parent = parent_of(node)
+        if not isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            return False
+        targets = parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                scope = enclosing_function(node)
+                if scope is not None and self._has_close(scope, target.id):
+                    return True
+            elif is_self_attribute(target):
+                scope = enclosing_class(node)
+                if scope is not None and self._has_close(
+                    scope, f"self.{target.attr}"  # type: ignore[union-attr]
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _has_close(scope: ast.AST, bound_name: str) -> bool:
+        """Does ``scope`` contain ``<bound_name>.close()`` or ``os.close(<bound_name>)``?"""
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "close"
+                and dotted_name(func.value) == bound_name
+            ):
+                return True
+            if (
+                call_name(node) == "os.close"
+                and node.args
+                and dotted_name(node.args[0]) == bound_name
+            ):
+                return True
+        return False

@@ -1,0 +1,139 @@
+"""Lock-discipline rule (AV301).
+
+The serving layer (``repro.service``) shares mutable state — result
+caches, solver maps, pool handles — between request threads, guarded by
+per-object ``threading.Lock``s.  Python will not tell you when a read
+slips outside the lock; the failure mode is a torn read under load,
+months later.
+
+AV301 enforces a lightweight annotation convention instead of whole-
+program analysis:
+
+* ``# guarded-by: _lock`` as a trailing comment on an attribute
+  assignment in ``__init__`` declares that ``self.<attr>`` may only be
+  touched while ``self._lock`` is held::
+
+      self._data = {}  # guarded-by: _lock
+
+* every other method of the class must then access ``self.<attr>`` only
+  lexically inside a ``with self._lock:`` block;
+
+* a method whose ``def`` line carries ``# holds-lock: _lock`` is exempt
+  — it declares the contract "every caller already holds the lock"
+  (used for helpers called from within locked regions);
+
+* ``__init__`` and ``__del__`` are exempt (no concurrent access before
+  construction completes or during finalization).
+
+The checker is lexical and per-class by design: it cannot see aliasing
+or cross-object access, but it catches the common regression — adding a
+convenience accessor that forgets the ``with`` — at zero runtime cost.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRule, ModuleContext, ancestors
+from repro.analysis.rules._helpers import dotted_name, is_self_attribute
+
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_HOLDS_LOCK_RE = re.compile(r"#\s*holds-lock:\s*([A-Za-z_]\w*)")
+
+#: Methods that run while no other thread can hold a reference.
+_EXEMPT_METHODS = frozenset({"__init__", "__del__"})
+
+
+class LockDisciplineRule(LintRule):
+    """AV301: a ``# guarded-by:`` attribute is touched outside its lock."""
+
+    rule_id = "AV301"
+    name = "locks/guarded-attribute"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' must only be accessed "
+        "inside 'with self.<lock>:' (or methods marked '# holds-lock: <lock>')"
+    )
+    scope = ()  # applies wherever the annotation is used
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = self._guarded_attributes(module, cls)
+        if not guarded:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _EXEMPT_METHODS:
+                continue
+            held = self._declared_held_locks(module, method)
+            for access in ast.walk(method):
+                if not isinstance(access, ast.Attribute):
+                    continue
+                if not is_self_attribute(access):
+                    continue
+                lock = guarded.get(access.attr)
+                if lock is None or lock in held:
+                    continue
+                if access.attr == lock:
+                    continue  # taking the lock itself is always allowed
+                if self._inside_with_lock(access, lock):
+                    continue
+                yield self.finding(
+                    module,
+                    access,
+                    f"self.{access.attr} is guarded by self.{lock} "
+                    f"(declared in __init__) but accessed in "
+                    f"{cls.name}.{method.name} outside 'with self.{lock}:'",
+                )
+
+    def _guarded_attributes(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> dict[str, str]:
+        """attr name -> lock name, from ``# guarded-by:`` in ``__init__``."""
+        guarded: dict[str, str] = {}
+        for method in cls.body:
+            if not (
+                isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and method.name == "__init__"
+            ):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                match = _GUARDED_BY_RE.search(module.line_at(stmt.lineno))
+                if match is None:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if is_self_attribute(target):
+                        guarded[target.attr] = match.group(1)  # type: ignore[union-attr]
+        return guarded
+
+    @staticmethod
+    def _declared_held_locks(
+        module: ModuleContext, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> frozenset[str]:
+        """Locks a ``# holds-lock:`` comment on the ``def`` line declares held."""
+        return frozenset(_HOLDS_LOCK_RE.findall(module.line_at(method.lineno)))
+
+    @staticmethod
+    def _inside_with_lock(node: ast.AST, lock: str) -> bool:
+        """Is ``node`` lexically inside ``with self.<lock>:``?"""
+        wanted = f"self.{lock}"
+        for ancestor in ancestors(node):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                if dotted_name(item.context_expr) == wanted:
+                    return True
+        return False

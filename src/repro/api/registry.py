@@ -35,7 +35,7 @@ third-party packages have one module to import for both registries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.api.protocol import Validator
 from repro.baselines import (
@@ -165,7 +165,7 @@ def get_validator(
     index: PatternIndex | None = None,
     config: AutoValidateConfig = DEFAULT_CONFIG,
     corpus_columns: Sequence[Sequence[str]] = (),
-    **kwargs,
+    **kwargs: Any,
 ) -> Validator:
     """Build the validator registered under ``name``.
 
@@ -199,7 +199,13 @@ def _register_solvers() -> None:
             continue
         registered.add(cls)
 
-        def factory(index, config, corpus_columns, _cls=cls, **kw):
+        def factory(
+            index: PatternIndex | None,
+            config: AutoValidateConfig,
+            corpus_columns: Sequence[Sequence[str]],
+            _cls: type[FMDV] = cls,
+            **kw: Any,
+        ) -> Validator:
             return _cls(index, config, **kw)
 
         register_validator(
@@ -261,7 +267,13 @@ _BASELINES: dict[str, tuple[type, str]] = {
 def _register_baselines() -> None:
     for name, (cls, summary) in _BASELINES.items():
 
-        def factory(index, config, corpus_columns, _cls=cls, **kw):
+        def factory(
+            index: PatternIndex | None,
+            config: AutoValidateConfig,
+            corpus_columns: Sequence[Sequence[str]],
+            _cls: type = cls,
+            **kw: Any,
+        ) -> Validator:
             validator = _cls(**kw)
             if corpus_columns:
                 validator.fit_context = FitContext.from_columns(corpus_columns)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Mapping
+from typing import Any, ClassVar, Mapping, TypeVar
 
 from repro.validate.result import (
     InferenceResult,
@@ -40,6 +40,9 @@ WIRE_VERSION = 1
 
 class WireError(ValueError):
     """Malformed, mistyped or wrong-version wire payload."""
+
+
+_E = TypeVar("_E", bound="_Envelope")
 
 
 def _load_envelope(text: str | bytes, expected_type: str) -> dict[str, Any]:
@@ -65,6 +68,13 @@ class _Envelope:
 
     wire_type: ClassVar[str]
 
+    def _body(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def _from_body(cls: type[_E], payload: Mapping[str, Any]) -> _E:
+        raise NotImplementedError
+
     def to_payload(self) -> dict[str, Any]:
         return {"v": WIRE_VERSION, "type": self.wire_type, **self._body()}
 
@@ -72,11 +82,11 @@ class _Envelope:
         return dumps_canonical(self.to_payload())
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]):
+    def from_payload(cls: type[_E], payload: Mapping[str, Any]) -> _E:
         return cls._from_body(payload)
 
     @classmethod
-    def from_json(cls, text: str | bytes):
+    def from_json(cls: type[_E], text: str | bytes) -> _E:
         return cls._from_body(_load_envelope(text, cls.wire_type))
 
 

@@ -336,6 +336,13 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis framework is not needed for serving paths.
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="auto-validate",
@@ -445,6 +452,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fnr-target", type=float, default=0.05, dest="fnr_target")
     add_config_args(p)
     p.set_defaults(fn=_cmd_tag)
+
+    p = sub.add_parser(
+        "lint", help="repro-lint: check determinism/spawn/lock/fixed-point invariants"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

@@ -511,7 +511,7 @@ def _remove_stale_shards(directory: Path, expected: set[str]) -> None:
     anything globbing the directory (backup/replication tooling) would read
     two indexes.  The glob covers every format's shard naming.
     """
-    for stale in directory.glob("shard-*"):
+    for stale in sorted(directory.glob("shard-*")):
         if stale.name not in expected:
             stale.unlink()
 

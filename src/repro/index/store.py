@@ -64,7 +64,15 @@ import threading
 import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    IO,
+    Callable,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.index.index import (
     MAX_SHARDS,
@@ -716,7 +724,7 @@ class _Crc32Writer:
 
     __slots__ = ("_handle", "crc")
 
-    def __init__(self, handle):
+    def __init__(self, handle: IO[bytes]) -> None:
         self._handle = handle
         self.crc = 0
 
@@ -822,7 +830,7 @@ class _V3ShardReader:
         "_offsets_at", "_keys_at", "_records_at",
     )
 
-    def __init__(self, path: Path, shard_id: int, expected_entries: int):
+    def __init__(self, path: Path, shard_id: int, expected_entries: int) -> None:
         self.path = path
         try:
             self._file = open(path, "rb")
@@ -945,7 +953,7 @@ class MmapShardedPatternIndex(PatternIndex):
     ``merge``/``save*``) forces everything in, CRC-checked per shard.
     """
 
-    def __init__(self, directory: Path, manifest: dict):
+    def __init__(self, directory: Path, manifest: dict) -> None:
         super().__init__({}, IndexMeta(**dict(manifest["meta"])))
         self._directory = directory
         self._n_shards: int = int(manifest["n_shards"])

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import asyncio
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.service.service import ServiceStats, ValidationService
@@ -41,7 +41,7 @@ class AsyncValidationService:
     one coherent state.
     """
 
-    def __init__(self, service: ValidationService, max_concurrency: int = 32):
+    def __init__(self, service: ValidationService, max_concurrency: int = 32) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         self.service = service
@@ -54,7 +54,7 @@ class AsyncValidationService:
         index_path: str | Path,
         config: AutoValidateConfig = DEFAULT_CONFIG,
         max_concurrency: int = 32,
-        **kwargs,
+        **kwargs: Any,
     ) -> "AsyncValidationService":
         """Open an async service over a saved index (v1 file or v2 dir)."""
         return cls(
@@ -126,5 +126,5 @@ class AsyncValidationService:
     async def __aenter__(self) -> "AsyncValidationService":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()

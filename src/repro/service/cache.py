@@ -65,18 +65,19 @@ class HypothesisSpaceCache:
     served after an index rebuild and age out of the LRU naturally.
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._data: OrderedDict[tuple[str, str, str, str], list[PatternStats]] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.generation = ""
+        self._data: OrderedDict[tuple[str, str, str, str], list[PatternStats]] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.generation = ""  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def set_generation(self, token: str) -> None:
         """Stamp subsequent entries with ``token``; older ones go stale."""
@@ -96,8 +97,9 @@ class HypothesisSpaceCache:
         config: EnumerationConfig,
     ) -> list[PatternStats]:
         """The hypothesis space of ``values``, computed at most once."""
-        key = (self.generation, column_digest(values), repr(min_coverage), config.fingerprint())
+        digest = column_digest(values)
         with self._lock:
+            key = (self.generation, digest, repr(min_coverage), config.fingerprint())
             cached = self._data.get(key)
             if cached is not None:
                 self.hits += 1

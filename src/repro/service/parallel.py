@@ -34,6 +34,7 @@ import os
 import threading
 import weakref
 from dataclasses import asdict
+from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.config import AutoValidateConfig
@@ -138,7 +139,7 @@ def _index_from_spec(spec: tuple) -> PatternIndex:
     raise ValueError(f"unknown index spec {kind!r}")
 
 
-def index_spec_for(index: PatternIndex, index_path=None) -> tuple:
+def index_spec_for(index: PatternIndex, index_path: str | Path | None = None) -> tuple:
     """A picklable description of ``index`` for worker initializers.
 
     Disk-backed indexes (any store format: lazy v2 shards, mmap v3
@@ -220,7 +221,7 @@ class ParallelExecutor:
         min_batch_for_parallel: int | None = None,
         backend: str | None = None,
         mp_start_method: str = "spawn",
-    ):
+    ) -> None:
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -236,9 +237,9 @@ class ParallelExecutor:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.backend = backend
         self.mp_start_method = mp_start_method
-        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
-        self._pool_key: tuple | None = None
-        self._finalizer: weakref.finalize | None = None
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None  # guarded-by: _lock
+        self._pool_key: tuple | None = None  # guarded-by: _lock
+        self._finalizer: weakref.finalize | None = None  # guarded-by: _lock
         # Guards pool creation/retirement: concurrent batches (the asyncio
         # front end fans them onto threads) must never cancel each other's
         # in-flight futures or leak a freshly spawned pool.

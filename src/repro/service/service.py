@@ -47,7 +47,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.api.registry import SOLVER_CLASSES as VARIANTS
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
@@ -104,19 +104,19 @@ class ValidationService:
         workers: int | None = None,
         min_batch_for_parallel: int | None = None,
         parallel_backend: str | None = None,
-    ):
+    ) -> None:
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}")
         self.index = index
         self.config = config
         self.variant = VARIANTS[variant].variant
         self.space_cache = HypothesisSpaceCache(space_cache_size)
-        self._solvers: dict[str, FMDV] = {}
-        self._results: OrderedDict[tuple[str, str, str], InferenceResult] = OrderedDict()
+        self._solvers: dict[str, FMDV] = {}  # guarded-by: _lock
+        self._results: OrderedDict[tuple[str, str, str], InferenceResult] = OrderedDict()  # guarded-by: _lock
         self._result_cache_size = result_cache_size
-        self._inferences = 0
-        self._result_hits = 0
-        self._invalidations = 0
+        self._inferences = 0  # guarded-by: _lock
+        self._result_hits = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
         self._lock = threading.RLock()
         self._executor = ParallelExecutor(
             workers=workers,
@@ -138,7 +138,7 @@ class ValidationService:
         config: AutoValidateConfig = DEFAULT_CONFIG,
         *,
         prefetch: bool = False,
-        **kwargs,
+        **kwargs: Any,
     ) -> "ValidationService":
         """Open a service over a saved index (any registered store format:
         v1 file, v2 shard directory, or mmap-backed v3 binary directory).
@@ -213,7 +213,7 @@ class ValidationService:
             if token != self._generation:
                 self._apply_new_generation(token)
 
-    def _apply_new_generation(self, token: str) -> None:
+    def _apply_new_generation(self, token: str) -> None:  # holds-lock: _lock
         """Switch to generation ``token``; stale cache entries go dead."""
         self._generation = token
         self.space_cache.set_generation(token)
@@ -484,5 +484,5 @@ class ValidationService:
     def __enter__(self) -> "ValidationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
