@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.core import register_rule
 from repro.analysis.rules.determinism import (
     BareHashRule,
+    BareMostCommonRule,
     SetIterationRule,
     UnsortedListingRule,
 )
@@ -22,6 +23,7 @@ BUILTIN_RULES = (
     UnsortedListingRule,
     SetIterationRule,
     BareHashRule,
+    BareMostCommonRule,
     SpawnSafetyRule,
     LockDisciplineRule,
     FixedPointRule,
@@ -34,6 +36,7 @@ for _cls in BUILTIN_RULES:
 __all__ = [
     "BUILTIN_RULES",
     "BareHashRule",
+    "BareMostCommonRule",
     "FixedPointRule",
     "LockDisciplineRule",
     "ResourceLifecycleRule",

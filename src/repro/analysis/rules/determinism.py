@@ -11,12 +11,17 @@ nondeterminism keep sneaking into such code paths in every codebase:
 * **set/frozenset iteration** — order depends on ``PYTHONHASHSEED`` for
   strings (AV102);
 * **bare ``hash()``** — randomized per process for strings, so anything
-  derived from it differs across hosts and runs (AV103).
+  derived from it differs across hosts and runs (AV103);
+* **bare ``Counter.most_common``** — ties break by *insertion order*, so
+  rankings over equal counts silently depend on input permutation (AV104).
 
 AV101 applies tree-wide (scripts and benchmarks assert byte identity, so
 their own sweeps must be ordered).  AV102/AV103 are scoped to the
 serialization-critical modules named in their ``scope`` — set iteration
-feeding a log line is fine; feeding a shard file is not.
+feeding a log line is fine; feeding a shard file is not.  AV104 is scoped
+to ``repro/core/`` and ``repro/index/``, where the enumeration determinism
+contract requires every frequency ranking to use the total-order wrapper
+:func:`repro.util.most_common_stable`.
 """
 
 from __future__ import annotations
@@ -200,5 +205,55 @@ class BareHashRule(LintRule):
         return any(
             isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
             and ancestor.name == "__hash__"
+            for ancestor in ancestors(node)
+        )
+
+
+class BareMostCommonRule(LintRule):
+    """AV104: bare ``.most_common(`` in enumeration/index code.
+
+    ``Counter.most_common`` breaks equal counts by insertion order, which
+    for a counter built from column values means *input permutation*.  Any
+    ranking it feeds in ``repro/core/`` or ``repro/index/`` — retained
+    enumeration options, dominant profile classes — would make pattern
+    spaces and index bytes depend on row order, poisoning the service's
+    multiset-keyed caches and byte-identical rebuilds.  Use
+    ``repro.util.most_common_stable`` (count desc, then item key asc)
+    instead; its own definition is the one sanctioned call site.
+    """
+
+    rule_id = "AV104"
+    name = "determinism/bare-most-common"
+    description = (
+        ".most_common() breaks count ties by insertion order — rankings in "
+        "enumeration/index code become input-permutation-dependent; use "
+        "repro.util.most_common_stable"
+    )
+    scope = ("repro/core/", "repro/index/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "most_common"
+            ):
+                continue
+            if self._inside_sanctioned_wrapper(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                ".most_common() breaks ties by insertion order, making this "
+                "ranking depend on input permutation; use "
+                "repro.util.most_common_stable (count desc, then key asc)",
+            )
+
+    @staticmethod
+    def _inside_sanctioned_wrapper(node: ast.AST) -> bool:
+        return any(
+            isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and ancestor.name == "most_common_stable"
             for ancestor in ancestors(node)
         )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.tokenizer import CharClass, Token, tokenize
+from repro.util import most_common_stable
 
 _MATCH = 2
 _MISMATCH = -2
@@ -143,8 +144,12 @@ def _profile_of(rows: Sequence[Sequence[Token | None]]) -> list[_ProfileColumn]:
             if token.cls is CharClass.SYMBOL:
                 symbol_texts[token.text] += 1
         if classes:
-            cls = classes.most_common(1)[0][0]
-            text = symbol_texts.most_common(1)[0][0] if symbol_texts else None
+            # Stable tie-break (count desc, then class value / text asc) so
+            # profiles are independent of row insertion order (AV104).
+            cls = most_common_stable(classes, 1, key=lambda c: c.value)[0][0]
+            text = (
+                most_common_stable(symbol_texts, 1)[0][0] if symbol_texts else None
+            )
         else:  # all-gap column (possible mid-progression)
             cls, text = CharClass.SYMBOL, None
         profile.append(_ProfileColumn(cls, text))

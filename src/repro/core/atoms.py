@@ -194,14 +194,25 @@ class Atom:
 
         Constants are encoded as ``C:<escaped text>`` with ``\\`` and ``|``
         escaped; hierarchy tokens use short codes (``D2``, ``D+``, ``N``, …).
+
+        Memoized per instance: the enumeration DFS joins atom keys at every
+        emitted pattern, and option atoms are shared across thousands of
+        leaves — recomputing the string dominated profiles before caching.
         """
+        cached = self.__dict__.get("_cached_key")
+        if cached is not None:
+            return cached
         if self.kind is AtomKind.CONST:
             escaped = self.text.replace("\\", "\\\\").replace("|", "\\p")
-            return f"C:{escaped}"
-        prefix = _KEY_PREFIX[self.kind]
-        if self.is_fixed_length:
-            return f"{prefix}{self.length}"
-        return prefix
+            computed = f"C:{escaped}"
+        else:
+            prefix = _KEY_PREFIX[self.kind]
+            if self.is_fixed_length:
+                computed = f"{prefix}{self.length}"
+            else:
+                computed = prefix
+        object.__setattr__(self, "_cached_key", computed)
+        return computed
 
     @classmethod
     def from_key(cls, key: str) -> "Atom":

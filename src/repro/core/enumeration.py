@@ -4,28 +4,74 @@ The paper's pattern generation works in two steps (Section 2.1, Algorithm 1):
 coarse patterns first (token-class level), each checked for coverage, then a
 drill-down into fine-grained atoms, again retaining only patterns that meet
 the coverage threshold.  This module implements that procedure with three
-engineering choices that keep a laptop-scale corpus tractable:
+engineering choices that keep a lake-scale corpus tractable:
 
 * values are grouped by their coarse *signature* (token classes + symbol
   text); per-position generalization options are materialized once per group
-  with a boolean match-mask over the group's distinct values,
+  with a match-mask over the group's distinct values,
 * the fine-grained cross product is enumerated depth-first with mask
   intersection, pruning any prefix whose coverage falls below the threshold,
 * a per-column pattern budget bounds the output (the paper's τ token limit
   is applied as well: groups wider than ``tau`` tokens are skipped — they are
   recovered at query time by vertical cuts, Section 3).
 
-Coverage semantics follow the paper exactly: a pattern's *match count* is the
-number of values in the whole column it matches, so ``Imp_D(p) = 1 -
-match_count/|D|`` (Definition 1).  Values whose signature differs from the
-pattern's group are counted as non-matching, which is what produces the
-"impure column" evidence of Figure 6.
+Two interchangeable kernels implement the per-group enumeration:
+
+* ``vector`` (the default) — the whole group is tokenized once into packed
+  numpy arrays (:func:`repro.core.tokenizer.group_token_arrays`), option
+  supports come from ``np.bincount`` over lengths/pooled text codes, and the
+  DFS intersects *packed uint64/byte bitsets* whose weighted popcounts are
+  answered from a precomputed 256-entry-per-byte partial-sum table — every
+  DFS node costs O(group_bytes), with no per-distinct-value Python loop;
+* ``pure`` — the reference per-value implementation, kept bit-for-bit
+  equivalent (the kernel-identity test sweep and the index-build bench both
+  assert byte identity through ``build_index_streaming``).
+
+Select with the ``REPRO_ENUM_KERNEL`` environment variable (``vector``/
+``pure``); see :func:`active_kernel`.
+
+Determinism contract
+--------------------
+
+Enumeration output is a pure function of the column's *value multiset* and
+the :class:`EnumerationConfig` fingerprint — never of value order:
+
+* every frequency ranking breaks ties with a total order (weight desc,
+  then length/text asc — :func:`repro.util.most_common_stable`; lint rule
+  AV104 enforces this in ``repro/core/``/``repro/index/``), so two
+  permutations of the same column retain identical options;
+* signature groups are visited in (weight desc, signature asc) order and
+  the DFS visits options in their materialized order, so the emitted
+  pattern list (order included) is permutation-invariant — which is what
+  makes the service's multiset-digest-keyed hypothesis-space cache sound
+  and rebuilt indexes byte-identical under row reordering.
+
+Empty-value semantics
+---------------------
+
+Empty strings tokenize to no tokens and can never match a pattern.  They
+are therefore excluded from the *hypothesis-space denominator*: retention
+thresholds (``min_coverage``) apply to the non-empty value count, so a
+single ``""`` no longer collapses ``H(C)`` to ∅ at ``min_coverage=1.0``.
+They remain **non-matching evidence** everywhere a pattern is judged
+against the whole column: ``Imp_D(p) = 1 - match_count/|D|`` (Definition 1)
+keeps the full column size ``|D|`` as its denominator, and a column of only
+empty values has an empty pattern space.  :func:`dominant_signature_share`
+follows the same convention (the empty signature ``()`` is never dominant).
+
+Coverage semantics otherwise follow the paper exactly: a pattern's *match
+count* is the number of values in the whole column it matches.  Values
+whose signature differs from the pattern's group are counted as
+non-matching, which is what produces the "impure column" evidence of
+Figure 6.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from collections import Counter, defaultdict
+import os
+from collections import Counter, OrderedDict, defaultdict
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -35,13 +81,71 @@ from repro.core.atoms import Atom
 from repro.core.hierarchy import DEFAULT_HIERARCHY, GeneralizationHierarchy
 from repro.core.pattern import Pattern
 from repro.core.tokenizer import (
+    CLS_ALNUM,
+    CLS_DIGIT,
+    CLS_SYMBOL,
     CharClass,
+    GroupTokenArrays,
     Token,
     alnum_runs,
     alnum_signature,
+    group_token_arrays,
     signature,
     tokenize,
 )
+from repro.util import most_common_stable
+
+#: Environment variable selecting the per-group enumeration kernel.
+ENUM_KERNEL_ENV = "REPRO_ENUM_KERNEL"
+
+#: Registered kernels, default first.
+ENUM_KERNELS = ("vector", "pure")
+
+#: Groups with fewer distinct values than this run the pure kernel even in
+#: vector mode: below it, numpy call overhead exceeds the loop it replaces.
+#: Identity between kernels makes the switch invisible in the output.
+_VECTOR_MIN_DISTINCT = 8
+
+#: Groups whose packed masks fit in this many bytes run the DFS on Python
+#: ints (single ``&`` + table loop per node) instead of numpy arrays: for
+#: small masks the fixed per-call cost of numpy ufuncs dwarfs the work.
+#: Both DFS bodies compute identical results from identical option lists.
+_INT_DFS_MAX_BYTES = 64
+
+#: (8, 256) — entry ``[j, m]`` is bit ``j`` (packbits order: bit 0 is the
+#: most significant) of byte value ``m``.  Shared by every group's
+#: weighted-popcount table build.
+_PACKBITS_BITS = (
+    (np.arange(256, dtype=np.int64)[None, :] >> (7 - np.arange(8)[:, None])) & 1
+)
+
+#: Process-wide pool of Pattern objects keyed by their canonical key.
+#: Column shapes repeat heavily across a corpus, so most DFS leaves emit a
+#: pattern some earlier column already built; reusing the object replaces
+#: a tuple + Pattern + hash construction with one dict probe, and makes
+#: downstream dict lookups pointer-equal.  Patterns are immutable, so
+#: sharing is safe; the cap merely stops unbounded growth in long-running
+#: processes (overflow skips pooling, it never evicts hot entries).
+_PATTERN_POOL: dict[str, Pattern] = {}
+_PATTERN_POOL_MAX = 1 << 18
+
+
+def active_kernel() -> str:
+    """The enumeration kernel selected by ``REPRO_ENUM_KERNEL``.
+
+    ``vector`` (default) runs the packed-bitset kernel; ``pure`` runs the
+    reference per-value implementation.  Both produce identical output for
+    every column (asserted by the kernel-identity test sweep); the knob
+    therefore deliberately does **not** participate in cache keys or index
+    fingerprints.
+    """
+    name = os.environ.get(ENUM_KERNEL_ENV, "").strip().lower() or ENUM_KERNELS[0]
+    if name not in ENUM_KERNELS:
+        raise ValueError(
+            f"unknown enumeration kernel {name!r}: set {ENUM_KERNEL_ENV} to "
+            f"one of {', '.join(ENUM_KERNELS)}"
+        )
+    return name
 
 
 @dataclass(frozen=True)
@@ -52,7 +156,13 @@ class PatternStats:
     match_count: int
 
     def impurity(self, column_size: int) -> float:
-        """``Imp_D(p)`` of Definition 1 for a column of ``column_size`` values."""
+        """``Imp_D(p)`` of Definition 1 for a column of ``column_size`` values.
+
+        ``column_size`` is the **full** column size including empty values:
+        empties never match, so they are non-matching evidence here even
+        though they are excluded from retention thresholds (see the module
+        doc's empty-value semantics).
+        """
         if column_size <= 0:
             raise ValueError("column_size must be positive")
         return 1.0 - self.match_count / column_size
@@ -65,11 +175,12 @@ class EnumerationConfig:
     Attributes:
         tau: maximum token count for a value to participate in enumeration
             (the τ of Section 2.4; wider groups are skipped).
-        min_coverage: minimum fraction of the column a retained pattern must
-            match.  ``1.0`` gives the intersection semantics of ``H(C)``
-            (basic FMDV); ``1 - θ`` gives FMDV-H's union-with-tolerance
-            (Equation 16); a small value such as ``0.1`` gives the ``P(D)``
-            enumeration used for offline indexing.
+        min_coverage: minimum fraction of the column's *non-empty* values a
+            retained pattern must match.  ``1.0`` gives the intersection
+            semantics of ``H(C)`` (basic FMDV); ``1 - θ`` gives FMDV-H's
+            union-with-tolerance (Equation 16); a small value such as
+            ``0.1`` gives the ``P(D)`` enumeration used for offline
+            indexing.
         min_option_coverage: minimum fraction *of a signature group* that a
             constant or fixed-length option must cover to enter the cross
             product.  This is what keeps indexing tractable without losing
@@ -81,8 +192,10 @@ class EnumerationConfig:
             (an option covering all values passes any floor).
         max_patterns: per-column output budget.
         max_const_options: cap on distinct constant texts considered per
-            token position (the most frequent win).
-        max_length_options: cap on distinct fixed-length options per position.
+            token position (the most frequent win; ties break toward the
+            lexicographically smaller text).
+        max_length_options: cap on distinct fixed-length options per
+            position (ties break toward the shorter length).
         hierarchy: the generalization hierarchy to drill down with.
         enumerate_alnum_runs: additionally enumerate at the merged
             alphanumeric-run granularity, where ``<alphanum>`` atoms span
@@ -120,6 +233,8 @@ class EnumerationConfig:
         Two configs with equal fingerprints produce identical pattern
         spaces for any column.  Used as the compatibility stamp of index
         manifests (format v2) and as part of hypothesis-space cache keys.
+        The kernel (``REPRO_ENUM_KERNEL``) is deliberately absent: both
+        kernels produce identical output.
         """
         h = self.hierarchy
         return ";".join(
@@ -142,10 +257,68 @@ class EnumerationConfig:
 
 @dataclass
 class _Option:
-    """One candidate atom at one aligned position, with its match mask."""
+    """One candidate atom at one aligned position, with its match mask.
+
+    ``mask`` is a boolean array over the group's distinct values in the
+    pure kernel and a packed-bit ``uint8`` array in the vector kernel; the
+    shared budget-reduction logic never looks inside it.
+    """
 
     atom: Atom
-    mask: np.ndarray  # bool mask over the group's distinct values
+    mask: np.ndarray
+
+
+class GroupResultCache:
+    """Cross-column memo of per-signature-group enumeration results.
+
+    Data lakes repeat column *shapes* heavily: thousands of tables carry
+    the same status/locale/GUID groups, differing only in unrelated sibling
+    groups.  Keyed by ``(granularity, signature, distinct-multiset digest,
+    min_count, budget)`` — with the enumeration-config fingerprint fixed
+    per cache instance — a hit replays the exact drill-down result instead
+    of re-deriving it.  Because enumeration is deterministic in precisely
+    those inputs (see the module doc's determinism contract), a hit is
+    byte-equivalent to recomputation; cached dicts are shared and must be
+    treated as read-only (every consumer is).
+
+    Not thread-safe: each offline build worker owns one instance.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._data: OrderedDict[tuple, dict[Pattern, int]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @staticmethod
+    def group_digest(counter: dict[str, int]) -> str:
+        """Stable digest of one group's distinct-value multiset."""
+        h = hashlib.blake2b(digest_size=16)
+        for value, count in sorted(counter.items()):
+            encoded = value.encode("utf-8", "surrogatepass")
+            h.update(len(encoded).to_bytes(8, "big"))
+            h.update(encoded)
+            h.update(count.to_bytes(8, "big"))
+        return h.hexdigest()
+
+    def lookup(self, key: tuple) -> dict[Pattern, int] | None:
+        cached = self._data.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return cached
+
+    def store(self, key: tuple, produced: dict[Pattern, int]) -> None:
+        self._data[key] = produced
+        if len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
 
 
 def enumerate_value_patterns(
@@ -181,13 +354,18 @@ def enumerate_value_patterns(
 
 
 def enumerate_column_patterns(
-    values: Sequence[str], config: EnumerationConfig = EnumerationConfig()
+    values: Sequence[str],
+    config: EnumerationConfig = EnumerationConfig(),
+    *,
+    group_cache: GroupResultCache | None = None,
 ) -> list[PatternStats]:
     """Enumerate retained patterns of a column per Algorithm 1.
 
     Returns deduplicated patterns with column-level match counts; patterns
     are retained only when they match at least ``min_coverage`` of the
-    column's values and the column-wide budget ``max_patterns`` allows.
+    column's non-empty values and the column-wide budget ``max_patterns``
+    allows.  Output — including list order — depends only on the value
+    multiset, never on value order (see the module determinism contract).
 
     Two granularities are enumerated: merged alphanumeric runs first (the
     level at which ``<alphanum>`` atoms span digit/letter boundaries), then
@@ -195,28 +373,37 @@ def enumerate_column_patterns(
     once with the larger match count — the alnum-level group is always a
     superset of any fine group that can emit the same pattern, so taking
     the maximum is exact, never double-counting.
+
+    ``group_cache`` optionally memoizes per-signature-group results across
+    columns (the offline builder's signature-sketch cache); it must have
+    been created for this exact ``config``.
     """
-    n = len(values)
-    if n == 0:
+    if len(values) == 0:
         return []
-    min_count = max(1, math.ceil(config.min_coverage * n))
-
-    aggregated: dict[Pattern, int] = {}
-    budget = config.max_patterns
-
-    passes: list[tuple] = []
-    if config.enumerate_alnum_runs:
-        passes.append((alnum_signature, alnum_runs))
-    passes.append((signature, tokenize))
 
     # One counting pass over the raw values; everything after works on the
     # distinct values with multiplicities.  Machine-generated columns repeat
     # values heavily, so tokenization and signatures — the per-value cost
     # that dominates the offline corpus scan — are computed once per
-    # distinct value, not once per occurrence.
+    # distinct value, not once per occurrence.  Empty values are excluded
+    # here AND from the retention denominator ``n`` (they can never match a
+    # pattern; see the module doc's empty-value semantics).
     value_counts: Counter[str] = Counter(v for v in values if v)
+    n = sum(value_counts.values())
+    if n == 0:
+        return []
+    min_count = max(1, math.ceil(config.min_coverage * n))
 
-    for signature_fn, tokens_fn in passes:
+    kernel = active_kernel()
+    aggregated: dict[Pattern, int] = {}
+    budget = config.max_patterns
+
+    passes: list[tuple] = []
+    if config.enumerate_alnum_runs:
+        passes.append(("alnum", alnum_signature, alnum_runs, True))
+    passes.append(("fine", signature, tokenize, False))
+
+    for pass_tag, signature_fn, tokens_fn, merge_alnum in passes:
         if budget <= 0:
             break
         by_signature: dict[tuple[str, ...], dict[str, int]] = defaultdict(dict)
@@ -233,7 +420,17 @@ def enumerate_column_patterns(
                 continue  # no pattern from this group can reach the threshold
             if len(sig) > config.tau:
                 continue  # wider than τ: recovered via vertical cuts at query time
-            produced = _enumerate_group(counter, min_count, budget, config, tokens_fn)
+            produced = _enumerate_group(
+                counter,
+                min_count,
+                budget,
+                config,
+                tokens_fn,
+                kernel=kernel,
+                merge_alnum=merge_alnum,
+                group_cache=group_cache,
+                cache_tag=(pass_tag, sig),
+            )
             for pattern, count in produced.items():
                 previous = aggregated.get(pattern)
                 if previous is None:
@@ -256,9 +453,12 @@ def hypothesis_space(
 ) -> list[PatternStats]:
     """The hypothesis space over a query column.
 
-    ``min_coverage=1.0`` yields ``H(C) = ∩_v P(v)`` (basic FMDV, Section 2.1);
-    ``min_coverage = 1 - θ`` yields the tolerant space of FMDV-H
-    (Equations 13 and 16).
+    ``min_coverage=1.0`` yields ``H(C) = ∩_v P(v)`` over the column's
+    non-empty values (basic FMDV, Section 2.1); ``min_coverage = 1 - θ``
+    yields the tolerant space of FMDV-H (Equations 13 and 16).  Empty
+    values do not shrink the space (they have no ``P(v)``), but they still
+    count as non-matching evidence wherever the resulting patterns are
+    scored against the full column.
 
     Only ``min_coverage`` is overridden; every other knob of ``config``
     (including ``min_option_coverage`` and ``enumerate_alnum_runs``) is
@@ -275,8 +475,59 @@ def _enumerate_group(
     budget: int,
     config: EnumerationConfig,
     tokens_fn=tokenize,
+    *,
+    kernel: str = "pure",
+    merge_alnum: bool = False,
+    group_cache: GroupResultCache | None = None,
+    cache_tag: tuple | None = None,
 ) -> dict[Pattern, int]:
     """Drill-down enumeration for one signature group (same token shape)."""
+    if group_cache is not None and cache_tag is not None:
+        key = (*cache_tag, GroupResultCache.group_digest(counter), min_count, budget)
+        cached = group_cache.lookup(key)
+        if cached is not None:
+            return cached
+        produced = _run_group_kernel(
+            counter, min_count, budget, config, tokens_fn, kernel, merge_alnum
+        )
+        group_cache.store(key, produced)
+        return produced
+    return _run_group_kernel(
+        counter, min_count, budget, config, tokens_fn, kernel, merge_alnum
+    )
+
+
+def _run_group_kernel(
+    counter: dict[str, int],
+    min_count: int,
+    budget: int,
+    config: EnumerationConfig,
+    tokens_fn,
+    kernel: str,
+    merge_alnum: bool,
+) -> dict[Pattern, int]:
+    if kernel == "vector" and len(counter) >= _VECTOR_MIN_DISTINCT:
+        produced = _enumerate_group_vector(
+            counter, min_count, budget, config, merge_alnum
+        )
+        if produced is not None:
+            return produced
+        # Fall through: the group did not pack (defensive; signature
+        # homogeneity should make this unreachable).
+    return _enumerate_group_pure(counter, min_count, budget, config, tokens_fn)
+
+
+# -- the pure (reference) kernel ------------------------------------------------
+
+
+def _enumerate_group_pure(
+    counter: dict[str, int],
+    min_count: int,
+    budget: int,
+    config: EnumerationConfig,
+    tokens_fn=tokenize,
+) -> dict[Pattern, int]:
+    """The reference per-value kernel; the vector kernel must match it."""
     distinct = list(counter.keys())
     weights = np.fromiter(counter.values(), dtype=np.int64, count=len(distinct))
     token_rows = [tokens_fn(v) for v in distinct]
@@ -356,7 +607,10 @@ def _position_options(
 
     Constant and fixed-length options whose match weight cannot reach
     ``option_floor`` values are dropped immediately (the coverage retention
-    step of Algorithm 1, tightened per ``min_option_coverage``).
+    step of Algorithm 1, tightened per ``min_option_coverage``).  Frequency
+    rankings use :func:`repro.util.most_common_stable` — weight desc, then
+    length/text asc — so the retained options are permutation-invariant
+    (the determinism contract).
     """
     cls = tokens[0].cls
     n = len(tokens)
@@ -396,13 +650,13 @@ def _position_options(
     else:
         options.append(_Option(Atom.letter_plus(), full))
 
-    # Fixed-length options, most frequent lengths first.
+    # Fixed-length options, most frequent lengths first (ties: shorter).
     length_weights: Counter[int] = Counter()
     for length, w in zip(lengths.tolist(), weight_list):
         length_weights[length] += w
     frequent_lengths = [
         length
-        for length, w in length_weights.most_common(config.max_length_options)
+        for length, w in most_common_stable(length_weights, config.max_length_options)
         if w >= option_floor
     ]
     case_masks = None
@@ -430,13 +684,13 @@ def _position_options(
                 if int(weights[lower_mask].sum()) >= option_floor:
                     options.append(_Option(Atom.lower(length), lower_mask))
 
-    # Constant options, most frequent texts first.
+    # Constant options, most frequent texts first (ties: lexicographic).
     text_weights: Counter[str] = Counter()
     for text, w in zip(texts, weight_list):
         text_weights[text] += w
     frequent_texts = [
         text
-        for text, w in text_weights.most_common(config.max_const_options)
+        for text, w in most_common_stable(text_weights, config.max_const_options)
         if w >= option_floor and len(text) <= hierarchy.max_const_length
     ]
     for text in frequent_texts:
@@ -456,7 +710,8 @@ def _alnum_position_options(
     Fixed-length ``<alphanum>{k}`` options are always considered here
     (independent of ``hierarchy.use_alnum_fixed``, which governs the fine
     level): fixed-width segments are the defining structure of hex
-    identifiers, which is the whole point of this granularity.
+    identifiers, which is the whole point of this granularity.  Frequency
+    ties break deterministically, as at the fine level.
     """
     n = len(tokens)
     options: list[_Option] = [_Option(Atom.alnum_plus(), np.ones(n, dtype=bool))]
@@ -466,7 +721,7 @@ def _alnum_position_options(
     length_weights: Counter[int] = Counter()
     for length, w in zip(lengths.tolist(), weight_list):
         length_weights[length] += w
-    for length, w in length_weights.most_common(config.max_length_options):
+    for length, w in most_common_stable(length_weights, config.max_length_options):
         if w >= option_floor:
             options.append(_Option(Atom.alnum(length), lengths == length))
 
@@ -482,7 +737,7 @@ def _alnum_position_options(
         text_weights[text] += w
     frequent_texts = [
         text
-        for text, w in text_weights.most_common(config.max_const_options)
+        for text, w in most_common_stable(text_weights, config.max_const_options)
         if w >= option_floor and len(text) <= config.hierarchy.max_const_length
     ]
     for text in frequent_texts:
@@ -491,17 +746,355 @@ def _alnum_position_options(
     return options
 
 
-def dominant_signature_share(values: Iterable[str]) -> float:
-    """Share of values carrying the most common signature (homogeneity probe).
+# -- the vectorized (packed-bitset) kernel --------------------------------------
 
-    Used by the horizontal-cut variant to decide how much of the column the
-    dominant coarse structure explains.
+
+class _PackedWeights:
+    """Packed-bit masks over one group plus O(bytes) weighted popcounts.
+
+    Masks are ``uint8`` arrays from ``np.packbits`` (bit 7 of byte ``b`` is
+    distinct value ``8b``).  The weighted popcount of any mask — the
+    quantity every DFS node needs — is answered from a per-byte partial-sum
+    table: ``table[b*256 + m]`` holds the summed weights of the values
+    whose bits are set in byte value ``m`` at byte ``b``, so one fancy-index
+    gather plus a sum replaces a per-value masked reduction.  Padding bits
+    carry zero weight and are harmless in intersections.
+    """
+
+    __slots__ = ("n", "n_bytes", "table", "offsets", "full")
+
+    def __init__(self, weights: np.ndarray) -> None:
+        n = int(weights.shape[0])
+        self.n = n
+        self.n_bytes = (n + 7) // 8
+        padded = np.zeros(self.n_bytes * 8, dtype=np.int64)
+        padded[:n] = weights
+        self.table = (padded.reshape(self.n_bytes, 8) @ _PACKBITS_BITS).ravel()
+        self.offsets = np.arange(self.n_bytes, dtype=np.int64) * 256
+        self.full = np.packbits(np.ones(n, dtype=bool))
+
+    def pack(self, mask: np.ndarray) -> np.ndarray:
+        return np.packbits(mask)
+
+    def weight(self, packed: np.ndarray) -> int:
+        return int(self.table[self.offsets + packed].sum())
+
+    def byte_tables(self) -> list[list[int]]:
+        """The per-byte partial-sum tables as plain Python lists.
+
+        Ordered least-significant-int-byte first: masks become Python ints
+        via big-endian ``int.from_bytes``, which puts packbits byte 0 at
+        the *most* significant position, so the ``m & 255 … m >>= 8`` walk
+        of the int-DFS weight loop visits packbits bytes in reverse.
+        """
+        return self.table.reshape(self.n_bytes, 256)[::-1].tolist()
+
+
+def _enumerate_group_vector(
+    counter: dict[str, int],
+    min_count: int,
+    budget: int,
+    config: EnumerationConfig,
+    merge_alnum: bool,
+) -> dict[Pattern, int] | None:
+    """The packed-bitset kernel: whole-group arrays, no per-value loops.
+
+    Bit-for-bit equivalent to :func:`_enumerate_group_pure`: options are
+    materialized in the same order with the same deterministic tie-breaks,
+    so the DFS emits the same patterns with the same counts even under
+    budget truncation.  Returns ``None`` when the group fails to pack
+    (caller falls back to the pure kernel).
+    """
+    distinct = list(counter.keys())
+    group = group_token_arrays(distinct, merge_alnum=merge_alnum)
+    if group is None:
+        return None
+    weights = np.fromiter(counter.values(), dtype=np.int64, count=len(distinct))
+    packed = _PackedWeights(weights)
+    group_total = int(weights.sum())
+    option_floor = max(
+        min_count, math.ceil(config.min_option_coverage * group_total)
+    )
+
+    options_per_position: list[list[_Option]] = []
+    for j in range(group.width):
+        options = _position_options_vector(
+            group, j, weights, packed, option_floor, config
+        )
+        if not options:
+            return {}
+        options_per_position.append(options)
+
+    _reduce_to_budget(options_per_position, budget)
+
+    results: dict[Pattern, int] = {}
+    width = group.width
+    from_atoms_key = Pattern._from_atoms_key
+    pool = _PATTERN_POOL
+    pool_get = pool.get
+
+    def emit(prefix: list[Atom], keys: list[str], weight: int) -> None:
+        key = "|".join(keys)
+        pattern = pool_get(key)
+        if pattern is None:
+            pattern = from_atoms_key(tuple(prefix), key)
+            if len(pool) < _PATTERN_POOL_MAX:
+                pool[key] = pattern
+        results[pattern] = weight
+
+    # Both DFS bodies below walk the identical option lists in identical
+    # order and differ only in mask representation, so they emit the same
+    # patterns with the same counts.  Each node passes its already-computed
+    # coverage weight down, so leaves never recompute it, and pattern keys
+    # are joined from the per-option atom keys carried alongside the
+    # prefix (Pattern._from_atoms_key skips the per-leaf re-derivation).
+
+    if packed.n_bytes <= _INT_DFS_MAX_BYTES:
+        # Small masks: numpy's fixed per-call overhead exceeds the work, so
+        # intersect Python ints and answer weighted popcounts from plain
+        # per-byte list tables.
+        tables = packed.byte_tables()
+        int_options = [
+            [
+                (o.atom, o.atom.key(), int.from_bytes(o.mask.tobytes(), "big"))
+                for o in opts
+            ]
+            for opts in options_per_position
+        ]
+
+        def dfs_int(
+            position: int, mask: int, weight: int, prefix: list[Atom], keys: list[str]
+        ) -> None:
+            if len(results) >= budget:
+                return
+            if position == width:
+                emit(prefix, keys, weight)
+                return
+            for atom, atom_key, option_mask in int_options[position]:
+                new_mask = mask & option_mask
+                w = 0
+                m = new_mask
+                i = 0
+                while m:
+                    w += tables[i][m & 255]
+                    m >>= 8
+                    i += 1
+                if w < min_count:
+                    continue
+                prefix.append(atom)
+                keys.append(atom_key)
+                dfs_int(position + 1, new_mask, w, prefix, keys)
+                prefix.pop()
+                keys.pop()
+                if len(results) >= budget:
+                    return
+
+        dfs_int(0, int.from_bytes(packed.full.tobytes(), "big"), group_total, [], [])
+        return results
+
+    keyed_options = [
+        [(o.atom, o.atom.key(), o.mask) for o in opts] for opts in options_per_position
+    ]
+
+    def dfs(
+        position: int, mask: np.ndarray, weight: int, prefix: list[Atom], keys: list[str]
+    ) -> None:
+        if len(results) >= budget:
+            return
+        if position == width:
+            emit(prefix, keys, weight)
+            return
+        for atom, atom_key, option_mask in keyed_options[position]:
+            new_mask = mask & option_mask
+            w = packed.weight(new_mask)
+            if w < min_count:
+                continue
+            prefix.append(atom)
+            keys.append(atom_key)
+            dfs(position + 1, new_mask, w, prefix, keys)
+            prefix.pop()
+            keys.pop()
+            if len(results) >= budget:
+                return
+
+    dfs(0, packed.full, group_total, [], [])
+    return results
+
+
+def _position_options_vector(
+    group: GroupTokenArrays,
+    j: int,
+    weights: np.ndarray,
+    packed: _PackedWeights,
+    option_floor: int,
+    config: EnumerationConfig,
+) -> list[_Option]:
+    """Vectorized options at one aligned position, in pure-kernel order."""
+    cls_code = int(group.classes[j])
+    hierarchy = config.hierarchy
+
+    if cls_code == CLS_SYMBOL:
+        return [_Option(Atom.const(group.token_text(0, j)), packed.full.copy())]
+
+    lengths_j = group.lengths[:, j]
+    options: list[_Option] = []
+
+    if cls_code == CLS_ALNUM:
+        options.append(_Option(Atom.alnum_plus(), packed.full.copy()))
+        for length, w in _frequent_lengths(lengths_j, weights, config.max_length_options):
+            if w >= option_floor:
+                options.append(
+                    _Option(Atom.alnum(length), packed.pack(lengths_j == length))
+                )
+        _append_const_options(
+            group, j, weights, packed, option_floor, config, options
+        )
+        return options
+
+    # Most general first: the cross-class and unbounded atoms.
+    if hierarchy.use_alnum_plus:
+        options.append(_Option(Atom.alnum_plus(), packed.full.copy()))
+    if cls_code == CLS_DIGIT:
+        if hierarchy.use_num:
+            options.append(_Option(Atom.num(), packed.full.copy()))
+        options.append(_Option(Atom.digit_plus(), packed.full.copy()))
+    else:
+        options.append(_Option(Atom.letter_plus(), packed.full.copy()))
+
+    frequent = [
+        (length, w)
+        for length, w in _frequent_lengths(lengths_j, weights, config.max_length_options)
+        if w >= option_floor
+    ]
+    case_flags = None
+    if cls_code != CLS_DIGIT and hierarchy.use_case_classes and frequent:
+        starts_j = group.starts[:, j]
+        ends_j = starts_j + lengths_j
+        # A letter run is isupper() iff it contains no lowercase character
+        # (and vice versa): two prefix-sum gathers replace the per-token
+        # str.isupper()/str.islower() scans of the pure kernel.
+        case_flags = (
+            (group.lower_cum[ends_j] - group.lower_cum[starts_j]) == 0,
+            (group.upper_cum[ends_j] - group.upper_cum[starts_j]) == 0,
+        )
+    for length, _w in frequent:
+        mask = lengths_j == length
+        if hierarchy.use_alnum_fixed:
+            options.append(_Option(Atom.alnum(length), packed.pack(mask)))
+        if cls_code == CLS_DIGIT:
+            options.append(_Option(Atom.digit(length), packed.pack(mask)))
+        else:
+            options.append(_Option(Atom.letter(length), packed.pack(mask)))
+            if case_flags is not None:
+                upper_mask = mask & case_flags[0]
+                if int(weights[upper_mask].sum()) >= option_floor:
+                    options.append(_Option(Atom.upper(length), packed.pack(upper_mask)))
+                lower_mask = mask & case_flags[1]
+                if int(weights[lower_mask].sum()) >= option_floor:
+                    options.append(_Option(Atom.lower(length), packed.pack(lower_mask)))
+
+    _append_const_options(group, j, weights, packed, option_floor, config, options)
+    return options
+
+
+def _frequent_lengths(
+    lengths_j: np.ndarray, weights: np.ndarray, k: int
+) -> list[tuple[int, int]]:
+    """Top-``k`` token lengths by weight, ties toward the shorter length.
+
+    Equivalent to ``most_common_stable(length_weights, k)`` of the pure
+    kernel, computed as one ``np.bincount`` over the position's lengths.
+    """
+    if k <= 0:
+        return []
+    by_length = np.bincount(lengths_j, weights=weights).astype(np.int64)
+    present = np.flatnonzero(by_length)
+    order = np.lexsort((present, -by_length[present]))
+    return [
+        (int(length), int(by_length[length])) for length in present[order][:k]
+    ]
+
+
+def _append_const_options(
+    group: GroupTokenArrays,
+    j: int,
+    weights: np.ndarray,
+    packed: _PackedWeights,
+    option_floor: int,
+    config: EnumerationConfig,
+    options: list[_Option],
+) -> None:
+    """Append the position's constant options (pure-kernel order).
+
+    Texts are pooled without a Python dict: the position's tokens land in a
+    zero-padded ``(n, words*8)`` byte matrix (tokens here are ASCII
+    alphanumeric runs, so one byte per character and no NUL collisions),
+    viewed as big-endian ``uint64`` words whose tuple order equals the
+    texts' lexicographic order (zero padding sorts shorter prefixes first,
+    and distinct texts never differ only in padding).  One ``np.lexsort``
+    plus adjacent-row dedup assigns each text a code in text-ascending
+    order — exactly the (weight desc, text asc) ranking the determinism
+    contract requires, via one ``np.bincount``.  This replaces the sort
+    ``np.unique(..., axis=0)`` runs over void views, which dominated
+    profiles on distinct-heavy groups.
+    """
+    k = config.max_const_options
+    if k <= 0:
+        return
+    lengths_j = group.lengths[:, j]
+    max_const_length = config.hierarchy.max_const_length
+    if int(lengths_j.min()) > max_const_length:
+        return  # no token can yield a constant atom
+    starts_j = group.starts[:, j]
+    n = lengths_j.shape[0]
+    maxlen = int(lengths_j.max())
+    n_words = (maxlen + 7) // 8
+    span = np.arange(n_words * 8, dtype=np.int64)
+    char_idx = starts_j[:, None] + span[None, :]
+    valid = span[None, :] < lengths_j[:, None]
+    matrix = np.where(
+        valid, group.codes[np.minimum(char_idx, group.codes.size - 1)], 0
+    ).astype(np.uint8)
+    words = matrix.view(">u8").astype(np.uint64)
+    order = np.lexsort(tuple(words[:, w] for w in range(n_words - 1, -1, -1)))
+    sorted_words = words[order]
+    new_text = np.empty(n, dtype=bool)
+    new_text[0] = True
+    np.any(sorted_words[1:] != sorted_words[:-1], axis=1, out=new_text[1:])
+    text_of_rank = np.cumsum(new_text) - 1
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = text_of_rank
+    n_texts = int(text_of_rank[-1]) + 1
+    by_text = np.bincount(inverse, weights=weights, minlength=n_texts).astype(np.int64)
+    top = np.lexsort((np.arange(n_texts), -by_text))[:k]
+    representative = np.empty(n_texts, dtype=np.int64)
+    representative[inverse] = np.arange(n)
+    for code in top:
+        w = int(by_text[code])
+        i = int(representative[code])
+        if w >= option_floor and int(lengths_j[i]) <= max_const_length:
+            options.append(
+                _Option(Atom.const(group.token_text(i, j)), packed.pack(inverse == code))
+            )
+
+
+def dominant_signature_share(values: Iterable[str]) -> float:
+    """Share of non-empty values carrying the most common signature.
+
+    A homogeneity probe used by the horizontal-cut variant to decide how
+    much of the column the dominant coarse structure explains.  Empty
+    values carry no structure: consistent with the hypothesis-space
+    semantics, they are excluded from both the numerator and the
+    denominator (``signature("") == ()`` is never the dominant signature),
+    and a column of only empty values has share ``0.0``.
     """
     counts: Counter[tuple[str, ...]] = Counter()
     total = 0
     for v in values:
+        if not v:
+            continue
         counts[signature(v)] += 1
         total += 1
     if total == 0:
         return 0.0
-    return counts.most_common(1)[0][1] / total
+    return max(counts.values()) / total

@@ -41,6 +41,21 @@ class Pattern:
         self._key = "|".join(a.key() for a in self._atoms)
         self._hash = hash(self._key)
 
+    @classmethod
+    def _from_atoms_key(cls, atoms: tuple[Atom, ...], key: str) -> "Pattern":
+        """Fast construction path for the enumeration DFS.
+
+        The caller guarantees ``atoms`` is non-empty and ``key`` equals
+        ``"|".join(a.key() for a in atoms)`` — the DFS already holds the
+        joined key for each prefix, so re-deriving it per emitted leaf
+        would double the kernel's hot-path cost for no benefit.
+        """
+        self = cls.__new__(cls)
+        self._atoms = atoms
+        self._key = key
+        self._hash = hash(key)
+        return self
+
     # -- basic protocol ----------------------------------------------------
 
     @property

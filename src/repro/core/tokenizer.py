@@ -20,6 +20,9 @@ import enum
 import sys
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
 
 
 class CharClass(enum.Enum):
@@ -169,6 +172,122 @@ def alnum_runs(value: str) -> tuple[Token, ...]:
         else:
             merged.append(Token(CharClass.ALNUM, token.text))
     return tuple(merged)
+
+
+# -- whole-group packed tokenization (the vectorized enumeration kernel) -------
+
+#: Class codes used by the packed arrays (uint8).  At the merged
+#: alphanumeric granularity only ``CLS_ALNUM``/``CLS_SYMBOL`` occur.
+CLS_DIGIT = 0
+CLS_LETTER = 1
+CLS_SYMBOL = 2
+CLS_ALNUM = 3
+
+
+@dataclass(frozen=True)
+class GroupTokenArrays:
+    """One signature group tokenized as packed numpy arrays.
+
+    All values of a group share a signature, so every value tokenizes into
+    exactly ``width`` runs of the same class sequence.  Instead of
+    materializing per-value :class:`Token` tuples and walking them with
+    Python loops, the whole group is lexed in a handful of vectorized
+    passes over the concatenation of its values:
+
+    * ``starts``/``lengths`` — ``(n, width)`` arrays of token start
+      offsets (into ``joined``) and token lengths;
+    * ``classes`` — the ``(width,)`` class-code row shared by every value;
+    * ``lower_cum``/``upper_cum`` — per-character prefix sums of the
+      lower/upper-case indicator, from which any token's case flags are
+      two array lookups (a letter run is ``isupper()`` iff it contains no
+      lowercase character).
+
+    ``token_text(i, j)`` recovers the raw text of one token — used only
+    for the handful of constant atoms that survive frequency ranking,
+    never per value.
+    """
+
+    values: tuple[str, ...]
+    joined: str
+    width: int
+    starts: np.ndarray
+    lengths: np.ndarray
+    classes: np.ndarray
+    lower_cum: np.ndarray
+    upper_cum: np.ndarray
+    codes: np.ndarray
+
+    def token_text(self, i: int, j: int) -> str:
+        start = int(self.starts[i, j])
+        return self.joined[start : start + int(self.lengths[i, j])]
+
+
+def group_token_arrays(
+    values: Sequence[str], *, merge_alnum: bool
+) -> GroupTokenArrays | None:
+    """Tokenize a whole signature group into :class:`GroupTokenArrays`.
+
+    ``merge_alnum`` selects the granularity: ``True`` merges adjacent
+    digit/letter runs into single ``CLS_ALNUM`` runs (:func:`alnum_runs`),
+    ``False`` keeps the fine digit/letter runs (:func:`tokenize`).
+
+    Returns ``None`` when the group does not actually share one token
+    shape (callers fall back to the per-value path); the enumeration
+    kernel only passes signature-homogeneous groups, for which this never
+    triggers.
+    """
+    joined = "".join(values)
+    if not joined:
+        return None
+    codes = np.frombuffer(
+        joined.encode("utf-32-le", "surrogatepass"), dtype=np.uint32
+    )
+    is_digit = (codes >= 48) & (codes <= 57)
+    is_upper = (codes >= 65) & (codes <= 90)
+    is_lower = (codes >= 97) & (codes <= 122)
+    is_letter = is_upper | is_lower
+    cls = np.full(codes.shape, CLS_SYMBOL, dtype=np.uint8)
+    if merge_alnum:
+        cls[is_digit | is_letter] = CLS_ALNUM
+    else:
+        cls[is_digit] = CLS_DIGIT
+        cls[is_letter] = CLS_LETTER
+
+    value_lens = np.fromiter(map(len, values), dtype=np.int64, count=len(values))
+    if (value_lens == 0).any():
+        return None  # empty values have no tokens; groups never contain them
+    value_starts = np.cumsum(value_lens) - value_lens
+
+    boundary = np.empty(codes.shape, dtype=bool)
+    boundary[0] = True
+    np.not_equal(cls[1:], cls[:-1], out=boundary[1:])
+    boundary[value_starts] = True
+    tok_starts = np.flatnonzero(boundary)
+    n = len(values)
+    if tok_starts.size % n != 0:
+        return None
+    width = tok_starts.size // n
+    starts = tok_starts.reshape(n, width)
+    lengths = np.diff(tok_starts, append=codes.size).reshape(n, width)
+    # Every row must carry the same class sequence (signature homogeneity).
+    classes = cls[starts]
+    if not (classes == classes[0]).all():
+        return None
+
+    zero = np.zeros(1, dtype=np.int64)
+    lower_cum = np.concatenate([zero, np.cumsum(is_lower, dtype=np.int64)])
+    upper_cum = np.concatenate([zero, np.cumsum(is_upper, dtype=np.int64)])
+    return GroupTokenArrays(
+        values=tuple(values),
+        joined=joined,
+        width=width,
+        starts=starts,
+        lengths=lengths,
+        classes=classes[0],
+        lower_cum=lower_cum,
+        upper_cum=upper_cum,
+        codes=codes,
+    )
 
 
 @lru_cache(maxsize=65536)

@@ -42,7 +42,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.enumeration import EnumerationConfig, enumerate_column_patterns
+from repro.core.enumeration import (
+    EnumerationConfig,
+    GroupResultCache,
+    enumerate_column_patterns,
+)
 from repro.index.index import (
     MAX_SHARDS,
     IndexEntry,
@@ -91,7 +95,15 @@ def fixed_to_fpr_sum(fixed: int) -> float:
 
 
 class IndexBuilder:
-    """Accumulates per-pattern statistics column by column."""
+    """Accumulates per-pattern statistics column by column.
+
+    Each builder owns a signature-sketch cache
+    (:class:`repro.core.enumeration.GroupResultCache`): lakes repeat column
+    shapes heavily, and columns sharing a (signature, distinct-multiset,
+    threshold) group replay the already-enumerated drill-down instead of
+    re-deriving it.  Enumeration is deterministic in exactly the cache-key
+    inputs, so hits cannot change the built index.
+    """
 
     def __init__(
         self,
@@ -104,13 +116,26 @@ class IndexBuilder:
         self._coverages: dict[str, int] = {}
         self._columns_scanned = 0
         self._values_scanned = 0
+        self._group_cache = GroupResultCache()
+
+    @property
+    def sketch_hits(self) -> int:
+        """Signature-sketch cache hits (groups replayed, not re-enumerated)."""
+        return self._group_cache.hits
+
+    @property
+    def sketch_misses(self) -> int:
+        """Signature-sketch cache misses (groups enumerated from scratch)."""
+        return self._group_cache.misses
 
     def add_column(self, values: Sequence[str]) -> int:
         """Scan one data column; returns the number of patterns retained."""
         n = len(values)
         if n == 0:
             return 0
-        stats = enumerate_column_patterns(values, self.config)
+        stats = enumerate_column_patterns(
+            values, self.config, group_cache=self._group_cache
+        )
         fpr_fixed = self._fpr_fixed
         coverages = self._coverages
         for ps in stats:
@@ -192,7 +217,9 @@ class SpillingIndexBuilder(IndexBuilder):
         n = len(values)
         if n == 0:
             return 0
-        stats = enumerate_column_patterns(values, self.config)
+        stats = enumerate_column_patterns(
+            values, self.config, group_cache=self._group_cache
+        )
         fpr_fixed = self._fpr_fixed
         coverages = self._coverages
         resident = self._resident_bytes
@@ -338,6 +365,10 @@ class BuildStats:
     #: Entries materialized at once while writing final shards (0 for v3,
     #: whose shards are written streaming; largest shard for v2).
     max_resident_entries: int
+    #: Signature-sketch cache traffic summed over all scan workers: groups
+    #: replayed from the cross-column cache vs enumerated from scratch.
+    sketch_hits: int = 0
+    sketch_misses: int = 0
 
 
 def _scan_chunk_to_runs(
@@ -347,7 +378,7 @@ def _scan_chunk_to_runs(
     run_dir: str,
     spill_bytes: int,
     chunk_id: int,
-) -> tuple[list[str], int, int, int, int]:
+) -> tuple[list[str], int, int, int, int, int, int]:
     """Worker task: scan one chunk, spill runs, report what happened."""
     builder = SpillingIndexBuilder(
         config,
@@ -364,6 +395,8 @@ def _scan_chunk_to_runs(
         builder.values_scanned,
         builder.peak_resident_bytes,
         builder.max_run_entries,
+        builder.sketch_hits,
+        builder.sketch_misses,
     )
 
 
@@ -576,7 +609,7 @@ def _scan_columns_parallel(
     spill_bytes: int,
     workers: int,
     window_columns: int,
-) -> tuple[list[Path], int, int, int, int]:
+) -> tuple[list[Path], int, int, int, int, int, int]:
     """Stream columns through a spawn pool in size-balanced windows.
 
     The parent materializes at most one window of columns; each window is
@@ -591,6 +624,7 @@ def _scan_columns_parallel(
     run_paths: list[str] = []
     columns_scanned = values_scanned = 0
     peak_builder = max_run = 0
+    sketch_hits = sketch_misses = 0
     chunk_id = 0
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=workers, mp_context=context
@@ -598,7 +632,8 @@ def _scan_columns_parallel(
         window: list[list[str]] = []
 
         def flush_window() -> None:
-            nonlocal chunk_id, columns_scanned, values_scanned, peak_builder, max_run
+            nonlocal chunk_id, columns_scanned, values_scanned, peak_builder
+            nonlocal max_run, sketch_hits, sketch_misses
             if not window:
                 return
             bins = weighted_chunks([len(c) for c in window], workers)
@@ -618,12 +653,14 @@ def _scan_columns_parallel(
                 chunk_id += 1
             window.clear()
             for future in futures:
-                runs, cols, vals, peak, largest = future.result()
+                runs, cols, vals, peak, largest, hits, misses = future.result()
                 run_paths.extend(runs)
                 columns_scanned += cols
                 values_scanned += vals
                 peak_builder = max(peak_builder, peak)
                 max_run = max(max_run, largest)
+                sketch_hits += hits
+                sketch_misses += misses
 
         for values in columns:
             window.append(list(values))
@@ -636,6 +673,8 @@ def _scan_columns_parallel(
         values_scanned,
         peak_builder,
         max_run,
+        sketch_hits,
+        sketch_misses,
     )
 
 
@@ -698,17 +737,25 @@ def build_index_streaming(
             values_scanned = builder.values_scanned
             peak_builder = builder.peak_resident_bytes
             max_run = builder.max_run_entries
+            sketch_hits = builder.sketch_hits
+            sketch_misses = builder.sketch_misses
         else:
-            run_paths, columns_scanned, values_scanned, peak_builder, max_run = (
-                _scan_columns_parallel(
-                    columns,
-                    config,
-                    corpus_name,
-                    scratch_dir,
-                    spill_bytes,
-                    workers,
-                    window_columns,
-                )
+            (
+                run_paths,
+                columns_scanned,
+                values_scanned,
+                peak_builder,
+                max_run,
+                sketch_hits,
+                sketch_misses,
+            ) = _scan_columns_parallel(
+                columns,
+                config,
+                corpus_name,
+                scratch_dir,
+                spill_bytes,
+                workers,
+                window_columns,
             )
         meta = IndexMeta(
             columns_scanned=columns_scanned,
@@ -734,4 +781,6 @@ def build_index_streaming(
         peak_builder_bytes=peak_builder,
         max_run_entries=max_run,
         max_resident_entries=max_resident,
+        sketch_hits=sketch_hits,
+        sketch_misses=sketch_misses,
     )

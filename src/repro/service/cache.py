@@ -9,10 +9,12 @@ composites — so an LRU keyed by (value-multiset digest, min_coverage, knob
 fingerprint) turns almost all of that work into a dict hit.
 
 The multiset key means two permutations of the same column share one cache
-entry.  Enumeration order *within* Algorithm 1 can in principle differ
-between permutations when exact option-weight ties meet budget pressure;
-treating the column as a bag matches the paper's semantics (a column is a
-set of values with multiplicities) and makes results order-stable.
+entry.  That is *sound*, not just convenient: enumeration guarantees a
+determinism contract (see ``repro.core.enumeration``) under which its
+output — including pattern order — is a pure function of the value multiset
+and the knob fingerprint, with every frequency tie broken by a total order.
+Whichever permutation populates an entry, every other permutation would
+have computed the identical list, so serving the cached space is exact.
 """
 
 from __future__ import annotations

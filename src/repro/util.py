@@ -3,6 +3,33 @@
 from __future__ import annotations
 
 import hashlib
+from typing import Callable, Mapping, TypeVar
+
+K = TypeVar("K")
+
+
+def most_common_stable(
+    counts: Mapping[K, int],
+    k: int | None = None,
+    *,
+    key: Callable[[K], object] | None = None,
+) -> list[tuple[K, int]]:
+    """``Counter.most_common`` with a *total* order on ties.
+
+    ``Counter.most_common`` breaks equal counts by insertion order, so any
+    consumer whose output must be independent of input permutation (pattern
+    enumeration, index construction, byte-identical rebuilds) silently
+    inherits order-dependence from it.  This wrapper imposes the total
+    order (count desc, then item key asc): two permutations of the same
+    multiset always yield the same ranking.  The determinism lint rule
+    AV104 enforces its use in ``repro/core/`` and ``repro/index/``.
+
+    ``key`` maps an item to its ascending tie-break key (default: the item
+    itself, which must then be orderable).
+    """
+    tie = key if key is not None else (lambda item: item)
+    ordered = sorted(counts.items(), key=lambda kv: (-kv[1], tie(kv[0])))
+    return ordered if k is None else ordered[:k]
 
 
 def stable_seed(*parts: object) -> int:

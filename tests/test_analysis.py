@@ -37,7 +37,16 @@ def rules_of(findings: list[Finding]) -> list[str]:
 class TestFramework:
     def test_builtin_rules_registered(self):
         ids = available_rules()
-        for expected in ("AV101", "AV102", "AV103", "AV201", "AV301", "AV401", "AV501"):
+        for expected in (
+            "AV101",
+            "AV102",
+            "AV103",
+            "AV104",
+            "AV201",
+            "AV301",
+            "AV401",
+            "AV501",
+        ):
             assert expected in ids
 
     def test_get_rule_unknown_raises(self):
@@ -225,6 +234,53 @@ class TestBareHash:
 
     def test_stable_digests_clean(self):
         src = "import zlib\nkey = zlib.crc32(b'col')\n"
+        assert lint_source(src, self.PATH) == []
+
+
+class TestBareMostCommon:
+    PATH = "src/repro/core/x.py"
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "from collections import Counter\n"
+            "top = Counter('aab').most_common(1)\n",
+            "from collections import Counter\n"
+            "c = Counter()\n"
+            "for t, w in c.most_common(4):\n"
+            "    print(t, w)\n",
+            # flagged on any attribute receiver, not just literal Counters
+            "best = weights.most_common()\n",
+        ],
+    )
+    def test_violations(self, src):
+        assert rules_of(lint_source(src, self.PATH)) == ["AV104"]
+
+    def test_index_scope_flagged(self):
+        src = "top = counts.most_common(1)\n"
+        assert rules_of(
+            lint_source(src, "src/repro/index/x.py")
+        ) == ["AV104"]
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "from repro.util import most_common_stable\n"
+            "top = most_common_stable(counts, 1)\n",
+            # the sanctioned wrapper's own definition may call most_common
+            "def most_common_stable(counts, k):\n"
+            "    return counts.most_common(k)\n",
+        ],
+    )
+    def test_clean(self, src):
+        assert lint_source(src, self.PATH) == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = "top = counts.most_common(1)\n"
+        assert lint_source(src, "src/repro/eval/x.py") == []
+
+    def test_suppressible(self):
+        src = "top = counts.most_common(1)  # repro-lint: disable=AV104\n"
         assert lint_source(src, self.PATH) == []
 
 

@@ -233,3 +233,45 @@ def test_enumerated_patterns_match_counts_are_consistent(values):
 def test_hypothesis_space_patterns_match_all_values(values):
     for ps in hypothesis_space(values, min_coverage=1.0):
         assert all(ps.pattern.matches(v) for v in values)
+
+
+class TestMostCommonStable:
+    """The total-order tie-break every in-scope ranking must use (AV104)."""
+
+    def test_ties_break_by_key_ascending(self):
+        from repro.util import most_common_stable
+
+        counts = {"b": 2, "a": 2, "c": 3}
+        assert most_common_stable(counts) == [("c", 3), ("a", 2), ("b", 2)]
+        assert most_common_stable(counts, 2) == [("c", 3), ("a", 2)]
+
+    def test_insertion_order_is_irrelevant(self):
+        from collections import Counter
+
+        from repro.util import most_common_stable
+
+        forward = Counter(["x", "y"])
+        backward = Counter(["y", "x"])
+        assert forward.most_common(1) != backward.most_common(1)  # the bug
+        assert most_common_stable(forward, 1) == most_common_stable(backward, 1)
+
+    def test_key_maps_unorderable_items(self):
+        from repro.util import most_common_stable
+
+        counts = {1j: 1, 2j: 1}  # complex numbers do not order
+        ranked = most_common_stable(counts, key=lambda z: z.imag)
+        assert ranked == [(1j, 1), (2j, 1)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(homogeneous_columns(), st.randoms(use_true_random=False))
+def test_enumeration_is_permutation_invariant(values, rnd):
+    """Property (the determinism contract): shuffling a column never
+    changes the enumerated list — patterns, counts, or order."""
+    config = EnumerationConfig(
+        min_coverage=0.2, max_const_options=2, max_length_options=2
+    )
+    reference = enumerate_column_patterns(values, config)
+    shuffled = list(values)
+    rnd.shuffle(shuffled)
+    assert enumerate_column_patterns(shuffled, config) == reference
