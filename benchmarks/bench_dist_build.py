@@ -1,0 +1,181 @@
+"""Distributed index-build scaling over a loopback worker fleet.
+
+The paper's offline stage fans the corpus scan over a SCOPE cluster
+(§2.4); our equivalent is ``DistCoordinator`` shipping column windows to
+``auto-validate worker`` processes and merge-folding their run files.
+This bench measures what distribution actually buys on one machine:
+
+* **wall-clock** for the local single-process streaming build (the
+  serial baseline) vs distributed builds over 2 and 4 real worker
+  subprocesses on loopback;
+* **shipping overhead**: bytes of run files downloaded per regime (the
+  wire cost that a real cluster pays in network instead of loopback);
+* **byte identity**: every distributed artifact must reproduce the
+  serial build bit for bit — the fixed-point aggregation guarantee
+  extended across process boundaries.
+
+Results land in ``BENCH_dist_build.json`` at the repo root (uploaded as
+a CI artifact by the ``dist-smoke`` job) and in the session report.  The
+≥1.6x scaling gate at 4 workers only arms on machines with ≥4 cores —
+smaller runners still assert identity and participation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.datalake.generator import ENTERPRISE_PROFILE, generate_corpus
+from repro.dist import DistCoordinator
+from repro.eval.reporting import render_table
+from repro.index.builder import build_index_streaming
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_JSON = REPO_ROOT / "BENCH_dist_build.json"
+
+FORMAT = "v3"
+N_SHARDS = 8
+SPILL_MB = 4.0
+SCALING_FLOOR = 1.6
+SCALING_WORKERS = 4
+
+
+def _dirs_byte_identical(a: Path, b: Path) -> bool:
+    files_a = sorted(p.name for p in a.iterdir())
+    files_b = sorted(p.name for p in b.iterdir())
+    if files_a != files_b:
+        return False
+    return all((a / name).read_bytes() == (b / name).read_bytes() for name in files_a)
+
+
+def _spawn_workers(n: int) -> list[tuple[subprocess.Popen, str]]:
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"),
+           "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+           "PYTHONUNBUFFERED": "1"}
+    fleet = []
+    for _ in range(n):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker", "--port", "0",
+             "--spill-mb", str(SPILL_MB)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        ready = process.stdout.readline()
+        assert "worker on http://" in ready, (
+            f"worker failed to boot: {ready!r}\n{process.stderr.read()}"
+        )
+        fleet.append((process, ready.split()[2]))
+    return fleet
+
+
+def _stop_workers(fleet: list[tuple[subprocess.Popen, str]]) -> None:
+    for process, _url in fleet:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+    for process, _url in fleet:
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def _dist_build(columns, n_workers: int, out: Path):
+    """(wall seconds, DistBuildStats) of one distributed build."""
+    fleet = _spawn_workers(n_workers)
+    try:
+        coordinator = DistCoordinator(
+            [url for _, url in fleet], corpus_name="bench", spill_mb=SPILL_MB
+        )
+        start = time.perf_counter()
+        stats = coordinator.build(columns, out, format=FORMAT, n_shards=N_SHARDS)
+        return time.perf_counter() - start, stats
+    finally:
+        _stop_workers(fleet)
+
+
+def test_bench_dist_build(tmp_path):
+    corpus = generate_corpus(replace(ENTERPRISE_PROFILE, n_tables=90), seed=9)
+    columns = [list(c.values) for c in corpus.columns()]
+    n_values = sum(len(c) for c in columns)
+    assert n_values >= 50_000, n_values
+
+    serial_out = tmp_path / "serial"
+    start = time.perf_counter()
+    build_index_streaming(
+        columns, serial_out, corpus_name="bench",
+        workers=1, spill_mb=SPILL_MB, format=FORMAT, n_shards=N_SHARDS,
+    )
+    serial_s = time.perf_counter() - start
+
+    regimes = {}
+    for n_workers in (2, SCALING_WORKERS):
+        out = tmp_path / f"dist-{n_workers}w"
+        wall_s, stats = _dist_build(columns, n_workers, out)
+        assert _dirs_byte_identical(serial_out, out), (
+            f"{n_workers}-worker distributed build != serial bytes"
+        )
+        active = sum(w.windows_scanned > 0 for w in stats.workers)
+        assert active == n_workers, (
+            f"only {active}/{n_workers} workers participated"
+        )
+        regimes[n_workers] = (wall_s, stats)
+
+    n_cores = os.cpu_count() or 1
+    wall_4w, stats_4w = regimes[SCALING_WORKERS]
+    speedup_4w = serial_s / max(wall_4w, 1e-9)
+    gate_armed = n_cores >= SCALING_WORKERS
+    if gate_armed:
+        assert speedup_4w >= SCALING_FLOOR, (
+            f"{SCALING_WORKERS}-worker distributed build is only "
+            f"{speedup_4w:.2f}x the serial build on {n_cores} cores "
+            f"(gate: {SCALING_FLOOR:g}x)"
+        )
+
+    payload = {
+        "corpus": {"columns": len(columns), "values": n_values},
+        "config": {"format": FORMAT, "n_shards": N_SHARDS, "spill_mb": SPILL_MB,
+                   "cpu_count": n_cores, "transport": "loopback HTTP"},
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "values_per_sec": round(n_values / serial_s),
+        },
+    }
+    for n_workers, (wall_s, stats) in regimes.items():
+        payload[f"dist_{n_workers}w"] = {
+            "seconds": round(wall_s, 3),
+            "values_per_sec": round(n_values / wall_s),
+            "speedup_vs_serial": round(serial_s / max(wall_s, 1e-9), 2),
+            "n_windows": stats.n_windows,
+            "windows_retried": stats.windows_retried,
+            "windows_reassigned": stats.windows_reassigned,
+            "bytes_shipped": stats.bytes_shipped,
+            "byte_identical_to_serial": True,
+        }
+    payload[f"dist_{SCALING_WORKERS}w"]["speedup_gate_armed"] = gate_armed
+    RESULT_JSON.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    rows = [
+        {"regime": "serial streaming build (1 process)",
+         "s": f"{serial_s:.1f}", "values/s": f"{n_values / serial_s:,.0f}",
+         "shipped": "-"},
+    ]
+    for n_workers, (wall_s, stats) in regimes.items():
+        rows.append({
+            "regime": f"distributed, {n_workers} loopback workers",
+            "s": f"{wall_s:.1f}", "values/s": f"{n_values / wall_s:,.0f}",
+            "shipped": f"{stats.bytes_shipped / 2**20:.1f} MB in "
+                       f"{stats.n_windows} windows, "
+                       f"{serial_s / max(wall_s, 1e-9):.2f}x serial",
+        })
+    record_report(
+        f"Distributed build: {n_values} values, byte-identical at 2 and "
+        f"{SCALING_WORKERS} workers",
+        render_table(rows),
+    )

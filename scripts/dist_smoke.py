@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the distributed build fleet (used by CI).
+
+Builds a small synthetic lake, indexes it serially, then boots **two**
+real ``auto-validate worker`` subprocesses on loopback and drives an
+``auto-validate dist-build`` against them.  Asserts the properties a
+distributed deployment depends on:
+
+1. the distributed index is **byte-identical** to the serial build,
+2. both workers actually participated (windows on each),
+3. a worker URL that was never alive is tolerated (probed out of the
+   pool, build still completes),
+4. SIGTERM drains each worker: exit code 0, "shutdown complete" logged.
+
+Exit code 0 on success; any failure raises (non-zero exit).
+
+Usage: python scripts/dist_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def _spawn_worker(env: dict) -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = process.stdout.readline()
+    assert "worker on http://" in ready, (
+        f"worker failed to boot: {ready!r}\n{process.stderr.read()}"
+    )
+    return process, ready.split()[2]
+
+
+def _dirs_byte_identical(a: Path, b: Path) -> None:
+    names_a = sorted(p.name for p in a.iterdir())
+    names_b = sorted(p.name for p in b.iterdir())
+    assert names_a == names_b, f"file sets differ: {names_a} != {names_b}"
+    for name in names_a:
+        assert (a / name).read_bytes() == (b / name).read_bytes(), (
+            f"{name} differs between serial and distributed builds"
+        )
+
+
+def main(workdir: str | None = None) -> int:
+    from repro.cli import main as cli
+
+    root = Path(workdir or tempfile.mkdtemp(prefix="dist-smoke-"))
+    lake = root / "lake"
+    serial = root / "serial.v3"
+    dist = root / "dist.v3"
+    stats_path = root / "dist_stats.json"
+
+    assert cli(["generate", "--profile", "enterprise", "--tables", "12",
+                "--seed", "7", "--out", str(lake)]) == 0
+    assert cli(["index", "--corpus", str(lake), "--out", str(serial),
+                "--format", "v3", "--shards", "8"]) == 0
+    print(f"serial index at {serial}")
+
+    env = {"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+           "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+           "PYTHONUNBUFFERED": "1"}
+    workers = [_spawn_worker(env) for _ in range(2)]
+    try:
+        urls = [url for _, url in workers]
+        print(f"workers ready at {urls}")
+
+        # One URL that was never alive: the health probe must drop it
+        # from the pool without failing the build.
+        dead_url = "http://127.0.0.1:9"
+        assert cli(["dist-build", "--corpus", str(lake), "--out", str(dist),
+                    "--format", "v3", "--shards", "8",
+                    "--worker", urls[0], "--worker", urls[1],
+                    "--worker", dead_url,
+                    "--stats", str(stats_path)]) == 0
+
+        _dirs_byte_identical(serial, dist)
+        print("byte identity ok (serial == distributed)")
+
+        stats = json.loads(stats_path.read_text(encoding="utf-8"))
+        active = [w for w in stats["workers"] if w["windows_scanned"] > 0]
+        assert len(active) >= 2, (
+            f"expected >=2 participating workers, got {len(active)}: "
+            f"{stats['workers']}"
+        )
+        assert stats["n_workers"] == 2, stats["n_workers"]  # dead URL probed out
+        assert stats["bytes_shipped"] > 0, stats
+        print(
+            f"participation ok ({len(active)} workers, "
+            f"{stats['n_windows']} windows, "
+            f"{stats['bytes_shipped']} bytes shipped)"
+        )
+
+        for process, url in workers:
+            process.send_signal(signal.SIGTERM)
+        for process, url in workers:
+            _out, err = process.communicate(timeout=30)
+            assert process.returncode == 0, (url, process.returncode, err)
+            assert "shutdown complete" in err, (url, err)
+        print("graceful shutdown ok (both workers exited 0)")
+        return 0
+    finally:
+        for process, _url in workers:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=15)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -266,6 +266,189 @@ class AdminConfigResponse(_Envelope):
         )
 
 
+def _required_int(payload: Mapping[str, Any], field_name: str) -> int:
+    value = payload.get(field_name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f'"{field_name}" must be an integer')
+    return value
+
+
+#: The scalar EnumerationConfig knobs a scan request carries, with the
+#: JSON type each must decode to.  The hierarchy knobs ride alongside
+#: under "hierarchy" — together they pin *every* input that shapes the
+#: pattern space, so a worker can prove it will enumerate exactly what
+#: the coordinator expects (fingerprint equality) before scanning.
+_SCAN_CONFIG_FIELDS: tuple[tuple[str, type], ...] = (
+    ("tau", int),
+    ("min_coverage", float),
+    ("min_option_coverage", float),
+    ("max_patterns", int),
+    ("max_const_options", int),
+    ("max_length_options", int),
+    ("enumerate_alnum_runs", bool),
+)
+_SCAN_HIERARCHY_FIELDS: tuple[tuple[str, type], ...] = (
+    ("use_case_classes", bool),
+    ("use_num", bool),
+    ("use_alnum_fixed", bool),
+    ("use_alnum_plus", bool),
+    ("max_const_length", int),
+)
+
+
+@dataclass(frozen=True)
+class ScanRequest(_Envelope):
+    """One column window for a scan worker to enumerate and spill.
+
+    The distributed build's unit of work: the coordinator ships the
+    window's raw column values plus the *complete* enumeration config
+    (scalar knobs and hierarchy knobs) and the config fingerprint it
+    computed locally.  The worker reconstructs the config, recomputes the
+    fingerprint, and refuses the window with ``409 config_mismatch`` if
+    they disagree — version skew between coordinator and worker binaries
+    must fail before any run file exists, not as a subtly different index.
+
+    ``window_id`` is the coordinator's stable identifier for the window;
+    it survives retries and reassignment, so worker-side logs and the
+    final :class:`ScanResponse` can always be traced back to one window.
+    """
+
+    wire_type: ClassVar[str] = "scan_request"
+
+    window_id: int
+    columns: tuple[tuple[str, ...], ...]
+    config: Mapping[str, Any]
+    fingerprint: str
+    spill_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "columns", tuple(tuple(column) for column in self.columns)
+        )
+        object.__setattr__(self, "config", dict(self.config))
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "window_id": self.window_id,
+            "columns": [list(column) for column in self.columns],
+            "config": dict(self.config),
+            "fingerprint": self.fingerprint,
+            "spill_mb": self.spill_mb,
+        }
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "ScanRequest":
+        raw_columns = payload.get("columns")
+        if not isinstance(raw_columns, list):
+            raise WireError('"columns" must be a JSON array')
+        columns = []
+        for i, raw in enumerate(raw_columns):
+            if not isinstance(raw, list) or any(
+                not isinstance(v, str) for v in raw
+            ):
+                raise WireError(f"column {i} must be a JSON array of strings")
+            columns.append(tuple(raw))
+        raw_config = payload.get("config")
+        if not isinstance(raw_config, Mapping):
+            raise WireError('"config" must be a JSON object')
+        config = _validated_scan_config(raw_config)
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise WireError('"fingerprint" must be a non-empty string')
+        return cls(
+            window_id=_required_int(payload, "window_id"),
+            columns=tuple(columns),
+            config=config,
+            fingerprint=fingerprint,
+            spill_mb=_optional_number(payload, "spill_mb"),
+        )
+
+
+def _validated_scan_config(raw: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate the knob types of a scan request's ``config`` object."""
+    config: dict[str, Any] = {}
+    for name, kind in _SCAN_CONFIG_FIELDS:
+        value = raw.get(name)
+        if kind is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)  # JSON has one number type
+        if not isinstance(value, kind) or (
+            kind is not bool and isinstance(value, bool)
+        ):
+            raise WireError(
+                f'config knob "{name}" must be a {kind.__name__}'
+            )
+        config[name] = value
+    raw_hierarchy = raw.get("hierarchy")
+    if not isinstance(raw_hierarchy, Mapping):
+        raise WireError('"config.hierarchy" must be a JSON object')
+    hierarchy: dict[str, Any] = {}
+    for name, kind in _SCAN_HIERARCHY_FIELDS:
+        value = raw_hierarchy.get(name)
+        if not isinstance(value, kind) or (
+            kind is not bool and isinstance(value, bool)
+        ):
+            raise WireError(
+                f'hierarchy knob "{name}" must be a {kind.__name__}'
+            )
+        hierarchy[name] = value
+    config["hierarchy"] = hierarchy
+    return config
+
+
+@dataclass(frozen=True)
+class ScanResponse(_Envelope):
+    """A worker's receipt for one scanned window.
+
+    ``run_id`` names the consolidated run file now downloadable at
+    ``GET /v1/runs/<run_id>``; ``run_bytes`` and ``crc32`` (CRC-32 of the
+    whole run payload, footer included) let the coordinator verify the
+    download byte for byte before merging.  The scan counters feed
+    ``DistBuildStats`` per-worker throughput.
+    """
+
+    wire_type: ClassVar[str] = "scan_response"
+
+    window_id: int
+    run_id: str
+    n_entries: int
+    run_bytes: int
+    crc32: int
+    columns_scanned: int
+    values_scanned: int
+    sketch_hits: int = 0
+    sketch_misses: int = 0
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "window_id": self.window_id,
+            "run_id": self.run_id,
+            "n_entries": self.n_entries,
+            "run_bytes": self.run_bytes,
+            "crc32": self.crc32,
+            "columns_scanned": self.columns_scanned,
+            "values_scanned": self.values_scanned,
+            "sketch_hits": self.sketch_hits,
+            "sketch_misses": self.sketch_misses,
+        }
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "ScanResponse":
+        run_id = payload.get("run_id")
+        if not isinstance(run_id, str) or not run_id:
+            raise WireError('"run_id" must be a non-empty string')
+        return cls(
+            window_id=_required_int(payload, "window_id"),
+            run_id=run_id,
+            n_entries=_required_int(payload, "n_entries"),
+            run_bytes=_required_int(payload, "run_bytes"),
+            crc32=_required_int(payload, "crc32"),
+            columns_scanned=_required_int(payload, "columns_scanned"),
+            values_scanned=_required_int(payload, "values_scanned"),
+            sketch_hits=_required_int(payload, "sketch_hits"),
+            sketch_misses=_required_int(payload, "sketch_misses"),
+        )
+
+
 #: Envelope types allowed inside a batch, by their wire tag.
 _BATCHABLE: dict[str, type] = {}
 

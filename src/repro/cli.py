@@ -55,6 +55,7 @@ import argparse
 import asyncio
 import json
 import sys
+import tempfile
 from dataclasses import replace
 from pathlib import Path
 
@@ -81,7 +82,11 @@ from repro.index.store import (
     save_index,
 )
 from repro.service import AsyncValidationService, ValidationService
-from repro.server import TenantRateLimiter, ValidationHTTPServer
+from repro.server import (
+    TenantRateLimiter,
+    ValidationHTTPServer,
+    serve_with_graceful_shutdown,
+)
 from repro.validate.autotag import AutoTagger
 from repro.validate.rule import ValidationRule
 
@@ -294,25 +299,121 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ValidationHTTPServer(
             async_service, host=args.host, port=args.port, rate_limiter=limiter
         )
-        await server.start()
-        # The readiness line: smoke tests and process supervisors wait for
-        # it and parse the bound port (meaningful with --port 0).
-        print(
-            f"serving on http://{args.host}:{server.port} "
-            f"(index={args.index}, variant={args.variant})",
-            flush=True,
-        )
-        try:
-            await server.serve_forever()
-        finally:
-            await server.aclose()
+
+        def ready(bound: ValidationHTTPServer) -> None:
+            # The readiness line: smoke tests and process supervisors wait
+            # for it and parse the bound port (meaningful with --port 0).
+            print(
+                f"serving on http://{args.host}:{bound.port} "
+                f"(index={args.index}, variant={args.variant})",
+                flush=True,
+            )
+
+        # SIGTERM/SIGINT drain in-flight requests and exit 0: a TERM'd
+        # server that finished its work is a successful shutdown.
+        await serve_with_graceful_shutdown(server, ready)
 
     try:
         asyncio.run(_run())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - non-signal-handler loops
         print("shutting down", file=sys.stderr)
     finally:
         service.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    # Imported lazily: the dist subsystem is not needed for local builds.
+    from repro.dist import ScanWorkerServer
+
+    if args.serve_replica:
+        if not args.index:
+            print("--serve-replica requires --index", file=sys.stderr)
+            return 2
+        # A replica is the serving edge in read-only fleet clothing: the
+        # same routes/limits as `serve`, with --prefetch warming the
+        # shared immutable v3 index so /healthz gates traffic until warm.
+        return _cmd_serve(args)
+    if args.spill_mb <= 0:
+        print("--spill-mb must be positive", file=sys.stderr)
+        return 2
+
+    async def _run(run_dir: str) -> None:
+        server = ScanWorkerServer(
+            host=args.host, port=args.port, run_dir=run_dir, spill_mb=args.spill_mb
+        )
+
+        def ready(bound: ScanWorkerServer) -> None:
+            print(
+                f"worker on http://{args.host}:{bound.port} "
+                f"(run-dir={run_dir})",
+                flush=True,
+            )
+
+        await serve_with_graceful_shutdown(server, ready)
+
+    try:
+        if args.run_dir:
+            Path(args.run_dir).mkdir(parents=True, exist_ok=True)
+            asyncio.run(_run(args.run_dir))
+        else:
+            with tempfile.TemporaryDirectory(prefix="av-worker-") as scratch:
+                asyncio.run(_run(scratch))
+    except KeyboardInterrupt:  # pragma: no cover - non-signal-handler loops
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_dist_build(args: argparse.Namespace) -> int:
+    from repro.dist import DistBuildError, distributed_build
+
+    layout = _index_layout(args)
+    if layout is None:
+        return 2
+    format, n_shards = layout
+    if format == "v1":
+        print("dist-build writes directory formats (v2/v3); pass --format",
+              file=sys.stderr)
+        return 2
+    corpus = load_corpus(args.corpus)
+
+    def on_event(kind: str, **info: object) -> None:
+        if args.verbose or kind in ("reassign", "probe_failed"):
+            detail = " ".join(f"{k}={v}" for k, v in sorted(info.items()))
+            print(f"[dist] {kind} {detail}", file=sys.stderr, flush=True)
+
+    try:
+        stats = distributed_build(
+            corpus.column_values(),
+            args.worker,
+            args.out,
+            corpus_name=corpus.name,
+            format=format,
+            n_shards=n_shards,
+            timeout=args.timeout,
+            retries=args.retries,
+            windows_per_worker=args.windows_per_worker,
+            spill_mb=args.spill_mb,
+            on_event=on_event,
+        )
+    except DistBuildError as exc:
+        print(f"distributed build failed: {exc}", file=sys.stderr)
+        return 1
+    active = sum(w.windows_scanned > 0 for w in stats.workers)
+    print(
+        f"indexed {stats.columns_scanned} columns -> "
+        f"{stats.total_entries} patterns at {args.out} "
+        f"[{n_shards} shards (format {format}), distributed: "
+        f"workers={active}/{stats.n_workers} windows={stats.n_windows} "
+        f"retried={stats.windows_retried} reassigned={stats.windows_reassigned} "
+        f"bytes_shipped={stats.bytes_shipped} "
+        f"wall={stats.wall_seconds:.2f}s]"
+    )
+    if args.stats:
+        Path(args.stats).write_text(
+            json.dumps(stats.to_dict(), indent=1), encoding="utf-8"
+        )
+        print(f"stats written to {args.stats}")
     return 0
 
 
@@ -444,6 +545,75 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-place rebuild); first lookups are not blocked")
     add_config_args(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a distributed scan worker (or a read-only serving replica)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8081,
+                   help="listen port (0 picks a free one; see the readiness line)")
+    p.add_argument("--run-dir", dest="run_dir", default=None,
+                   help="where scanned run files live until fetched "
+                        "(default: a temporary directory removed on exit)")
+    p.add_argument("--spill-mb", type=float, default=DEFAULT_SPILL_MB,
+                   dest="spill_mb",
+                   help="per-scan memory watermark in MiB past which sorted "
+                        f"runs spill (default {DEFAULT_SPILL_MB:g}; the "
+                        "coordinator may override per window)")
+    p.add_argument("--serve-replica", action="store_true", dest="serve_replica",
+                   help="serve the read-only /v1 inference API instead of "
+                        "/v1/scan: one replica of a fleet, all mmapping the "
+                        "same immutable index (use with --index and "
+                        "--prefetch; /healthz answers 503 until warm)")
+    p.add_argument("--index", default=None,
+                   help="saved index to serve (required with --serve-replica)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="replica mode: worker processes for /v1/infer_batch")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="vh")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="replica mode: per-tenant requests/second (0 = unlimited)")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="replica mode: per-tenant burst capacity")
+    p.add_argument("--max-concurrency", type=int, default=32,
+                   dest="max_concurrency",
+                   help="replica mode: max in-flight inference calls")
+    p.add_argument("--prefetch", action="store_true",
+                   help="replica mode: warm the page cache behind a v3 index "
+                        "in the background; /healthz gates traffic until done")
+    add_config_args(p)
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "dist-build",
+        help="build an index across remote scan workers (byte-identical "
+             "to a serial build)",
+    )
+    p.add_argument("--corpus", required=True, help="directory of CSV tables")
+    p.add_argument("--worker", action="append", required=True,
+                   help="worker base URL, e.g. http://10.0.0.5:8081 "
+                        "(repeat per worker)")
+    p.add_argument("--out", required=True, help="output index directory")
+    p.add_argument("--shards", type=int, default=16,
+                   help="shard count for the final index (default 16)")
+    p.add_argument("--format", choices=sorted(available_formats()), default=None,
+                   help="index store format (v2/v3; default v2)")
+    p.add_argument("--windows-per-worker", type=int, default=4,
+                   dest="windows_per_worker",
+                   help="LPT windows per healthy worker (default 4; more "
+                        "windows = finer rebalancing, more HTTP overhead)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request timeout in seconds (default 120)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="capped-backoff retries per window before the worker "
+                        "is declared dead (default 3)")
+    p.add_argument("--spill-mb", type=float, default=None, dest="spill_mb",
+                   help="override the workers' spill watermark per window")
+    p.add_argument("--stats", default=None,
+                   help="write the DistBuildStats report as JSON here")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every dispatch/retry/window completion")
+    p.set_defaults(fn=_cmd_dist_build)
 
     p = sub.add_parser("tag", help="Auto-Tag: find columns matching examples")
     p.add_argument("--index", required=True)

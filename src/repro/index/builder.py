@@ -601,6 +601,70 @@ def _merge_runs_to_store(
     return total_entries, max_resident
 
 
+def consolidate_run_files(run_paths: Sequence[str | Path], out_path: str | Path) -> None:
+    """Merge many run-spill files into one, exactly (public wrapper).
+
+    The distributed scan worker uses this to ship one consolidated run per
+    window instead of one HTTP fetch per spill.  The cascade is the same
+    exact fixed-point merge the streaming build uses internally, so any
+    consolidation topology leaves the final index byte-identical.  Inputs
+    are left in place.
+    """
+    _consolidate_runs([Path(p) for p in run_paths], Path(out_path))
+
+
+def merge_runs_to_index(
+    run_paths: Sequence[str | Path],
+    meta: IndexMeta,
+    out: str | Path,
+    *,
+    format: str | None = None,
+    n_shards: int = 16,
+    spill_mb: float = DEFAULT_SPILL_MB,
+) -> tuple[int, int]:
+    """k-way merge run-spill files into a final sharded index (public).
+
+    The serving half of a distributed build: the coordinator downloads one
+    consolidated run per window and folds them all here.  Because every
+    run carries exact 2**-105 fixed-point partials, the output at ``out``
+    is byte-identical to a serial :func:`build_index` +
+    ``save_index`` over the same columns, regardless of how the corpus was
+    windowed across workers.  ``meta`` must carry the *summed* column and
+    value counts.  Returns ``(total_entries, max_resident_entries)``.
+
+    Note: when more than :data:`MERGE_FAN_IN` runs are given, consumed
+    batches are deleted as they cascade into consolidated runs — pass
+    scratch copies, not originals you need to keep.
+    """
+    from repro.index.store import default_format, get_store
+
+    format = format if format is not None else default_format()
+    get_store(format)
+    if format not in ("v2", "v3"):
+        raise ValueError(
+            f"run merges write directory formats (v2/v3), not {format!r}"
+        )
+    if not 1 <= n_shards <= MAX_SHARDS:
+        raise ValueError(f"n_shards must be in [1, {MAX_SHARDS}]")
+    spill_bytes = int(spill_mb * (1 << 20))
+    if spill_bytes <= 0:
+        raise ValueError("spill_mb must be positive")
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(
+        prefix=".avmerge-", dir=str(out.parent)
+    ) as scratch:
+        return _merge_runs_to_store(
+            [Path(p) for p in run_paths],
+            meta,
+            out,
+            format,
+            n_shards,
+            Path(scratch),
+            spill_bytes,
+        )
+
+
 def _scan_columns_parallel(
     columns: Iterable[Sequence[str]],
     config: EnumerationConfig | None,

@@ -719,6 +719,47 @@ def iter_run_file(path: str | Path) -> Iterator[RunEntry]:
                 yield key, lo | (mid << 64) | (hi << 128), coverage
 
 
+def verify_run_payload(data: bytes) -> tuple[int, int]:
+    """Structurally verify one run file held in memory, before trusting it.
+
+    Run files are a *wire-interchange* format in the distributed build
+    (workers ship them to the coordinator over HTTP), so a downloaded body
+    must be proven whole before it is merged: a torn TCP stream, a proxy
+    truncation, or a worker dying mid-write must surface here, not as a
+    corrupt final index.  Checks, in order: the v3 run header (magic,
+    version, ``V3_RUN_FLAG``), the exact size the header promises, and the
+    CRC-32 footer over every preceding byte.  Returns
+    ``(n_entries, crc32)`` where ``crc32`` covers the *whole* payload
+    (footer included) — the transfer-level checksum workers advertise in
+    :class:`~repro.api.wire.ScanResponse`.  Raises :class:`ValueError`
+    with a diagnosable message on any mismatch.
+    """
+    if len(data) < _V3_HEADER.size + _V3_FOOTER.size:
+        raise ValueError(
+            f"run payload is {len(data)} bytes — shorter than a v3 run header"
+        )
+    magic, version, flags, _run_id, n_entries, blob_size = _V3_HEADER.unpack_from(
+        data, 0
+    )
+    if magic != _V3_MAGIC or version != 3 or not flags & V3_RUN_FLAG:
+        raise ValueError("run payload is not a v3 run-spill file")
+    records_at = (
+        _V3_HEADER.size + _V3_OFFSET.size * (n_entries + 1) + blob_size
+    )
+    expected = records_at + _V3_RUN_RECORD.size * n_entries + _V3_FOOTER.size
+    if len(data) != expected:
+        raise ValueError(
+            f"run payload is {len(data)} bytes, header promises {expected} "
+            "(torn transfer?)"
+        )
+    stored_crc, end_magic = _V3_FOOTER.unpack_from(data, expected - _V3_FOOTER.size)
+    if end_magic != _V3_MAGIC:
+        raise ValueError("run payload end magic mismatch (torn transfer?)")
+    if zlib.crc32(data[: expected - _V3_FOOTER.size]) != stored_crc:
+        raise ValueError("run payload CRC-32 mismatch (corrupt transfer)")
+    return n_entries, zlib.crc32(data)
+
+
 class _Crc32Writer:
     """Tracks the running CRC-32 of everything written (footer support)."""
 
@@ -998,6 +1039,19 @@ class MmapShardedPatternIndex(PatternIndex):
     def prefetched_shard_count(self) -> int:
         """Shard files the background prefetcher has finished warming."""
         return self._prefetched_shards
+
+    @property
+    def prefetch_pending(self) -> bool:
+        """Whether a :meth:`start_prefetch` warm-up is still running.
+
+        Readiness probes (``/healthz``) answer 503 while this is true so
+        fleet load balancers don't route traffic to a replica still
+        faulting cold pages.  ``False`` both before any prefetch was
+        requested (the caller opted into cold serving) and after the
+        warmer finishes.
+        """
+        thread = self._prefetch_thread
+        return thread is not None and thread.is_alive()
 
     def start_prefetch(self) -> threading.Thread:
         """Warm the OS page cache behind the shard files (opt-in, async).

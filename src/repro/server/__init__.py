@@ -8,13 +8,16 @@ surfacing the full :class:`~repro.service.ServiceStats`.  The CLI front end
 is ``auto-validate serve --index DIR --port N``.
 """
 
+from repro.server.base import BaseHTTPServer, serve_with_graceful_shutdown
 from repro.server.http import MAX_BODY_BYTES, ValidationHTTPServer, run_server
 from repro.server.ratelimit import TenantRateLimiter, TokenBucket
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "BaseHTTPServer",
     "TenantRateLimiter",
     "TokenBucket",
     "ValidationHTTPServer",
     "run_server",
+    "serve_with_graceful_shutdown",
 ]

@@ -2,9 +2,9 @@
 
 The paper's deployment story (§7) is validation served "at interactive
 speed" inside production pipelines; this module is that serving edge.  It
-is deliberately stdlib-only — ``asyncio.start_server`` plus a minimal
-HTTP/1.1 request reader — so the repo's no-new-dependencies rule holds all
-the way to a bootable server.
+is deliberately stdlib-only — the shared :mod:`repro.server.base` framing
+over ``asyncio.start_server`` — so the repo's no-new-dependencies rule
+holds all the way to a bootable server.
 
 Routes (wire schema in ``src/repro/api/WIRE.md``):
 
@@ -18,16 +18,27 @@ Routes (wire schema in ``src/repro/api/WIRE.md``):
 ``POST /admin/config``    :class:`AdminConfigRequest` ->
                           :class:`AdminConfigResponse` — hot config reload
                           (loopback peers only; see below)
-``GET /healthz``          liveness + serving generation + index format
+``GET /healthz``          **readiness**: 200 once the index is warm, 503
+                          with a ``"loading"`` payload while a ``--prefetch``
+                          warm-up is still running
+``GET /livez``            **liveness**: 200 whenever the event loop answers
 ``GET /metrics``          full ``ServiceStats`` + server counters + the
                           active serving config (JSON)
 =====================  ======================================================
 
+Liveness vs readiness: replicated serving fleets route traffic on
+``/healthz`` and restart on ``/livez``.  A replica that just mmapped a
+cold multi-GB v3 index is *alive* but would serve its first requests at
+page-fault speed — while ``--prefetch`` is still warming the page cache,
+``/healthz`` answers ``503 {"status": "loading", ...}`` so load balancers
+keep routing around it, and flips to 200 the moment the warm-up finishes.
+Deployments without prefetch are ready immediately.
+
 Inference routes are guarded by a per-tenant token-bucket rate limiter
 keyed on the ``X-Tenant`` header (:mod:`repro.server.ratelimit`); an
 exhausted bucket answers ``429`` with a wire :class:`ErrorResponse`.
-``/healthz`` and ``/metrics`` are never rate-limited (probes and scrapers
-must not be starved by tenant traffic).
+``/healthz``, ``/livez`` and ``/metrics`` are never rate-limited (probes
+and scrapers must not be starved by tenant traffic).
 
 ``/admin/config`` changes rate/burst and the default variant on the
 *running* server without a restart — and, crucially, without dropping the
@@ -37,17 +48,16 @@ for other variants stay warm).  It is accepted only from loopback peers
 never rate-limited: an operator must be able to *raise* a misconfigured
 limit that is currently rejecting all traffic.
 
-Connections are HTTP/1.1 keep-alive.  Bodies arrive either with
-``Content-Length`` or as ``Transfer-Encoding: chunked`` (clients
-streaming very large columns don't need to know the total size up
-front); both paths enforce the same ``MAX_BODY_BYTES`` bound and answer
-413 past it.
+Connections are HTTP/1.1 keep-alive; bodies arrive with
+``Content-Length`` or as ``Transfer-Encoding: chunked`` (framing and
+bounds in :mod:`repro.server.base`).  ``SIGTERM``/``SIGINT`` drain
+in-flight requests before the process exits 0
+(:func:`repro.server.base.serve_with_graceful_shutdown`).
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 from typing import Awaitable, Callable, Mapping
 
 from repro.api.wire import (
@@ -62,60 +72,33 @@ from repro.api.wire import (
     WireError,
 )
 from repro.index.index import StaleIndexError
-from repro.service.async_service import AsyncValidationService
+from repro.server.base import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    MAX_LINE_BYTES,
+    BaseHTTPServer,
+    Response,
+    _HTTPError,
+    _is_loopback,
+    run_server,
+    serve_with_graceful_shutdown,
+)
 from repro.server.ratelimit import TenantRateLimiter
+from repro.service.async_service import AsyncValidationService
 from repro.validate.result import RuleSerializationError
 from repro.validate.rule import dumps_canonical
 
-#: Upper bound on request bodies (64 MiB ~ a few million short values).
-MAX_BODY_BYTES = 64 * 1024 * 1024
-#: Upper bound on the request line + one header line.
-MAX_LINE_BYTES = 64 * 1024
-#: Upper bound on the total header block, so a client streaming endless
-#: header lines cannot grow memory without bound.
-MAX_HEADER_BYTES = 256 * 1024
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    403: "Forbidden",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    411: "Length Required",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_LINE_BYTES",
+    "ValidationHTTPServer",
+    "run_server",
+    "serve_with_graceful_shutdown",
+]
 
 
-def _is_loopback(peer: tuple | None) -> bool:
-    """Whether a transport peername is a loopback address.
-
-    Admin requests must originate on the box itself; a missing peername
-    (no transport info) fails closed.
-    """
-    if not peer:
-        return False
-    host = str(peer[0])
-    return (
-        host == "::1"
-        or host.startswith("127.")
-        or host.startswith("::ffff:127.")
-    )
-
-
-class _HTTPError(Exception):
-    """Internal: unwinds request handling into a wire ErrorResponse."""
-
-    def __init__(self, status: int, code: str, message: str):
-        super().__init__(message)
-        self.status = status
-        self.code = code
-        self.message = message
-
-
-class ValidationHTTPServer:
+class ValidationHTTPServer(BaseHTTPServer):
     """Serves one :class:`AsyncValidationService` over HTTP."""
 
     def __init__(
@@ -125,17 +108,14 @@ class ValidationHTTPServer:
         port: int = 8080,
         rate_limiter: TenantRateLimiter | None = None,
     ):
+        super().__init__(host, port)
         self.service = service
-        self.host = host
-        self._requested_port = port
-        self._server: asyncio.base_events.Server | None = None
         self.rate_limiter = rate_limiter or TenantRateLimiter(rate=0.0, burst=1.0)
-        self.requests_total = 0
         self.rate_limited_total = 0
-        self.errors_total = 0
         # Static routing table, built once: (handler, needs_post).
-        self._routes: dict[str, tuple[Callable[..., Awaitable[str]], bool]] = {
+        self._routes: dict[str, tuple[Callable[..., Awaitable[Response]], bool]] = {
             "/healthz": (self._handle_healthz, False),
+            "/livez": (self._handle_livez, False),
             "/metrics": (self._handle_metrics, False),
             "/v1/infer": (self._handle_infer, True),
             "/v1/validate": (self._handle_validate, True),
@@ -143,274 +123,72 @@ class ValidationHTTPServer:
             "/admin/config": (self._handle_admin_config, True),
         }
 
-    # -- lifecycle -----------------------------------------------------------
-
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ``port=0`` after :meth:`start`)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            host=self.host,
-            port=self._requested_port,
-            limit=MAX_LINE_BYTES,
-        )
-
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        assert self._server is not None
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-
-    # -- connection handling -------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        peer = writer.get_extra_info("peername")
-        try:
-            while True:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, headers, body, peer)
-                keep_alive = (
-                    headers.get("connection", "keep-alive").lower() != "close"
-                )
-                self._write_response(
-                    writer, status, payload, keep_alive, head_only=(method == "HEAD")
-                )
-                await writer.drain()
-                if not keep_alive:
-                    break
-        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            pass  # client went away or overflowed a line: drop the connection
-        except _HTTPError as exc:
-            # Malformed framing: answer once, then close (we cannot trust
-            # the stream position any more).
-            try:
-                self._write_response(
-                    writer,
-                    exc.status,
-                    ErrorResponse(exc.code, exc.message, exc.status).to_json(),
-                    keep_alive=False,
-                )
-                await writer.drain()
-            except ConnectionError:
-                pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except ConnectionError:
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, str], bytes] | None:
-        """One request off the stream; None on clean EOF between requests."""
-        try:
-            request_line = await reader.readline()
-        except (asyncio.LimitOverrunError, ValueError) as exc:
-            raise _HTTPError(400, "bad_request", f"oversized request line: {exc}")
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            raise _HTTPError(400, "bad_request", "malformed request line")
-        method, target, _version = parts
-
-        headers: dict[str, str] = {}
-        header_bytes = 0
-        while True:
-            try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError) as exc:
-                raise _HTTPError(400, "bad_request", f"oversized header line: {exc}")
-            if not line:
-                raise _HTTPError(400, "bad_request", "truncated headers")
-            header_bytes += len(line)
-            if header_bytes > MAX_HEADER_BYTES:
-                raise _HTTPError(400, "bad_request", "header block too large")
-            text = line.decode("latin-1").strip()
-            if not text:
-                break
-            name, _, value = text.partition(":")
-            headers[name.strip().lower()] = value.strip()
-
-        body = b""
-        if "chunked" in headers.get("transfer-encoding", "").lower():
-            body = await self._read_chunked_body(reader)
-        elif "content-length" in headers:
-            try:
-                length = int(headers["content-length"])
-            except ValueError:
-                raise _HTTPError(400, "bad_request", "invalid Content-Length")
-            if length < 0:
-                raise _HTTPError(400, "bad_request", "invalid Content-Length")
-            if length > MAX_BODY_BYTES:
-                raise _HTTPError(413, "payload_too_large", "request body too large")
-            body = await reader.readexactly(length)
-        return method, target.split("?", 1)[0], headers, body
-
-    async def _read_chunked_body(self, reader: asyncio.StreamReader) -> bytes:
-        """Decode a ``Transfer-Encoding: chunked`` body (RFC 9112 §7.1).
-
-        Clients streaming very large columns can't always know the total
-        size up front; chunked framing lets them start sending anyway.
-        The cumulative size is bounded by the same ``MAX_BODY_BYTES`` as
-        Content-Length bodies — the bound is enforced *before* each chunk
-        is read, so an attacker declaring a huge chunk never gets it
-        buffered.  Chunks coalesce into one bytearray as they arrive:
-        the bound must cover real memory, and a list of millions of tiny
-        chunk objects would cost ~50x their payload in object headers.
-        Chunk extensions are ignored; trailer headers are drained
-        (bounded) and discarded.
-        """
-        body = bytearray()
-        while True:
-            try:
-                size_line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError) as exc:
-                raise _HTTPError(400, "bad_request", f"oversized chunk-size line: {exc}")
-            if not size_line:
-                raise _HTTPError(400, "bad_request", "truncated chunked body")
-            size_text = size_line.decode("latin-1").strip().split(";", 1)[0]
-            try:
-                size = int(size_text, 16)
-            except ValueError:
-                raise _HTTPError(400, "bad_request", f"invalid chunk size {size_text!r}")
-            if size < 0:
-                raise _HTTPError(400, "bad_request", "invalid chunk size")
-            if size == 0:
-                break
-            if len(body) + size > MAX_BODY_BYTES:
-                raise _HTTPError(413, "payload_too_large", "chunked body too large")
-            body += await reader.readexactly(size)
-            if await reader.readexactly(2) != b"\r\n":
-                raise _HTTPError(400, "bad_request", "malformed chunk terminator")
-        trailer_bytes = 0
-        while True:  # drain (and discard) any trailer section
-            try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError) as exc:
-                raise _HTTPError(400, "bad_request", f"oversized trailer line: {exc}")
-            if not line:
-                raise _HTTPError(400, "bad_request", "truncated chunked trailers")
-            trailer_bytes += len(line)
-            if trailer_bytes > MAX_HEADER_BYTES:
-                raise _HTTPError(400, "bad_request", "trailer block too large")
-            if line in (b"\r\n", b"\n"):
-                break
-        return bytes(body)
-
-    def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: str,
-        keep_alive: bool,
-        head_only: bool = False,
-    ) -> None:
-        data = payload.encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json; charset=utf-8\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
-        # HEAD: headers (with the GET-equivalent Content-Length) but no
-        # body, or keep-alive clients would misframe the next response.
-        writer.write(head.encode("latin-1") + (b"" if head_only else data))
-
     # -- routing -------------------------------------------------------------
 
-    async def _dispatch(
+    async def _handle(
         self,
         method: str,
         path: str,
         headers: Mapping[str, str],
         body: bytes,
-        peer: tuple | None = None,
-    ) -> tuple[int, str]:
-        self.requests_total += 1
-        try:
-            handler, needs_post = self._route(path)
-            if needs_post and method != "POST":
-                raise _HTTPError(405, "method_not_allowed", f"{path} requires POST")
-            if not needs_post and method not in ("GET", "HEAD"):
-                raise _HTTPError(405, "method_not_allowed", f"{path} requires GET")
-            if handler == self._handle_admin_config:
-                # Loopback-only and never rate-limited: the operator must
-                # be able to fix a limiter that is rejecting everything.
-                if not _is_loopback(peer):
+        peer: tuple | None,
+    ) -> Response:
+        handler, needs_post = self._route(path)
+        if needs_post and method != "POST":
+            raise _HTTPError(405, "method_not_allowed", f"{path} requires POST")
+        if not needs_post and method not in ("GET", "HEAD"):
+            raise _HTTPError(405, "method_not_allowed", f"{path} requires GET")
+        if handler == self._handle_admin_config:
+            # Loopback-only and never rate-limited: the operator must
+            # be able to fix a limiter that is rejecting everything.
+            if not _is_loopback(peer):
+                raise _HTTPError(
+                    403, "forbidden", "/admin/config is loopback-only"
+                )
+        elif needs_post:
+            tenant = headers.get("x-tenant", "")
+            # A batch costs one token per item, or /v1/infer_batch would
+            # bypass the per-tenant limit entirely (10k inferences for
+            # one token).  The envelope is parsed once, before the
+            # limiter, and handed to the handler already decoded.
+            cost = 1.0
+            if handler == self._handle_infer_batch:
+                body = BatchEnvelope.from_json(body)
+                cost = float(max(1, len(body.items)))
+                if self.rate_limiter.enabled and cost > self.rate_limiter.burst:
+                    # A bucket capped at `burst` can never admit this
+                    # batch; a plain 429 would invite futile retries.
                     raise _HTTPError(
-                        403, "forbidden", "/admin/config is loopback-only"
+                        413,
+                        "batch_too_large",
+                        f"batch of {len(body.items)} items exceeds the "
+                        f"per-tenant burst capacity "
+                        f"({self.rate_limiter.burst:g}); split the batch",
                     )
-            elif needs_post:
-                tenant = headers.get("x-tenant", "")
-                # A batch costs one token per item, or /v1/infer_batch would
-                # bypass the per-tenant limit entirely (10k inferences for
-                # one token).  The envelope is parsed once, before the
-                # limiter, and handed to the handler already decoded.
-                cost = 1.0
-                if handler == self._handle_infer_batch:
-                    body = BatchEnvelope.from_json(body)
-                    cost = float(max(1, len(body.items)))
-                    if self.rate_limiter.enabled and cost > self.rate_limiter.burst:
-                        # A bucket capped at `burst` can never admit this
-                        # batch; a plain 429 would invite futile retries.
-                        raise _HTTPError(
-                            413,
-                            "batch_too_large",
-                            f"batch of {len(body.items)} items exceeds the "
-                            f"per-tenant burst capacity "
-                            f"({self.rate_limiter.burst:g}); split the batch",
-                        )
-                if not self.rate_limiter.allow(tenant, cost):
-                    self.rate_limited_total += 1
-                    raise _HTTPError(
-                        429,
-                        "rate_limited",
-                        f"tenant {tenant!r} exceeded the request rate",
-                    )
-            return 200, await handler(body)
-        except _HTTPError as exc:
-            self.errors_total += 1
-            return exc.status, ErrorResponse(exc.code, exc.message, exc.status).to_json()
-        except WireError as exc:
-            self.errors_total += 1
-            return 400, ErrorResponse("bad_request", str(exc), 400).to_json()
-        except RuleSerializationError as exc:
-            self.errors_total += 1
-            return 400, ErrorResponse("unserializable_rule", str(exc), 400).to_json()
-        except StaleIndexError as exc:
+            if not self.rate_limiter.allow(tenant, cost):
+                self.rate_limited_total += 1
+                raise _HTTPError(
+                    429,
+                    "rate_limited",
+                    f"tenant {tenant!r} exceeded the request rate",
+                )
+        return await handler(body)
+
+    def _classify_error(self, exc: Exception) -> tuple[int, str, str]:
+        if isinstance(exc, WireError):
+            return 400, "bad_request", str(exc)
+        if isinstance(exc, RuleSerializationError):
+            return 400, "unserializable_rule", str(exc)
+        if isinstance(exc, StaleIndexError):
             # A server-side fault (mid-rebuild torn index), not a client
             # error: 503 tells retry-aware clients to try again shortly.
-            self.errors_total += 1
-            return 503, ErrorResponse("index_unavailable", str(exc), 503).to_json()
-        except ValueError as exc:
+            return 503, "index_unavailable", str(exc)
+        if isinstance(exc, ValueError):
             # e.g. unknown variant names surfaced by the registry/service
-            self.errors_total += 1
-            return 400, ErrorResponse("bad_request", str(exc), 400).to_json()
-        except Exception as exc:  # noqa: BLE001 - the edge must not crash
-            self.errors_total += 1
-            return 500, ErrorResponse("internal", f"{type(exc).__name__}: {exc}", 500).to_json()
+            return 400, "bad_request", str(exc)
+        return super()._classify_error(exc)
 
-    def _route(self, path: str) -> tuple[Callable[..., Awaitable[str]], bool]:
+    def _route(self, path: str) -> tuple[Callable[..., Awaitable[Response]], bool]:
         try:
             return self._routes[path]
         except KeyError:
@@ -418,8 +196,31 @@ class ValidationHTTPServer:
 
     # -- handlers ------------------------------------------------------------
 
-    async def _handle_healthz(self, _body: bytes) -> str:
+    def _index_warming(self) -> bool:
+        """Whether a background prefetch is still warming the served index.
+
+        Only index objects that expose ``prefetch_pending`` (the mmap v3
+        backend) can be "cold"; every other format is ready as soon as it
+        is open.
+        """
+        return bool(
+            getattr(self.service.service.index, "prefetch_pending", False)
+        )
+
+    async def _handle_healthz(self, _body: bytes) -> Response:
         stats = self.service.stats()
+        if self._index_warming():
+            # Not ready: the index is still warming.  Fleet probes must
+            # not route traffic here yet — but the replica is alive
+            # (/livez says so), so supervisors must not restart it either.
+            return 503, dumps_canonical(
+                {
+                    "status": "loading",
+                    "generation": stats.generation,
+                    "index_format": stats.index_format,
+                    "api_version": "v1",
+                }
+            )
         return dumps_canonical(
             {
                 "status": "ok",
@@ -428,6 +229,12 @@ class ValidationHTTPServer:
                 "api_version": "v1",
             }
         )
+
+    async def _handle_livez(self, _body: bytes) -> str:
+        # Pure liveness: if the event loop got here, the process is alive.
+        # Deliberately touches no service state (a wedged index reload
+        # must not look like a dead process).
+        return dumps_canonical({"status": "alive", "api_version": "v1"})
 
     async def _handle_metrics(self, _body: bytes) -> str:
         stats = self.service.stats()
@@ -448,6 +255,8 @@ class ValidationHTTPServer:
                 "requests_total": self.requests_total,
                 "rate_limited_total": self.rate_limited_total,
                 "errors_total": self.errors_total,
+                "inflight": self.inflight,
+                "ready": not self._index_warming(),
                 "tenants": self.rate_limiter.tenants(),
                 # The *active* serving config — after any /admin/config
                 # reloads — so operators can confirm what is enforced.
@@ -518,15 +327,3 @@ class ValidationHTTPServer:
                 for result in results
             )
         ).to_json()
-
-
-async def run_server(
-    server: ValidationHTTPServer,
-    ready: Callable[[ValidationHTTPServer], None] | None = None,
-) -> None:
-    """Start ``server``, invoke ``ready`` (the CLI prints the bound address
-    there), then serve until cancelled."""
-    await server.start()
-    if ready is not None:
-        ready(server)
-    await server.serve_forever()
