@@ -109,6 +109,7 @@ class SetIterationRule(LintRule):
         "repro/service/cache.py",
         "repro/validate/rule.py",
         "repro/validate/result.py",
+        "repro/watch/",
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:

@@ -6,8 +6,10 @@ a crash — it is an fd-exhaustion failure hours into a long merge, or a
 Windows-style "file in use" error when a builder tries to replace a
 shard that a forgotten reader still maps.
 
-AV501 requires every resource acquisition in ``repro/index/`` to have a
-visible release in the same lexical scope.  An acquisition
+AV501 requires every resource acquisition in ``repro/index/`` and
+``repro/watch/`` (whose append-only stores hold segment and log file
+handles) to have a visible release in the same lexical scope.  An
+acquisition
 (``mmap.mmap`` / ``open`` / ``os.open`` / ``gzip.open``) passes when it
 is:
 
@@ -51,10 +53,11 @@ class ResourceLifecycleRule(LintRule):
     rule_id = "AV501"
     name = "lifecycle/unreleased-resource"
     description = (
-        "mmap.mmap/open/os.open in repro/index/ must be released: use a "
-        "'with' block, contextlib.closing, or pair with .close()/os.close()"
+        "mmap.mmap/open/os.open in repro/index/ or repro/watch/ must be "
+        "released: use a 'with' block, contextlib.closing, or pair with "
+        ".close()/os.close()"
     )
-    scope = ("repro/index/",)
+    scope = ("repro/index/", "repro/watch/")
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

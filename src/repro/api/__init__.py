@@ -29,6 +29,15 @@ Quickstart::
     v = get_validator("fmdv-vh", index=index)
     result = v.infer(train_values)          # unified InferenceResult
     wire = result.to_json()                 # lossless round-trip
+
+The monitoring surface is re-exported here too: the in-process loop
+(:class:`FeedMonitor` / :class:`FeedReport` / :class:`ColumnAlert`), its
+long-running service form (:class:`WatchService`, :class:`Alert`, the
+``Watch*`` wire envelopes), and the watch HTTP edge
+(:class:`WatchHTTPServer`).  The watch classes resolve lazily (PEP 562):
+``repro.watch`` imports ``repro.api.wire``, so an eager import here would
+be circular — and the facade stays cheap to import for users who never
+monitor anything.
 """
 
 from repro.api.protocol import Validator
@@ -50,8 +59,15 @@ from repro.api.wire import (
     InferResponse,
     ValidateRequest,
     ValidateResponse,
+    WatchAlertsResponse,
+    WatchRefreshRequest,
+    WatchRefreshResponse,
+    WatchRegisterRequest,
+    WatchRegisterResponse,
+    WatchStatusResponse,
     WireError,
 )
+from repro.monitor import ColumnAlert, FeedMonitor, FeedReport
 from repro.index.store import (
     IndexStore,
     available_formats,
@@ -72,22 +88,69 @@ from repro.validate.result import (
 #: Version prefix of the served HTTP routes (``/v1/...``) and of this facade.
 API_VERSION = "v1"
 
+#: Watch-layer names re-exported lazily (PEP 562): ``repro.watch`` imports
+#: ``repro.api.wire``, so importing it eagerly here would be circular.
+_WATCH_EXPORTS = {
+    "Alert": "repro.watch.alerts",
+    "AlertLog": "repro.watch.alerts",
+    "BaselineDecision": "repro.watch.baseline",
+    "ColumnBaseline": "repro.watch.baseline",
+    "Observation": "repro.watch.timeseries",
+    "TimeSeriesStore": "repro.watch.timeseries",
+    "WatchHTTPServer": "repro.watch.server",
+    "WatchRegistry": "repro.watch.registry",
+    "WatchService": "repro.watch.service",
+    "render_report": "repro.watch.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _WATCH_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_WATCH_EXPORTS))
+
+
 __all__ = [
     "API_VERSION",
     "AdminConfigRequest",
     "AdminConfigResponse",
+    "Alert",
+    "AlertLog",
+    "BaselineDecision",
     "BatchEnvelope",
+    "ColumnAlert",
+    "ColumnBaseline",
     "ErrorResponse",
+    "FeedMonitor",
+    "FeedReport",
     "IndexStore",
     "InferRequest",
     "InferResponse",
     "InferenceResult",
+    "Observation",
     "RuleSerializationError",
     "SOLVER_CLASSES",
+    "TimeSeriesStore",
     "ValidateRequest",
     "ValidateResponse",
     "Validator",
     "WIRE_VERSION",
+    "WatchAlertsResponse",
+    "WatchHTTPServer",
+    "WatchRefreshRequest",
+    "WatchRefreshResponse",
+    "WatchRegistry",
+    "WatchRegisterRequest",
+    "WatchRegisterResponse",
+    "WatchService",
+    "WatchStatusResponse",
     "WireError",
     "available_formats",
     "available_validators",
@@ -98,6 +161,7 @@ __all__ = [
     "open_index",
     "register_store",
     "register_validator",
+    "render_report",
     "resolve_name",
     "rule_from_payload",
     "rule_to_payload",

@@ -449,6 +449,273 @@ class ScanResponse(_Envelope):
         )
 
 
+def _required_string(payload: Mapping[str, Any], field_name: str) -> str:
+    value = payload.get(field_name)
+    if not isinstance(value, str) or not value:
+        raise WireError(f'"{field_name}" must be a non-empty string')
+    return value
+
+
+def _columns_mapping(payload: Mapping[str, Any]) -> dict[str, tuple[str, ...]]:
+    """Validate a ``{"column": ["value", ...]}`` feed snapshot."""
+    raw = payload.get("columns")
+    if not isinstance(raw, Mapping):
+        raise WireError('"columns" must be a JSON object of string arrays')
+    columns: dict[str, tuple[str, ...]] = {}
+    for name in sorted(raw):
+        if not isinstance(name, str) or not name:
+            raise WireError("column names must be non-empty strings")
+        values = raw[name]
+        if not isinstance(values, list) or any(
+            not isinstance(v, str) for v in values
+        ):
+            raise WireError(f'column "{name}" must be a JSON array of strings')
+        columns[name] = tuple(values)
+    return columns
+
+
+def _object_tuple(payload: Mapping[str, Any], field_name: str) -> tuple[dict[str, Any], ...]:
+    """A JSON array of objects (alert payloads, per-column results, ...)."""
+    raw = payload.get(field_name)
+    if not isinstance(raw, list):
+        raise WireError(f'"{field_name}" must be a JSON array')
+    items = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            raise WireError(f'"{field_name}" item {i} must be a JSON object')
+        items.append(dict(item))
+    return tuple(items)
+
+
+class _WatchFeedEnvelope(_Envelope):
+    """Shared shape of the watch requests: a (tenant, feed) snapshot."""
+
+    tenant: str
+    feed: str
+    columns: Mapping[str, tuple[str, ...]]
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "feed": self.feed,
+            "columns": {
+                name: list(values) for name, values in sorted(self.columns.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class WatchRegisterRequest(_WatchFeedEnvelope):
+    """Register (or re-learn) a watched feed from a training snapshot.
+
+    ``interval_seconds`` declares the expected refresh cadence; the watch
+    scheduler raises a ``missed_refresh`` alert when the feed goes silent
+    past it.  ``null`` means ad hoc (no freshness checks).  Re-registering
+    an existing feed re-learns the supplied columns and resets their
+    baselines — the confirmed-upstream-change path
+    (``FeedMonitor.relearn`` semantics).
+    """
+
+    wire_type: ClassVar[str] = "watch_register_request"
+
+    tenant: str
+    feed: str
+    columns: Mapping[str, tuple[str, ...]]
+    interval_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "columns",
+            {name: tuple(values) for name, values in dict(self.columns).items()},
+        )
+
+    def _body(self) -> dict[str, Any]:
+        body = super()._body()
+        body["interval_seconds"] = self.interval_seconds
+        return body
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchRegisterRequest":
+        return cls(
+            tenant=_required_string(payload, "tenant"),
+            feed=_required_string(payload, "feed"),
+            columns=_columns_mapping(payload),
+            interval_seconds=_optional_number(payload, "interval_seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class WatchRegisterResponse(_Envelope):
+    """Per-column learn outcomes: the rule kind, or the abstention reason."""
+
+    wire_type: ClassVar[str] = "watch_register_response"
+
+    tenant: str
+    feed: str
+    outcomes: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "outcomes", dict(self.outcomes))
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "feed": self.feed,
+            "outcomes": dict(sorted(self.outcomes.items())),
+        }
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchRegisterResponse":
+        raw = payload.get("outcomes")
+        if not isinstance(raw, Mapping) or any(
+            not isinstance(k, str) or not isinstance(v, str) for k, v in raw.items()
+        ):
+            raise WireError('"outcomes" must be a JSON object of strings')
+        return cls(
+            tenant=_required_string(payload, "tenant"),
+            feed=_required_string(payload, "feed"),
+            outcomes=dict(raw),
+        )
+
+
+@dataclass(frozen=True)
+class WatchRefreshRequest(_WatchFeedEnvelope):
+    """Validate one refresh of a registered feed."""
+
+    wire_type: ClassVar[str] = "watch_refresh_request"
+
+    tenant: str
+    feed: str
+    columns: Mapping[str, tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "columns",
+            {name: tuple(values) for name, values in dict(self.columns).items()},
+        )
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchRefreshRequest":
+        return cls(
+            tenant=_required_string(payload, "tenant"),
+            feed=_required_string(payload, "feed"),
+            columns=_columns_mapping(payload),
+        )
+
+
+@dataclass(frozen=True)
+class WatchRefreshResponse(_Envelope):
+    """The outcome of one refresh: per-column results + emitted alerts.
+
+    ``results`` items and ``alerts`` items are plain JSON objects (the
+    per-column result payloads of ``WatchService.refresh`` and
+    ``Alert.to_payload`` respectively) — they stay dicts on the wire so
+    the envelope does not pin the monitoring layer's evolving detail
+    fields into the wire schema.
+    """
+
+    wire_type: ClassVar[str] = "watch_refresh_response"
+
+    tenant: str
+    feed: str
+    refresh_id: int
+    ts: float
+    results: tuple[dict[str, Any], ...]
+    columns_skipped: tuple[str, ...]
+    severity_counts: Mapping[str, int]
+    alerts: tuple[dict[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(dict(r) for r in self.results))
+        object.__setattr__(self, "columns_skipped", tuple(self.columns_skipped))
+        object.__setattr__(self, "severity_counts", dict(self.severity_counts))
+        object.__setattr__(self, "alerts", tuple(dict(a) for a in self.alerts))
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "feed": self.feed,
+            "refresh_id": self.refresh_id,
+            "ts": self.ts,
+            "results": [dict(r) for r in self.results],
+            "columns_skipped": list(self.columns_skipped),
+            "severity_counts": dict(sorted(self.severity_counts.items())),
+            "alerts": [dict(a) for a in self.alerts],
+        }
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchRefreshResponse":
+        raw_skipped = payload.get("columns_skipped", [])
+        if not isinstance(raw_skipped, list) or any(
+            not isinstance(v, str) for v in raw_skipped
+        ):
+            raise WireError('"columns_skipped" must be a JSON array of strings')
+        raw_counts = payload.get("severity_counts", {})
+        if not isinstance(raw_counts, Mapping) or any(
+            not isinstance(k, str)
+            or isinstance(v, bool)
+            or not isinstance(v, int)
+            for k, v in raw_counts.items()
+        ):
+            raise WireError('"severity_counts" must be a JSON object of integers')
+        raw_ts = payload.get("ts")
+        if isinstance(raw_ts, bool) or not isinstance(raw_ts, (int, float)):
+            raise WireError('"ts" must be a number')
+        return cls(
+            tenant=_required_string(payload, "tenant"),
+            feed=_required_string(payload, "feed"),
+            refresh_id=_required_int(payload, "refresh_id"),
+            ts=float(raw_ts),
+            results=_object_tuple(payload, "results"),
+            columns_skipped=tuple(raw_skipped),
+            severity_counts=dict(raw_counts),
+            alerts=_object_tuple(payload, "alerts"),
+        )
+
+
+@dataclass(frozen=True)
+class WatchStatusResponse(_Envelope):
+    """The service's full observable state (baselines, cadence, stores)."""
+
+    wire_type: ClassVar[str] = "watch_status_response"
+
+    status: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "status", dict(self.status))
+
+    def _body(self) -> dict[str, Any]:
+        return {"status": dict(self.status)}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchStatusResponse":
+        raw = payload.get("status")
+        if not isinstance(raw, Mapping):
+            raise WireError('"status" must be a JSON object')
+        return cls(status=dict(raw))
+
+
+@dataclass(frozen=True)
+class WatchAlertsResponse(_Envelope):
+    """The newest retained alerts (``Alert.to_payload`` objects)."""
+
+    wire_type: ClassVar[str] = "watch_alerts_response"
+
+    alerts: tuple[dict[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alerts", tuple(dict(a) for a in self.alerts))
+
+    def _body(self) -> dict[str, Any]:
+        return {"alerts": [dict(a) for a in self.alerts]}
+
+    @classmethod
+    def _from_body(cls, payload: Mapping[str, Any]) -> "WatchAlertsResponse":
+        return cls(alerts=_object_tuple(payload, "alerts"))
+
+
 #: Envelope types allowed inside a batch, by their wire tag.
 _BATCHABLE: dict[str, type] = {}
 

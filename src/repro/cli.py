@@ -14,6 +14,12 @@ Installed as the ``auto-validate`` console script::
     auto-validate infer    --index lake.idx --column a.txt b.txt c.txt
     auto-validate validate --rule rule.json --column tomorrow.txt
     auto-validate tag      --index lake.idx.gz --examples ex.txt --corpus lake/
+    auto-validate watch    --state-dir watch/ --index lake.idx.gz \
+                           --tenant acme --feed orders --register train.json
+    auto-validate watch    --state-dir watch/ --tenant acme --feed orders \
+                           --once refresh.json
+    auto-validate watch    --state-dir watch/ --serve --port 8082
+    auto-validate watch    --state-dir watch/ --report md --out report.md
 
 Column files are plain text, one value per line.  Rules round-trip as JSON
 (:meth:`repro.validate.rule.ValidationRule.to_dict`).  Index layouts go
@@ -437,6 +443,116 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_feed(path: str) -> dict[str, list[str]]:
+    """A feed snapshot: JSON object of ``{"column": ["value", ...]}``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or any(
+        not isinstance(values, list) for values in payload.values()
+    ):
+        raise SystemExit(f"{path} must be a JSON object of string arrays")
+    return {
+        str(column): [str(v) for v in values]
+        for column, values in payload.items()
+    }
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    # Imported lazily: the watch subsystem is not needed for one-shot paths.
+    from repro.validate.hybrid import HybridValidator
+    from repro.watch import REPORT_FORMATS, WatchHTTPServer, WatchService
+
+    actions = [
+        bool(args.register), bool(args.once), args.serve, bool(args.report)
+    ]
+    if sum(actions) != 1:
+        print(
+            "pass exactly one of --register / --once / --serve / --report",
+            file=sys.stderr,
+        )
+        return 2
+
+    learner = None
+    if args.index:
+        validator = HybridValidator(open_index(args.index), (), _config(args))
+        learner = validator.infer
+    service = WatchService(args.state_dir, learner=learner)
+
+    if args.register:
+        if not args.index:
+            print("--register needs --index (rules are learned)", file=sys.stderr)
+            return 2
+        columns = _read_feed(args.register)
+        outcomes = service.register(
+            args.tenant, args.feed, columns, interval_seconds=args.interval
+        )
+        for column, outcome in sorted(outcomes.items()):
+            print(f"{args.tenant}/{args.feed}.{column}: {outcome}")
+        return 0
+
+    if args.once:
+        columns = _read_feed(args.once)
+        outcome = service.refresh(args.tenant, args.feed, columns)
+        counts = outcome["severity_counts"]
+        print(
+            f"refresh {outcome['refresh_id']}: "
+            f"{counts['ok']} ok, {counts['warning']} warning, "
+            f"{counts['critical']} critical"
+            + (
+                f", skipped: {', '.join(outcome['columns_skipped'])}"
+                if outcome["columns_skipped"]
+                else ""
+            )
+        )
+        for alert in outcome["alerts"]:
+            where = f"{alert['tenant']}/{alert['feed']}.{alert['column']}"
+            print(f"ALERT [{alert['severity']}] {alert['kind']} {where}: "
+                  f"{alert['message']}")
+        return 2 if outcome["alerts"] else 0
+
+    if args.report:
+        if args.report not in REPORT_FORMATS:
+            print(f"--report must be one of {REPORT_FORMATS}", file=sys.stderr)
+            return 2
+        text = service.report(format=args.report)
+        if args.out:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    # --serve
+    if args.tick_seconds <= 0:
+        print("--tick-seconds must be positive", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        server = WatchHTTPServer(
+            service,
+            host=args.host,
+            port=args.port,
+            tick_seconds=args.tick_seconds,
+        )
+
+        def ready(bound: WatchHTTPServer) -> None:
+            # The readiness line: smoke tests and supervisors wait for it
+            # and parse the bound port (meaningful with --port 0).
+            print(
+                f"watching on http://{args.host}:{bound.port} "
+                f"(state-dir={args.state_dir}, "
+                f"learner={'yes' if learner else 'no'})",
+                flush=True,
+            )
+
+        await serve_with_graceful_shutdown(server, ready)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - non-signal-handler loops
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the analysis framework is not needed for serving paths.
     from repro.analysis.cli import run_lint
@@ -614,6 +730,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log every dispatch/retry/window completion")
     p.set_defaults(fn=_cmd_dist_build)
+
+    p = sub.add_parser(
+        "watch",
+        help="continuous data-quality monitoring: register feeds, validate "
+             "refreshes, learn baselines, alert, report",
+    )
+    p.add_argument("--state-dir", required=True, dest="state_dir",
+                   help="the watch state directory (registry, alert log, "
+                        "time series); created if missing")
+    p.add_argument("--index", default=None,
+                   help="saved index to learn rules from (required for "
+                        "--register; --once/--report/--serve replay "
+                        "persisted rules without it)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant namespace (default 'default')")
+    p.add_argument("--feed", default="feed",
+                   help="feed name within the tenant (default 'feed')")
+    p.add_argument("--register", default=None, metavar="FEED_JSON",
+                   help="learn rules from this training snapshot "
+                        '({"column": ["value", ...]}) and start watching; '
+                        "re-registering re-learns and re-arms baselines")
+    p.add_argument("--interval", type=float, default=None,
+                   help="expected refresh cadence in seconds (with "
+                        "--register; missed refreshes alert via the "
+                        "scheduler)")
+    p.add_argument("--once", default=None, metavar="FEED_JSON",
+                   help="validate one refresh snapshot now; exit 2 if any "
+                        "alert fired")
+    p.add_argument("--serve", action="store_true",
+                   help="serve the /v1/watch API over HTTP until "
+                        "SIGTERM/SIGINT (graceful drain)")
+    p.add_argument("--report", default=None, choices=("json", "md", "html"),
+                   help="render the monitoring report to stdout (or --out)")
+    p.add_argument("--out", default=None,
+                   help="write the --report output here instead of stdout")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8082,
+                   help="listen port (0 picks a free one; see the readiness "
+                        "line)")
+    p.add_argument("--tick-seconds", type=float, default=5.0,
+                   dest="tick_seconds",
+                   help="scheduler cadence for freshness checks while "
+                        "serving (default 5)")
+    add_config_args(p)
+    p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser("tag", help="Auto-Tag: find columns matching examples")
     p.add_argument("--index", required=True)

@@ -19,14 +19,19 @@ loop around the inference engines:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.config import DEFAULT_CONFIG, AutoValidateConfig
 from repro.index.index import PatternIndex
 from repro.validate.hybrid import HybridValidator
 from repro.validate.result import InferenceResult
-from repro.validate.rule import ValidationReport
+from repro.validate.rule import ValidationReport, dumps_canonical
+
+#: Default bound on ``FeedMonitor.history`` — a long-lived monitor on a
+#: noisy feed must not grow memory without bound; the newest alerts win.
+DEFAULT_MAX_HISTORY = 1000
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,30 @@ class ColumnAlert:
 
     def describe(self) -> str:
         return f"refresh {self.refresh_id}: column {self.column!r} — {self.report.reason}"
+
+    # -- serialization (wire format v1 conventions) ---------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "refresh_id": self.refresh_id,
+            "column": self.column,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ColumnAlert":
+        return cls(
+            refresh_id=int(payload["refresh_id"]),
+            column=str(payload["column"]),
+            report=ValidationReport.from_dict(dict(payload["report"])),
+        )
+
+    def to_json(self) -> str:
+        return dumps_canonical(self.to_payload())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ColumnAlert":
+        return cls.from_payload(json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -60,6 +89,36 @@ class FeedReport:
         lines = [a.describe() for a in self.alerts]
         return "\n".join(lines)
 
+    # -- serialization (wire format v1 conventions) ---------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "refresh_id": self.refresh_id,
+            "alerts": [a.to_payload() for a in self.alerts],
+            "columns_checked": self.columns_checked,
+            "columns_skipped": list(self.columns_skipped),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FeedReport":
+        return cls(
+            refresh_id=int(payload["refresh_id"]),
+            alerts=tuple(
+                ColumnAlert.from_payload(raw) for raw in payload.get("alerts", [])
+            ),
+            columns_checked=int(payload["columns_checked"]),
+            columns_skipped=tuple(
+                str(c) for c in payload.get("columns_skipped", [])
+            ),
+        )
+
+    def to_json(self) -> str:
+        return dumps_canonical(self.to_payload())
+
+    @classmethod
+    def from_json(cls, text: str) -> "FeedReport":
+        return cls.from_payload(json.loads(text))
+
 
 @dataclass
 class _MonitoredColumn:
@@ -75,11 +134,15 @@ class FeedMonitor:
         index: PatternIndex,
         corpus_columns: Sequence[Sequence[str]] = (),
         config: AutoValidateConfig = DEFAULT_CONFIG,
+        max_history: int = DEFAULT_MAX_HISTORY,
     ):
+        if max_history < 1:
+            raise ValueError("max_history must be >= 1")
         self._validator = HybridValidator(index, corpus_columns, config)
         self._columns: dict[str, _MonitoredColumn] = {}
         self._unlearnable: dict[str, str] = {}
         self._refresh_id = 0
+        self.max_history = max_history
         self.history: list[ColumnAlert] = []
 
     # -- learning ------------------------------------------------------------
@@ -140,6 +203,9 @@ class FeedMonitor:
                 alerts.append(alert)
                 monitored.alerts += 1
         self.history.extend(alerts)
+        if len(self.history) > self.max_history:
+            # Bounded audit trail: the newest max_history alerts win.
+            del self.history[: len(self.history) - self.max_history]
         return FeedReport(
             refresh_id=self._refresh_id,
             alerts=tuple(alerts),

@@ -68,9 +68,17 @@ JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 BINARY_CONTENT_TYPE = "application/octet-stream"
 
 #: What a route handler may return: a payload alone means 200; a
-#: ``(status, payload)`` pair overrides the status.  ``str`` payloads are
-#: JSON; ``bytes`` payloads go out as ``application/octet-stream``.
-Response = Union[str, bytes, "tuple[int, Union[str, bytes]]"]
+#: ``(status, payload)`` pair overrides the status; a
+#: ``(status, payload, content_type)`` triple additionally overrides the
+#: Content-Type (the watch report routes serve Markdown/HTML).  ``str``
+#: payloads default to JSON; ``bytes`` payloads to
+#: ``application/octet-stream``.
+Response = Union[
+    str,
+    bytes,
+    "tuple[int, Union[str, bytes]]",
+    "tuple[int, Union[str, bytes], str]",
+]
 
 
 def _is_loopback(peer: tuple | None) -> bool:
@@ -180,13 +188,20 @@ class BaseHTTPServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, headers, body, peer)
+                status, payload, content_type = await self._dispatch(
+                    method, path, headers, body, peer
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._draining
                 )
                 self._write_response(
-                    writer, status, payload, keep_alive, head_only=(method == "HEAD")
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    head_only=(method == "HEAD"),
+                    content_type=content_type,
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -319,16 +334,17 @@ class BaseHTTPServer:
         payload: str | bytes,
         keep_alive: bool,
         head_only: bool = False,
+        content_type: str | None = None,
     ) -> None:
-        """Frame one response.  ``str`` payloads are JSON; ``bytes``
-        payloads ship as ``application/octet-stream`` (the run-fetch
-        route)."""
+        """Frame one response.  Unless ``content_type`` overrides it,
+        ``str`` payloads are JSON; ``bytes`` payloads ship as
+        ``application/octet-stream`` (the run-fetch route)."""
         if isinstance(payload, str):
             data = payload.encode("utf-8")
-            content_type = JSON_CONTENT_TYPE
+            content_type = content_type or JSON_CONTENT_TYPE
         else:
             data = payload
-            content_type = BINARY_CONTENT_TYPE
+            content_type = content_type or BINARY_CONTENT_TYPE
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -349,21 +365,27 @@ class BaseHTTPServer:
         headers: Mapping[str, str],
         body: bytes,
         peer: tuple | None = None,
-    ) -> tuple[int, str | bytes]:
+    ) -> tuple[int, str | bytes, str | None]:
         self.requests_total += 1
         self._inflight += 1
         try:
             result = await self._handle(method, path, headers, body, peer)
             if isinstance(result, tuple):
-                return result
-            return 200, result
+                if len(result) == 3:
+                    return result
+                return result[0], result[1], None
+            return 200, result, None
         except _HTTPError as exc:
             self.errors_total += 1
-            return exc.status, ErrorResponse(exc.code, exc.message, exc.status).to_json()
+            return (
+                exc.status,
+                ErrorResponse(exc.code, exc.message, exc.status).to_json(),
+                None,
+            )
         except Exception as exc:  # noqa: BLE001 - the edge must not crash
             self.errors_total += 1
             status, code, message = self._classify_error(exc)
-            return status, ErrorResponse(code, message, status).to_json()
+            return status, ErrorResponse(code, message, status).to_json(), None
         finally:
             self._inflight -= 1
 

@@ -1,0 +1,175 @@
+"""Report renderers: one monitoring snapshot as JSON, Markdown or HTML.
+
+All three formats render the same data — the service's status payload
+plus the recent alerts — so a report is a pure function of service
+state: JSON for machines, Markdown for chat-ops/issue trackers, HTML
+for a browser.  The JSON form uses the canonical encoder, so equal
+states render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.validate.rule import dumps_canonical
+
+REPORT_FORMATS = ("json", "md", "html")
+
+
+def render_report(
+    status: Mapping[str, Any],
+    alerts: Sequence[Mapping[str, Any]],
+    format: str = "json",
+) -> str:
+    """Render one report; ``format`` is one of :data:`REPORT_FORMATS`."""
+    if format == "json":
+        return dumps_canonical({"status": dict(status), "alerts": list(alerts)})
+    if format == "md":
+        return _render_markdown(status, alerts)
+    if format == "html":
+        return _render_html(status, alerts)
+    raise ValueError(
+        f"unknown report format {format!r} (expected one of {REPORT_FORMATS})"
+    )
+
+
+def _stamp(ts: float | None) -> str:
+    if ts is None:
+        return "never"
+    return time.strftime("%Y-%m-%d %H:%M:%SZ", time.gmtime(ts))
+
+
+def _fmt_rate(value: Any) -> str:
+    return "-" if value is None else f"{float(value):.4f}"
+
+
+def _render_markdown(
+    status: Mapping[str, Any], alerts: Sequence[Mapping[str, Any]]
+) -> str:
+    lines: list[str] = []
+    lines.append("# Data-quality watch report")
+    lines.append("")
+    lines.append(
+        f"Generated {_stamp(float(status['now']))} — "
+        f"{status['n_feeds']} feed(s), "
+        f"{status['refreshes_total']} refresh(es) this run, "
+        f"{status['n_alerts_retained']} alert(s) retained."
+    )
+    for feed in status["feeds"]:
+        lines.append("")
+        lines.append(f"## {feed['tenant']}/{feed['feed']}")
+        lines.append("")
+        cadence = (
+            f"every {feed['interval_seconds']:.0f}s"
+            if feed["interval_seconds"] is not None
+            else "ad hoc"
+        )
+        overdue = " — **OVERDUE**" if feed["overdue"] else ""
+        lines.append(
+            f"Cadence: {cadence} · refreshes: {feed['refresh_id']} · "
+            f"last: {_stamp(feed['last_refresh_ts'])}{overdue}"
+        )
+        lines.append("")
+        lines.append(
+            "| column | rule | baseline mean | lower band | observations | state |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for name, column in sorted(feed["columns"].items()):
+            baseline = column["baseline"]
+            if not column["monitored"]:
+                state = f"unmonitored ({column['reason']})"
+            elif baseline["tripped"]:
+                state = "REGRESSED"
+            elif not baseline["warmed"]:
+                state = "warming"
+            else:
+                state = "ok"
+            lines.append(
+                f"| {name} | {column['kind']} | {_fmt_rate(baseline['mean'])} "
+                f"| {_fmt_rate(baseline['lower_bound'])} "
+                f"| {baseline['n_observations']} | {state} |"
+            )
+    lines.append("")
+    lines.append("## Recent alerts")
+    lines.append("")
+    if not alerts:
+        lines.append("No alerts.")
+    else:
+        for alert in reversed(list(alerts)):  # newest first
+            where = f"{alert['tenant']}/{alert['feed']}"
+            if alert["column"]:
+                where += f".{alert['column']}"
+            lines.append(
+                f"- `{_stamp(float(alert['ts']))}` **{alert['severity']}** "
+                f"{alert['kind']} {where}: {alert['message']}"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _render_html(
+    status: Mapping[str, Any], alerts: Sequence[Mapping[str, Any]]
+) -> str:
+    # Deliberately dependency-free: the Markdown structure, wrapped in
+    # minimal semantic HTML with every dynamic string escaped.
+    parts: list[str] = []
+    parts.append("<!DOCTYPE html>")
+    parts.append("<html><head><meta charset='utf-8'>")
+    parts.append("<title>Data-quality watch report</title></head><body>")
+    parts.append("<h1>Data-quality watch report</h1>")
+    parts.append(
+        f"<p>Generated {html.escape(_stamp(float(status['now'])))} — "
+        f"{int(status['n_feeds'])} feed(s), "
+        f"{int(status['n_alerts_retained'])} alert(s) retained.</p>"
+    )
+    for feed in status["feeds"]:
+        title = html.escape(f"{feed['tenant']}/{feed['feed']}")
+        parts.append(f"<h2>{title}</h2>")
+        if feed["overdue"]:
+            parts.append("<p><strong>OVERDUE</strong></p>")
+        parts.append(
+            "<table border='1'><tr><th>column</th><th>rule</th>"
+            "<th>baseline mean</th><th>lower band</th>"
+            "<th>observations</th><th>state</th></tr>"
+        )
+        for name, column in sorted(feed["columns"].items()):
+            baseline = column["baseline"]
+            if not column["monitored"]:
+                state = f"unmonitored ({column['reason']})"
+            elif baseline["tripped"]:
+                state = "REGRESSED"
+            elif not baseline["warmed"]:
+                state = "warming"
+            else:
+                state = "ok"
+            parts.append(
+                "<tr>"
+                f"<td>{html.escape(name)}</td>"
+                f"<td>{html.escape(str(column['kind']))}</td>"
+                f"<td>{_fmt_rate(baseline['mean'])}</td>"
+                f"<td>{_fmt_rate(baseline['lower_bound'])}</td>"
+                f"<td>{int(baseline['n_observations'])}</td>"
+                f"<td>{html.escape(state)}</td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+    parts.append("<h2>Recent alerts</h2>")
+    if not alerts:
+        parts.append("<p>No alerts.</p>")
+    else:
+        parts.append("<ul>")
+        for alert in reversed(list(alerts)):
+            where = f"{alert['tenant']}/{alert['feed']}"
+            if alert["column"]:
+                where += f".{alert['column']}"
+            parts.append(
+                f"<li><code>{html.escape(_stamp(float(alert['ts'])))}</code> "
+                f"<strong>{html.escape(str(alert['severity']))}</strong> "
+                f"{html.escape(str(alert['kind']))} {html.escape(where)}: "
+                f"{html.escape(str(alert['message']))}</li>"
+            )
+        parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

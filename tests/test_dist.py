@@ -174,7 +174,7 @@ class TestVerifyRunPayload:
 
 
 def _dispatch(server, method, path, body=b""):
-    status, payload = asyncio.run(
+    status, payload, _ = asyncio.run(
         server._dispatch(method, path, {}, body, ("127.0.0.1", 1))
     )
     return status, payload
@@ -261,7 +261,7 @@ class InProcessTransport:
                 if base in self.dead:
                     raise ConnectionError(f"{base} is dead")
                 path = url[len(base):]
-                status, payload = asyncio.run(
+                status, payload, _ = asyncio.run(
                     server._dispatch(method, path, {}, body, ("127.0.0.1", 1))
                 )
                 if isinstance(payload, str):

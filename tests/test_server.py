@@ -619,7 +619,7 @@ class TestAdminConfig:
         service = ValidationService(small_index, small_config)
         server = ValidationHTTPServer(AsyncValidationService(service))
         body = json.dumps({"v": 1, "type": "admin_config_request", "rate": 1.0})
-        status, payload = asyncio.run(
+        status, payload, _ = asyncio.run(
             server._dispatch(
                 "POST", "/admin/config", {}, body.encode(), ("10.1.2.3", 55555)
             )
