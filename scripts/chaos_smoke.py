@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Chaos smoke test (used by CI): crash everywhere, recover everywhere.
+
+Three phases, cheapest first:
+
+1. **Crash-point sweeps** — the :func:`repro.faults.crash_point_sweep`
+   harness kills a v2 and a v3 index save before *every* filesystem op
+   (and once right after the last one), with un-fsync'd page-cache loss
+   modeled; every wreck must read back as absent, complete, or a typed
+   error.
+2. **SIGKILL'd coordinator + resume** — a real ``auto-validate
+   dist-build`` subprocess with a ``--journal`` is SIGKILL'd once its
+   journal holds committed receipts; a second ``dist-build --resume``
+   must reuse the verified windows and produce an index byte-identical
+   to the serial build.
+3. **Fault-injected worker transport** — the same loopback fleet driven
+   through :class:`repro.faults.FaultyTransport` (a torn run download, an
+   injected scan timeout); the coordinator's retry policy must still
+   deliver byte identity.
+
+Every phase appends to ``chaos-fault-log.json`` in the workdir — the CI
+artifact: each crash point's op trace and each injected network fault,
+so a failure names the exact sequence to replay.
+
+Exit code 0 on success; any failure raises (non-zero exit).
+
+Usage: python scripts/chaos_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def _dirs_byte_identical(a: Path, b: Path) -> None:
+    names_a = sorted(p.name for p in a.iterdir())
+    names_b = sorted(p.name for p in b.iterdir())
+    assert names_a == names_b, f"file sets differ: {names_a} != {names_b}"
+    for name in names_a:
+        assert (a / name).read_bytes() == (b / name).read_bytes(), (
+            f"{name} differs between serial and resumed/distributed builds"
+        )
+
+
+# -- phase 1: crash-point sweeps ----------------------------------------------
+
+
+def phase_crash_sweeps(log: dict) -> None:
+    from repro.faults import crash_point_sweep
+    from repro.index.index import IndexEntry, IndexMeta, PatternIndex
+    from repro.index.store import open_index, save_index
+
+    entries = {
+        f"chaos-key-{i:02d}": IndexEntry(fpr_sum=0.25 * (i + 1), coverage=50 + i)
+        for i in range(30)
+    }
+    meta = IndexMeta(
+        columns_scanned=30, values_scanned=1500,
+        corpus_name="chaos", fingerprint="tau=13;chaos",
+    )
+    index = PatternIndex(entries, meta)
+
+    for fmt in ("v2", "v3"):
+        target_name = f"index.{fmt}"
+
+        def workload(work: Path) -> None:
+            save_index(index, work / target_name, format=fmt, n_shards=4)
+
+        def check(work: Path) -> str:
+            target = work / target_name
+            if not target.exists():
+                return "absent"
+            try:
+                loaded = open_index(target, lazy=False)
+            except ValueError:
+                # StaleIndexError and friends: a typed refusal, never
+                # silently corrupt data.
+                return "typed-error"
+            assert dict(loaded.items()) == entries, (
+                f"{fmt}: reader served wrong entries after a crash"
+            )
+            return "post"
+
+        report = crash_point_sweep(lambda _d: None, workload, check)
+        log["sweeps"][fmt] = report.to_payload()
+        assert not report.failures, (
+            f"{fmt} crash sweep failed: {report.summary()}\n"
+            + "\n".join(str(o.to_payload()) for o in report.failures)
+        )
+        assert report.labels.get("post", 0) >= 1, (
+            f"{fmt}: no crash point reached the completed state"
+        )
+        print(f"crash sweep {fmt}: {report.summary()}")
+
+
+# -- phase 2: SIGKILL'd coordinator + resume ----------------------------------
+
+
+def _spawn_worker(env: dict) -> tuple[subprocess.Popen, str]:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = process.stdout.readline()
+    assert "worker on http://" in ready, (
+        f"worker failed to boot: {ready!r}\n{process.stderr.read()}"
+    )
+    return process, ready.split()[2]
+
+
+def _receipt_count(journal_file: Path) -> int:
+    """Committed window receipts so far (live read: count, don't repair)."""
+    try:
+        text = journal_file.read_text(encoding="utf-8")
+    except OSError:
+        return 0
+    return sum('"window_done"' in line for line in text.splitlines())
+
+
+def phase_sigkill_resume(
+    root: Path, lake: Path, serial: Path, urls: list[str], env: dict, log: dict
+) -> None:
+    from repro.cli import main as cli
+
+    journal = root / "journal"
+    out = root / "dist.v3"
+    build_cmd = [
+        sys.executable, "-m", "repro.cli", "dist-build",
+        "--corpus", str(lake), "--out", str(out),
+        "--format", "v3", "--shards", "8",
+        "--worker", urls[0], "--worker", urls[1],
+        "--journal", str(journal),
+        "--windows-per-worker", "6", "--spill-mb", "0.5",
+    ]
+    coordinator = subprocess.Popen(
+        build_cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+    # SIGKILL the coordinator as soon as at least one window receipt is
+    # durably committed — mid-build, with the fleet still scanning.
+    deadline = time.monotonic() + 120.0
+    killed = False
+    while time.monotonic() < deadline:
+        if coordinator.poll() is not None:
+            break  # finished before we could kill it; resume still runs
+        if _receipt_count(journal / "journal.ndjson") >= 1:
+            coordinator.kill()  # SIGKILL: no cleanup, no atexit, nothing
+            killed = True
+            break
+        time.sleep(0.02)
+    coordinator.wait(timeout=30)
+    receipts = _receipt_count(journal / "journal.ndjson")
+    assert receipts >= 1, "no committed receipts before the coordinator died"
+    print(
+        f"coordinator {'SIGKILL’d' if killed else 'finished early'} "
+        f"with {receipts} committed receipt(s)"
+    )
+
+    assert cli([
+        "dist-build", "--corpus", str(lake), "--out", str(out),
+        "--format", "v3", "--shards", "8",
+        "--worker", urls[0], "--worker", urls[1],
+        "--journal", str(journal), "--resume",
+    ]) == 0, "resume build failed"
+    _dirs_byte_identical(serial, out)
+    print("resume ok (byte-identical to the serial build)")
+    log["sigkill_resume"] = {
+        "killed_mid_build": killed,
+        "receipts_at_kill": receipts,
+    }
+
+
+# -- phase 3: fault-injected worker transport ---------------------------------
+
+
+def phase_faulty_transport(
+    root: Path, lake: Path, serial: Path, urls: list[str], log: dict
+) -> None:
+    from repro.datalake.io import load_corpus
+    from repro.dist import HTTPTransport, distributed_build
+    from repro.faults import FaultyTransport, TransportFault
+
+    corpus = load_corpus(lake)
+    transport = FaultyTransport(
+        HTTPTransport(30.0),
+        faults=[
+            TransportFault("get", "/v1/runs/", "truncate", at=0),
+            TransportFault("post", "/v1/scan", "timeout", at=2),
+        ],
+    )
+    out = root / "dist-faulty.v3"
+    stats = distributed_build(
+        corpus.column_values(), urls, out,
+        corpus_name=corpus.name, format="v3", n_shards=8,
+        transport=transport, backoff=0.05,
+    )
+    _dirs_byte_identical(serial, out)
+    assert stats.download_retries >= 1, "the torn download was never retried"
+    assert stats.windows_retried >= 1, "the timed-out scan was never retried"
+    fired = [action for _m, _u, action in transport.requests if action]
+    log["faulty_transport"] = {
+        "faults_fired": fired,
+        "download_retries": stats.download_retries,
+        "windows_retried": stats.windows_retried,
+        "requests": [
+            {"method": m, "url": u, "fault": a}
+            for m, u, a in transport.requests
+        ],
+    }
+    print(
+        f"faulty transport ok (fired {fired}, byte-identical despite "
+        f"{stats.download_retries} re-download(s), "
+        f"{stats.windows_retried} scan retry(ies))"
+    )
+
+
+def main(workdir: str | None = None) -> int:
+    from repro.cli import main as cli
+
+    root = Path(workdir or tempfile.mkdtemp(prefix="chaos-smoke-"))
+    root.mkdir(parents=True, exist_ok=True)
+    log: dict = {"sweeps": {}, "sigkill_resume": {}, "faulty_transport": {}}
+    try:
+        phase_crash_sweeps(log)
+
+        lake = root / "lake"
+        serial = root / "serial.v3"
+        assert cli(["generate", "--profile", "enterprise", "--tables", "12",
+                    "--seed", "7", "--out", str(lake)]) == 0
+        assert cli(["index", "--corpus", str(lake), "--out", str(serial),
+                    "--format", "v3", "--shards", "8"]) == 0
+        print(f"serial index at {serial}")
+
+        env = {
+            "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+            "PATH": "/usr/bin:/bin:" + sys.exec_prefix + "/bin",
+            "PYTHONUNBUFFERED": "1",
+        }
+        workers = [_spawn_worker(env) for _ in range(2)]
+        try:
+            urls = [url for _, url in workers]
+            print(f"workers ready at {urls}")
+            phase_sigkill_resume(root, lake, serial, urls, env, log)
+            phase_faulty_transport(root, lake, serial, urls, log)
+        finally:
+            for process, _url in workers:
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            for process, _url in workers:
+                try:
+                    process.communicate(timeout=15)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=15)
+        return 0
+    finally:
+        artifact = root / "chaos-fault-log.json"
+        artifact.write_text(json.dumps(log, indent=2, sort_keys=True))
+        print(f"fault log at {artifact}")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -14,6 +14,7 @@ from repro.analysis.rules.determinism import (
     SetIterationRule,
     UnsortedListingRule,
 )
+from repro.analysis.rules.durability import DurableReplaceRule
 from repro.analysis.rules.fixedpoint import FixedPointRule
 from repro.analysis.rules.lifecycle import ResourceLifecycleRule
 from repro.analysis.rules.locks import LockDisciplineRule
@@ -28,6 +29,7 @@ BUILTIN_RULES = (
     LockDisciplineRule,
     FixedPointRule,
     ResourceLifecycleRule,
+    DurableReplaceRule,
 )
 
 for _cls in BUILTIN_RULES:
@@ -37,6 +39,7 @@ __all__ = [
     "BUILTIN_RULES",
     "BareHashRule",
     "BareMostCommonRule",
+    "DurableReplaceRule",
     "FixedPointRule",
     "LockDisciplineRule",
     "ResourceLifecycleRule",

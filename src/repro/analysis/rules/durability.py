@@ -1,0 +1,86 @@
+"""Durable-publish rule (AV502).
+
+``os.replace`` is the repo's commit point: every index manifest, shard,
+run file, registry snapshot and summary becomes visible to readers
+through a rename.  A rename is atomic, but it is **not** durable — a
+crash after the rename can still lose the renamed *contents* if the data
+was never fsync'd, leaving a committed name pointing at a torn file (the
+exact failure the crash-point harness's post-completion kill reproduces,
+see :mod:`repro.faults.harness`).
+
+AV502 therefore requires every ``os.replace`` in ``repro/index/``,
+``repro/watch/`` and ``repro/dist/`` to be *visibly* preceded, in the
+same function, by a data fsync — a call to ``os.fsync`` or
+:func:`repro.durability.fsync_file` on an earlier line.  The intended
+fix for a flagged site is almost never to add a bare fsync: it is to
+publish through :func:`repro.durability.publish_bytes` /
+:func:`~repro.durability.durable_replace`, which also fsync the parent
+directory after the rename.  ``repro/durability.py`` itself is out of
+scope — it is the one place allowed to own the raw sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, LintRule, ModuleContext
+from repro.analysis.rules._helpers import call_name, enclosing_function
+
+#: Calls that prove the replaced data hit the disk before the rename.
+_FSYNC_EVIDENCE = frozenset(
+    {
+        "os.fsync",
+        "fsync_file",
+        "durability.fsync_file",
+        "repro.durability.fsync_file",
+    }
+)
+
+
+class DurableReplaceRule(LintRule):
+    """AV502: ``os.replace`` with no visible preceding fsync."""
+
+    rule_id = "AV502"
+    name = "durability/unfsynced-replace"
+    description = (
+        "os.replace in repro/index/, repro/watch/ or repro/dist/ must be "
+        "preceded by a visible os.fsync/fsync_file in the same function "
+        "(prefer repro.durability.publish_bytes/durable_replace)"
+    )
+    scope = ("repro/index/", "repro/watch/", "repro/dist/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) != "os.replace":
+                continue
+            if self._fsync_before(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "os.replace publishes data that was never visibly fsync'd; "
+                "fsync the file first — or publish through "
+                "repro.durability.publish_bytes/durable_replace, which also "
+                "fsyncs the parent directory",
+            )
+
+    @staticmethod
+    def _fsync_before(replace_call: ast.Call) -> bool:
+        """Does the enclosing function fsync anything on an earlier line?"""
+        scope = enclosing_function(replace_call)
+        if scope is None:
+            return False
+        replace_line = replace_call.lineno
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if (
+                name in _FSYNC_EVIDENCE
+                and node.lineno < replace_line
+            ):
+                return True
+        return False

@@ -288,6 +288,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_concurrency < 1:
         print("--max-concurrency must be >= 1", file=sys.stderr)
         return 2
+    if args.max_inflight < 0:
+        print("--max-inflight must be >= 0 (0 = unbounded)", file=sys.stderr)
+        return 2
     service = ValidationService.from_path(
         args.index,
         _config(args),
@@ -303,7 +306,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service, max_concurrency=args.max_concurrency
         )
         server = ValidationHTTPServer(
-            async_service, host=args.host, port=args.port, rate_limiter=limiter
+            async_service,
+            host=args.host,
+            port=args.port,
+            rate_limiter=limiter,
+            max_inflight=args.max_inflight or None,
         )
 
         def ready(bound: ValidationHTTPServer) -> None:
@@ -343,10 +350,17 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     if args.spill_mb <= 0:
         print("--spill-mb must be positive", file=sys.stderr)
         return 2
+    if args.max_inflight < 0:
+        print("--max-inflight must be >= 0 (0 = unbounded)", file=sys.stderr)
+        return 2
 
     async def _run(run_dir: str) -> None:
         server = ScanWorkerServer(
-            host=args.host, port=args.port, run_dir=run_dir, spill_mb=args.spill_mb
+            host=args.host,
+            port=args.port,
+            run_dir=run_dir,
+            spill_mb=args.spill_mb,
+            max_inflight=args.max_inflight or None,
         )
 
         def ready(bound: ScanWorkerServer) -> None:
@@ -381,6 +395,10 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
         print("dist-build writes directory formats (v2/v3); pass --format",
               file=sys.stderr)
         return 2
+    if args.resume and not args.journal:
+        print("--resume requires --journal DIR (the journal of the killed "
+              "build)", file=sys.stderr)
+        return 2
     corpus = load_corpus(args.corpus)
 
     def on_event(kind: str, **info: object) -> None:
@@ -400,6 +418,8 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
             retries=args.retries,
             windows_per_worker=args.windows_per_worker,
             spill_mb=args.spill_mb,
+            journal_dir=args.journal,
+            resume=args.resume,
             on_event=on_event,
         )
     except DistBuildError as exc:
@@ -411,6 +431,7 @@ def _cmd_dist_build(args: argparse.Namespace) -> int:
         f"{stats.total_entries} patterns at {args.out} "
         f"[{n_shards} shards (format {format}), distributed: "
         f"workers={active}/{stats.n_workers} windows={stats.n_windows} "
+        f"reused={stats.windows_reused} "
         f"retried={stats.windows_retried} reassigned={stats.windows_reassigned} "
         f"bytes_shipped={stats.bytes_shipped} "
         f"wall={stats.wall_seconds:.2f}s]"
@@ -525,6 +546,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if args.tick_seconds <= 0:
         print("--tick-seconds must be positive", file=sys.stderr)
         return 2
+    if args.max_inflight < 0:
+        print("--max-inflight must be >= 0 (0 = unbounded)", file=sys.stderr)
+        return 2
 
     async def _run() -> None:
         server = WatchHTTPServer(
@@ -532,6 +556,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             tick_seconds=args.tick_seconds,
+            max_inflight=args.max_inflight or None,
         )
 
         def ready(bound: WatchHTTPServer) -> None:
@@ -655,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-tenant burst capacity (token-bucket size)")
     p.add_argument("--max-concurrency", type=int, default=32, dest="max_concurrency",
                    help="max in-flight inference calls on the event loop")
+    p.add_argument("--max-inflight", type=int, default=0, dest="max_inflight",
+                   help="shed requests past this many in flight with 503 + "
+                        "Retry-After instead of queueing (0 = unbounded; "
+                        "health probes are exempt)")
     p.add_argument("--prefetch", action="store_true",
                    help="warm the page cache behind a v3 index on a "
                         "background thread after open (and after every "
@@ -694,6 +723,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-concurrency", type=int, default=32,
                    dest="max_concurrency",
                    help="replica mode: max in-flight inference calls")
+    p.add_argument("--max-inflight", type=int, default=0, dest="max_inflight",
+                   help="shed requests past this many in flight with 503 + "
+                        "Retry-After (0 = unbounded; health probes exempt)")
     p.add_argument("--prefetch", action="store_true",
                    help="replica mode: warm the page cache behind a v3 index "
                         "in the background; /healthz gates traffic until done")
@@ -725,6 +757,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "is declared dead (default 3)")
     p.add_argument("--spill-mb", type=float, default=None, dest="spill_mb",
                    help="override the workers' spill watermark per window")
+    p.add_argument("--journal", default=None,
+                   help="directory for the crash-safe build journal: every "
+                        "finished window is durably checkpointed there, so a "
+                        "killed build can --resume instead of restarting")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the killed build recorded in --journal: "
+                        "verified windows are reused, only unfinished ones "
+                        "re-scan, and the output is byte-identical")
     p.add_argument("--stats", default=None,
                    help="write the DistBuildStats report as JSON here")
     p.add_argument("--verbose", action="store_true",
@@ -773,6 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="tick_seconds",
                    help="scheduler cadence for freshness checks while "
                         "serving (default 5)")
+    p.add_argument("--max-inflight", type=int, default=0, dest="max_inflight",
+                   help="shed requests past this many in flight with 503 + "
+                        "Retry-After (0 = unbounded; health probes exempt)")
     add_config_args(p)
     p.set_defaults(fn=_cmd_watch)
 

@@ -1,0 +1,63 @@
+"""EnumerationConfig ⇄ wire payload, with fingerprint cross-checking.
+
+A scan request must pin *every* knob that shapes the pattern space — a
+coordinator and a worker running subtly different configs would merge
+fine and produce a silently different index.  The codec therefore ships
+the scalar knobs and the hierarchy knobs explicitly, and both sides
+compare :meth:`EnumerationConfig.fingerprint` strings: the coordinator
+stamps the request with its fingerprint, the worker rebuilds the config
+from the wire payload and refuses the window (``409 config_mismatch``)
+unless the rebuilt fingerprint matches.  Any knob added to
+``EnumerationConfig`` later that changes the fingerprint without being
+carried here fails loudly on the first dispatched window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.enumeration import EnumerationConfig
+from repro.core.hierarchy import GeneralizationHierarchy
+
+
+def config_to_wire(config: EnumerationConfig) -> dict[str, Any]:
+    """The JSON-shaped knob object a :class:`ScanRequest` carries."""
+    h = config.hierarchy
+    return {
+        "tau": config.tau,
+        "min_coverage": config.min_coverage,
+        "min_option_coverage": config.min_option_coverage,
+        "max_patterns": config.max_patterns,
+        "max_const_options": config.max_const_options,
+        "max_length_options": config.max_length_options,
+        "enumerate_alnum_runs": config.enumerate_alnum_runs,
+        "hierarchy": {
+            "use_case_classes": h.use_case_classes,
+            "use_num": h.use_num,
+            "use_alnum_fixed": h.use_alnum_fixed,
+            "use_alnum_plus": h.use_alnum_plus,
+            "max_const_length": h.max_const_length,
+        },
+    }
+
+
+def config_from_wire(payload: Mapping[str, Any]) -> EnumerationConfig:
+    """Rebuild the config a scan request describes (validated upstream by
+    ``ScanRequest.from_json``; knob-range errors surface as ValueError)."""
+    hierarchy = payload["hierarchy"]
+    return EnumerationConfig(
+        tau=payload["tau"],
+        min_coverage=payload["min_coverage"],
+        min_option_coverage=payload["min_option_coverage"],
+        max_patterns=payload["max_patterns"],
+        max_const_options=payload["max_const_options"],
+        max_length_options=payload["max_length_options"],
+        enumerate_alnum_runs=payload["enumerate_alnum_runs"],
+        hierarchy=GeneralizationHierarchy(
+            use_case_classes=hierarchy["use_case_classes"],
+            use_num=hierarchy["use_num"],
+            use_alnum_fixed=hierarchy["use_alnum_fixed"],
+            use_alnum_plus=hierarchy["use_alnum_plus"],
+            max_const_length=hierarchy["max_const_length"],
+        ),
+    )

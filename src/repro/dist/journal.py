@@ -1,0 +1,161 @@
+"""The coordinator's crash-safe build journal (``dist-build --resume``).
+
+A distributed build is minutes of fleet work; a coordinator SIGKILL'd
+mid-build should not forfeit the windows already scanned, verified, and
+downloaded.  With a journal directory configured, the coordinator keeps
+two kinds of state there:
+
+* ``journal.ndjson`` — a CRC-framed append-only log (the shared codec in
+  :mod:`repro.durability`): one ``build_start`` header pinning the
+  build's identity (config fingerprint, corpus digest, window count,
+  output shape), then one ``window_done`` receipt per completed window
+  (run file name, byte size, CRC-32, entry count), and finally one
+  ``build_done`` marker.  Every append is fsync'd; the newline is the
+  commit marker, so a torn tail from a crash is truncated on reopen and
+  only fully committed receipts are trusted.
+* ``window-NNNNNN.run`` — the verified run files themselves, durably
+  published (temp + fsync + rename), one per completed window.
+
+On ``--resume`` the coordinator replays the journal: the header must
+match the current build *exactly* (same corpus bytes, same config
+fingerprint, same n_windows/n_shards/format — byte-identity of the final
+index depends on the same partitioning), and each ``window_done``
+receipt is re-verified against the run file actually on disk (size,
+whole-payload CRC-32, v3 run structure, entry count).  Receipts that
+verify are reused; everything else — missing files, torn files, windows
+with no committed receipt — is re-scanned.  The resumed merge therefore
+sees exactly the runs a crash-free build would have seen, and the output
+is byte-identical to a serial build.
+
+The journal is advisory state owned by one coordinator at a time: a
+fresh (non-resume) build wipes the directory before writing its header.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.durability import (
+    append_crc_lines,
+    cleanup_orphans,
+    publish_bytes,
+    recover_crc_lines,
+)
+from repro.index.store import verify_run_payload
+
+#: Name of the CRC-framed log inside the journal directory.
+JOURNAL_NAME = "journal.ndjson"
+
+#: Journal format version (bump on breaking record-shape changes).
+JOURNAL_VERSION = 1
+
+
+def corpus_digest(columns: Sequence[Sequence[str]]) -> str:
+    """Content digest of a materialized corpus (resume identity check).
+
+    Hashes every value of every column, with lengths framing the values
+    so ``["ab"]`` and ``["a", "b"]`` digest differently.  A resumed build
+    whose corpus digest differs from the journaled one must not reuse any
+    run: the windows would cover different data.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{len(columns)}\n".encode("ascii"))
+    for column in columns:
+        digest.update(f"{len(column)}\n".encode("ascii"))
+        for value in column:
+            raw = value.encode("utf-8", "surrogatepass")
+            digest.update(f"{len(raw)}:".encode("ascii"))
+            digest.update(raw)
+    return digest.hexdigest()
+
+
+class BuildJournal:
+    """Completed-window receipts + run files for one distributed build."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_NAME
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Wipe journal state for a fresh build (not a resume)."""
+        cleanup_orphans(self.directory, ("*.tmp",))
+        for stale in sorted(self.directory.glob("window-*.run")):
+            stale.unlink()
+        if self.path.exists():
+            self.path.unlink()
+
+    def recover(self) -> list[dict[str, Any]]:
+        """All committed records, truncating any torn tail in place.
+
+        Also sweeps publish temporaries (a run file the dead coordinator
+        was mid-publish on); the matching ``window_done`` receipt was
+        never committed, so the window simply re-scans.
+        """
+        cleanup_orphans(self.directory, ("*.tmp",))
+        return recover_crc_lines(self.path)
+
+    # -- writes (callers serialize; worker threads hold the build lock) ------
+
+    def append(self, record: dict[str, Any]) -> None:
+        append_crc_lines(self.path, [record])
+
+    def write_header(self, header: dict[str, Any]) -> None:
+        self.append({"kind": "build_start", "v": JOURNAL_VERSION, **header})
+
+    def publish_run(self, window_id: int, data: bytes) -> Path:
+        """Durably publish one window's verified run bytes."""
+        path = self.run_path(window_id)
+        publish_bytes(path, data)
+        return path
+
+    # -- reads ---------------------------------------------------------------
+
+    def run_path(self, window_id: int) -> Path:
+        return self.directory / f"window-{window_id:06d}.run"
+
+    @staticmethod
+    def header_of(records: Iterable[dict[str, Any]]) -> dict[str, Any] | None:
+        """The ``build_start`` record, or None for an empty/alien journal."""
+        for record in records:
+            return record if record.get("kind") == "build_start" else None
+        return None
+
+    def verified_windows(
+        self, records: Iterable[dict[str, Any]]
+    ) -> dict[int, dict[str, Any]]:
+        """Receipts whose run files re-verify on disk, keyed by window id.
+
+        Re-verification repeats the coordinator's download checks against
+        the bytes now on disk: exact size, whole-payload CRC-32, v3 run
+        structure, and entry count.  A receipt whose file is missing,
+        torn, or disagrees in any way is dropped (its window re-scans) —
+        trust nothing a crash may have touched.
+        """
+        verified: dict[int, dict[str, Any]] = {}
+        for record in records:
+            if record.get("kind") != "window_done":
+                continue
+            window_id = int(record["window_id"])
+            path = self.run_path(window_id)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            if len(data) != int(record["run_bytes"]):
+                continue
+            if zlib.crc32(data) != int(record["crc32"]):
+                continue
+            try:
+                n_entries, _crc = verify_run_payload(data)
+            except ValueError:
+                continue
+            if n_entries != int(record["n_entries"]):
+                continue
+            verified[window_id] = record
+        return verified

@@ -1,0 +1,56 @@
+"""Deterministic fault injection + the crash-point recovery harness.
+
+The package behind the repo's crash-safety claims, in three layers:
+
+* :mod:`repro.faults.plan` — scripted, seedless fault plans: which op
+  fails, how (``crash`` / ``eio`` / ``enospc`` / ``torn``), addressed by
+  global op index or per-op-kind occurrence;
+* :mod:`repro.faults.fs` — :class:`FaultyFS`, the patching layer that
+  intercepts every mutating filesystem op under one directory, applies
+  the plan, logs a fault trace, and (in ``lose_unfsynced`` mode) models
+  un-fsync'd page-cache loss and un-fsync'd-directory rename loss;
+  :mod:`repro.faults.transport` does the same for the dist HTTP path;
+* :mod:`repro.faults.harness` — :func:`crash_point_sweep`, which kills a
+  workload before *every* op it performs and asserts the reader side
+  recovers pre-state, post-state, or a typed error — never silently
+  serves corrupt data.
+
+Everything here is test/CI infrastructure: production modules depend on
+:mod:`repro.durability`, never on this package.
+"""
+
+from repro.faults.fs import FaultyFS
+from repro.faults.harness import (
+    CrashOutcome,
+    SweepReport,
+    crash_point_sweep,
+)
+from repro.faults.plan import (
+    ACTIONS,
+    OP_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+)
+from repro.faults.transport import (
+    TRANSPORT_ACTIONS,
+    FaultyTransport,
+    TransportFault,
+)
+
+__all__ = [
+    "ACTIONS",
+    "OP_KINDS",
+    "TRANSPORT_ACTIONS",
+    "CrashOutcome",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyFS",
+    "FaultyTransport",
+    "SimulatedCrash",
+    "SweepReport",
+    "TransportFault",
+    "crash_point_sweep",
+]

@@ -1,0 +1,330 @@
+"""FaultyFS: deterministic filesystem fault injection for one directory.
+
+A context manager that patches the process-wide write path —
+``builtins.open`` / ``io.open`` (which is also what ``pathlib`` and
+``gzip`` resolve at call time), ``os.open``/``os.close`` (for the
+fd→path map behind ``fsync``), ``os.write`` is *not* patched (nothing in
+this codebase writes raw fds), plus ``os.replace``, ``os.fsync`` and
+``os.unlink`` — and intercepts every mutating operation on paths under
+one ``root``.  Reads and everything outside the root pass straight
+through, so pytest, tempfile and the interpreter keep working while the
+code under test runs in a minefield.
+
+Each intercepted op is numbered, logged, and checked against the
+:class:`~repro.faults.plan.FaultPlan`: the plan may let it through,
+raise ``EIO``/``ENOSPC`` (writes tear a prefix first, like the real
+errors), or *crash* — raise :class:`SimulatedCrash` and flip the FS into
+dead mode, where every further intercepted op raises too.  Dead mode is
+what makes the simulation honest: a SIGKILL'd process runs no ``except``
+/ ``finally`` cleanup, so the tmp files and half-written state present
+at the crash point must stay exactly as they were.
+
+**The lose-unfsynced model** (``lose_unfsynced=True``) goes one step
+further and models the page cache being lost, which is the entire reason
+``fsync`` exists:
+
+* every file opened for writing tracks a *durable size* — 0 for a fresh
+  or truncated file, the pre-existing size for appends — advanced to the
+  current size only by ``fsync`` on that file's descriptor;
+* ``os.replace`` under the root is recorded as a *pending* rename
+  (snapshotting both sides) and is committed only by an ``fsync`` of the
+  destination's parent directory;
+* :meth:`FaultyFS.apply_crash_state` then replays the crash as the disk
+  would: uncommitted renames are rolled back (destination restored,
+  source reappears as the orphan tmp it would be) and every tracked file
+  is truncated to its durable size.
+
+A workload that survives a plain crash sweep but loses data under
+``apply_crash_state`` is exactly a workload missing an ``fsync`` — this
+is the mechanism that forced the file-and-parent-dir fsyncs now in
+:mod:`repro.durability`, and the regression test that keeps them there.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import io
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.faults.plan import FaultEvent, FaultPlan, SimulatedCrash
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+class _FaultyFile:
+    """Write-path proxy over a real file object: every ``write`` is one
+    interceptable op; everything else delegates."""
+
+    def __init__(self, fs: "FaultyFS", raw: Any, path: Path):
+        self._fs = fs
+        self._raw = raw
+        self._path = path
+
+    def write(self, data: Any) -> int:
+        def tear() -> None:
+            # A torn write: the first half reaches the file, the rest
+            # doesn't.  flush so the prefix is really in the file (in the
+            # page cache, that is — durability is a separate question).
+            self._raw.write(data[: len(data) // 2])
+            self._raw.flush()
+
+        self._fs._fault("write", self._path, tear=tear)
+        return self._raw.write(data)
+
+    def close(self) -> None:
+        try:
+            self._fs._forget_fd(self._raw.fileno())
+        except (OSError, ValueError):
+            pass
+        self._raw.close()
+
+    def __enter__(self) -> "_FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._raw, name)
+
+    def __iter__(self) -> Any:
+        return iter(self._raw)
+
+
+class FaultyFS:
+    """Patch the write path; inject ``plan``'s faults under ``root``."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        plan: FaultPlan | None = None,
+        *,
+        lose_unfsynced: bool = False,
+    ):
+        # abspath, not resolve(): op paths are normalized the same way in
+        # _under_root, and mixing symlink resolution between the two would
+        # misclassify everything under a symlinked tmp dir.
+        self.root = Path(os.path.abspath(root))
+        self.plan = plan if plan is not None else FaultPlan()
+        self.lose_unfsynced = lose_unfsynced
+        self.ops = 0
+        self.crashed = False
+        self.log: list[FaultEvent] = []
+        # path -> bytes known to have reached the disk (not just the cache).
+        self._durable: dict[Path, int] = {}
+        # fd -> path, fed by the open patches, consumed by the fsync patch.
+        self._fd_paths: dict[int, Path] = {}
+        # Uncommitted renames: (src, dst, src_bytes, src_durable, dst_prior).
+        self._pending_renames: list[
+            tuple[Path, Path, bytes, int, bytes | None]
+        ] = []
+        self._real: dict[str, Any] = {}
+
+    # -- patching ------------------------------------------------------------
+
+    def __enter__(self) -> "FaultyFS":
+        self._real = {
+            "open": builtins.open,
+            "io_open": io.open,
+            "os_open": os.open,
+            "os_close": os.close,
+            "replace": os.replace,
+            "fsync": os.fsync,
+            "unlink": os.unlink,
+        }
+        builtins.open = self._open  # type: ignore[assignment]
+        io.open = self._open  # type: ignore[assignment]
+        os.open = self._os_open  # type: ignore[assignment]
+        os.close = self._os_close  # type: ignore[assignment]
+        os.replace = self._replace  # type: ignore[assignment]
+        os.fsync = self._fsync  # type: ignore[assignment]
+        os.unlink = self._unlink  # type: ignore[assignment]
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        builtins.open = self._real["open"]
+        io.open = self._real["io_open"]
+        os.open = self._real["os_open"]
+        os.close = self._real["os_close"]
+        os.replace = self._real["replace"]
+        os.fsync = self._real["fsync"]
+        os.unlink = self._real["unlink"]
+
+    # -- interception core ---------------------------------------------------
+
+    def _under_root(self, file: Any) -> Path | None:
+        """The resolved path when it lives under root, else None."""
+        if isinstance(file, int):
+            return None
+        try:
+            raw = os.fspath(file)
+        except TypeError:
+            return None
+        if isinstance(raw, bytes):
+            return None  # bytes paths: nothing in-tree uses them
+        resolved = Path(os.path.abspath(raw))
+        try:
+            resolved.relative_to(self.root)
+        except ValueError:
+            return None
+        return resolved
+
+    def _fault(
+        self, op: str, path: Path, tear: Callable[[], None] | None = None
+    ) -> None:
+        """Number one op, log it, and raise its scripted fault (if any)."""
+        if self.crashed:
+            # Dead mode: the process is gone; nothing else gets to run.
+            raise SimulatedCrash(f"(dead) {op} on {path}")
+        seq = self.ops
+        self.ops += 1
+        action = self.plan.action_for(seq, op, str(path))
+        self.log.append(FaultEvent(seq, op, str(path), action))
+        if action is None:
+            return
+        if action == "crash":
+            if tear is not None:
+                tear()
+            self.crashed = True
+            raise SimulatedCrash(f"crash at op {seq}: {op} on {path}")
+        if tear is not None and action in ("enospc", "torn"):
+            tear()
+        if action == "enospc":
+            raise OSError(
+                errno.ENOSPC, "injected: no space left on device", str(path)
+            )
+        # eio and torn both surface as I/O errors; torn also wrote a prefix.
+        raise OSError(errno.EIO, f"injected I/O error during {op}", str(path))
+
+    def _forget_fd(self, fd: int) -> None:
+        self._fd_paths.pop(fd, None)
+
+    # -- patched entry points ------------------------------------------------
+
+    def _open(self, file: Any, mode: str = "r", *args: Any, **kwargs: Any) -> Any:
+        path = self._under_root(file)
+        writing = bool(_WRITE_MODE_CHARS & set(mode))
+        if path is None or not writing:
+            return self._real["io_open"](file, mode, *args, **kwargs)
+        self._fault("open", path)
+        handle = self._real["io_open"](file, mode, *args, **kwargs)
+        if "a" in mode:
+            self._durable.setdefault(path, self._disk_size(path))
+        else:
+            # w/x/(r+ keeps contents, but nothing here opens r+): fresh file.
+            self._durable[path] = 0 if "+" not in mode or "w" in mode else (
+                self._disk_size(path)
+            )
+        try:
+            self._fd_paths[handle.fileno()] = path
+        except (OSError, ValueError):  # pragma: no cover - exotic streams
+            pass
+        return _FaultyFile(self, handle, path)
+
+    def _disk_size(self, path: Path) -> int:
+        try:
+            return os.stat(path).st_size
+        except OSError:
+            return 0
+
+    def _os_open(self, path: Any, flags: int, *args: Any, **kwargs: Any) -> int:
+        fd = self._real["os_open"](path, flags, *args, **kwargs)
+        resolved = self._under_root(path)
+        if resolved is not None:
+            self._fd_paths[fd] = resolved
+        return fd
+
+    def _os_close(self, fd: int) -> None:
+        self._forget_fd(fd)
+        self._real["os_close"](fd)
+
+    def _fsync(self, fd: int) -> None:
+        path = self._fd_paths.get(fd)
+        if path is None:
+            self._real["fsync"](fd)
+            return
+        self._fault("fsync", path)
+        self._real["fsync"](fd)
+        if path.is_dir():
+            # Directory fsync commits the renames pending in it.
+            self._pending_renames = [
+                pending
+                for pending in self._pending_renames
+                if Path(os.path.abspath(pending[1].parent)) != path
+            ]
+        else:
+            self._durable[path] = os.fstat(fd).st_size
+
+    def _replace(self, src: Any, dst: Any, **kwargs: Any) -> None:
+        dst_path = self._under_root(dst)
+        if dst_path is None:
+            self._real["replace"](src, dst, **kwargs)
+            return
+        src_path = Path(os.path.abspath(Path(os.fspath(src))))
+        self._fault("replace", dst_path)
+        if self.lose_unfsynced:
+            src_bytes = (
+                src_path.read_bytes() if src_path.is_file() else b""
+            )
+            dst_prior = dst_path.read_bytes() if dst_path.is_file() else None
+            src_durable = self._durable.get(src_path, len(src_bytes))
+            self._pending_renames.append(
+                (src_path, dst_path, src_bytes, src_durable, dst_prior)
+            )
+        self._durable[dst_path] = self._durable.pop(
+            src_path, self._disk_size(src_path)
+        )
+        self._real["replace"](src, dst, **kwargs)
+
+    def _unlink(self, path: Any, **kwargs: Any) -> None:
+        resolved = self._under_root(path)
+        if resolved is None:
+            self._real["unlink"](path, **kwargs)
+            return
+        self._fault("unlink", resolved)
+        self._durable.pop(resolved, None)
+        self._real["unlink"](path, **kwargs)
+
+    # -- the crash, as the disk saw it ---------------------------------------
+
+    def apply_crash_state(self) -> None:
+        """Rewrite the tree to what actually survived the crash.
+
+        Only meaningful with ``lose_unfsynced=True`` (otherwise the tree
+        already *is* the crash state: dead mode froze it).  Must be called
+        outside the ``with`` block, or at least after the crash fired.
+        """
+        if not self.lose_unfsynced:
+            return
+        restored: set[Path] = set()
+        for src, dst, src_bytes, src_durable, dst_prior in reversed(
+            self._pending_renames
+        ):
+            # The rename never became durable: dst reverts, src reappears
+            # (holding only its durably-written prefix) as the orphan a
+            # real crash would leave.
+            if dst_prior is None:
+                try:
+                    self._real["unlink"](dst)
+                except FileNotFoundError:
+                    pass
+            else:
+                with self._real["io_open"](dst, "wb") as handle:
+                    handle.write(dst_prior)
+            with self._real["io_open"](src, "wb") as handle:
+                handle.write(src_bytes[:src_durable])
+            restored.add(dst)
+            restored.add(src)
+        for path, durable in self._durable.items():
+            if path in restored:
+                continue
+            try:
+                size = os.stat(path).st_size
+            except OSError:
+                continue
+            if size > durable:
+                with self._real["io_open"](path, "rb+") as handle:
+                    handle.truncate(durable)

@@ -1,0 +1,176 @@
+"""The crash-point sweep: kill the workload at *every* op, check the reader.
+
+This is the harness behind the repo's crash-consistency claims.  One
+sweep takes three callables —
+
+* ``setup(dir)`` builds the pre-crash state once, into a template tree;
+* ``workload(dir)`` performs the mutation under test (an index save, a
+  WAL append burst, a registry publish, a run-file consolidation);
+* ``check(dir)`` plays the *next process*: open every artifact the way
+  production does and return a short label for what it saw —
+
+and then runs the workload once per interceptable operation, crashing
+before op *k* each time (op counts come from an initial clean run under
+a fault-free :class:`FaultyFS`).  Each replay gets a pristine copy of
+the template, a fresh :class:`FaultPlan`, and — in the default
+``lose_unfsynced`` mode — a post-crash
+:meth:`~repro.faults.fs.FaultyFS.apply_crash_state`, so what ``check``
+opens is what a power failure would really have left.
+
+``check`` *is* the contract.  It must raise (``AssertionError``, or the
+uncaught corruption error itself) iff the reader silently served corrupt
+data or crashed in an untyped way; it returns a label (``"pre"``,
+``"post"``, ``"recovered"``, ``"typed-error"`` — anything descriptive)
+when the outcome is acceptable.  The sweep report aggregates the labels,
+so a test can additionally assert distribution facts like "some crash
+points actually surfaced the pre-state".
+
+The per-crash-point fault logs ride along in the report
+(:meth:`SweepReport.to_payload`), which is what the CI chaos-smoke job
+uploads as its artifact: a failing crash point names the exact op
+sequence that produced it, making the repro one FaultSpec away.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.faults.fs import FaultPlan, FaultyFS, SimulatedCrash
+
+
+@dataclass
+class CrashOutcome:
+    """What one crash point did to the reader."""
+
+    crash_at: int
+    #: The op the crash pre-empted (from the fault log), e.g. "write".
+    op: str
+    path: str
+    #: check()'s label, or None when it raised.
+    label: str | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "crash_at": self.crash_at,
+            "op": self.op,
+            "path": self.path,
+            "label": self.label,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SweepReport:
+    """Every crash point's outcome for one workload."""
+
+    total_ops: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def labels(self) -> Counter:
+        return Counter(
+            outcome.label for outcome in self.outcomes if outcome.label
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "total_ops": self.total_ops,
+            "n_failures": len(self.failures),
+            "labels": dict(self.labels),
+            "outcomes": [outcome.to_payload() for outcome in self.outcomes],
+        }
+
+    def summary(self) -> str:
+        labels = ", ".join(
+            f"{label}={count}" for label, count in sorted(self.labels.items())
+        )
+        return (
+            f"{self.total_ops} crash point(s): {len(self.failures)} failure(s)"
+            + (f"; outcomes: {labels}" if labels else "")
+        )
+
+
+def crash_point_sweep(
+    setup: Callable[[Path], None],
+    workload: Callable[[Path], None],
+    check: Callable[[Path], str],
+    *,
+    lose_unfsynced: bool = True,
+    scratch_dir: str | Path | None = None,
+) -> SweepReport:
+    """Crash ``workload`` before every mutating op; ``check`` each wreck."""
+    with tempfile.TemporaryDirectory(
+        prefix="av-crash-sweep-", dir=scratch_dir
+    ) as scratch:
+        base = Path(scratch)
+        template = base / "template"
+        template.mkdir()
+        setup(template)
+
+        # Clean counting run: how many interceptable ops does one
+        # crash-free workload perform?
+        count_dir = base / "count"
+        shutil.copytree(template, count_dir, dirs_exist_ok=True)
+        with FaultyFS(count_dir, FaultPlan()) as counter:
+            workload(count_dir)
+        report = SweepReport(total_ops=counter.ops)
+
+        # ops + 1 crash points: "before op k" for every k, plus one kill
+        # immediately *after* the last op — the workload believes it
+        # finished, but nothing further ever reaches the disk.  That last
+        # point is the one that catches a committed rename whose data was
+        # never fsync'd.
+        for crash_at in range(counter.ops + 1):
+            work = base / f"crash-{crash_at:05d}"
+            shutil.copytree(template, work)
+            fs = FaultyFS(
+                work,
+                FaultPlan(crash_at=crash_at),
+                lose_unfsynced=lose_unfsynced,
+            )
+            crashed = False
+            try:
+                with fs:
+                    workload(work)
+            except SimulatedCrash:
+                crashed = True
+            fs.apply_crash_state()
+            if crashed:
+                event = fs.log[-1]
+                op, path = event.op, event.path
+            else:
+                # The post-completion kill point (or a replay that took a
+                # shorter code path) — either way the end state, minus
+                # everything un-fsynced, must satisfy the reader contract.
+                op, path = "after-last-op", ""
+            try:
+                label = check(work)
+                report.outcomes.append(
+                    CrashOutcome(crash_at, op, path, label)
+                )
+            except BaseException as exc:  # noqa: BLE001 - the report is the assertion
+                report.outcomes.append(
+                    CrashOutcome(
+                        crash_at,
+                        op,
+                        path,
+                        None,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            shutil.rmtree(work, ignore_errors=True)
+        return report

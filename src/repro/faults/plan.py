@@ -1,0 +1,122 @@
+"""Scripted fault plans: *which* operation fails, *how*, deterministically.
+
+A :class:`FaultPlan` is a pure decision table — it owns no patching and
+touches no file.  :class:`~repro.faults.fs.FaultyFS` (and the crash-point
+harness above it) consults the plan once per intercepted operation, in
+order, so the same plan always injects the same faults at the same ops:
+there is no randomness anywhere in this package, which is what makes a
+crash-point sweep reproducible and its failures bisectable.
+
+Two addressing modes compose:
+
+* ``crash_at`` — crash the world at global operation index *k* (the
+  harness's mode: it counts a clean run's ops, then replays the workload
+  once per k);
+* :class:`FaultSpec` — target the *n*-th occurrence of one kind of
+  operation on paths matching a glob (``write`` #2 on ``*.tmp`` raises
+  ``ENOSPC``), for handwritten "what if exactly this fails" tests.
+
+``SimulatedCrash`` deliberately extends :class:`BaseException`, not
+``OSError``: production code legitimately catches ``OSError`` to clean up
+partial output, but a SIGKILL runs no ``except`` blocks — a crash that
+cleanup handlers could intercept would test a politer failure than the
+one we claim to survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+#: Operation kinds FaultyFS reports (FaultSpec.op matches these, or "any").
+OP_KINDS = ("open", "write", "fsync", "replace", "unlink")
+
+#: Injectable failure modes.
+ACTIONS = ("crash", "eio", "enospc", "torn")
+
+
+class SimulatedCrash(BaseException):
+    """The process 'died' here.  BaseException: ``except OSError`` (and
+    even ``except Exception``) cleanup must not soften the crash."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One intercepted operation, as logged (the fault-log artifact)."""
+
+    seq: int
+    op: str
+    path: str
+    action: str | None
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "path": self.path,
+            "action": self.action,
+        }
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fail the ``at``-th occurrence of ``op`` on paths matching ``glob``.
+
+    ``glob`` matches both the full path and the basename, so ``"*.tmp"``
+    hits any temp file and ``"*/manifest.json.tmp"`` pins one exactly.
+    ``at`` counts *matching* occurrences from 0.
+    """
+
+    op: str
+    glob: str
+    action: str
+    at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in OP_KINDS and self.op != "any":
+            raise ValueError(f"unknown op {self.op!r}; use one of {OP_KINDS}")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; use one of {ACTIONS}"
+            )
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+
+    def matches(self, op: str, path: str) -> bool:
+        if self.op != "any" and self.op != op:
+            return False
+        name = path.rsplit("/", 1)[-1]
+        return fnmatch(path, self.glob) or fnmatch(name, self.glob)
+
+
+@dataclass
+class FaultPlan:
+    """The decision table one FaultyFS run consults, op by op."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    #: Crash the process at this global op index (None = never).
+    crash_at: int | None = None
+    _hits: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+
+    def action_for(self, seq: int, op: str, path: str) -> str | None:
+        """The scripted action for op ``seq``, or None to let it through.
+
+        Occurrence counters advance as a side effect, so each plan
+        instance scripts exactly one run — build a fresh plan per replay.
+        """
+        if self.crash_at is not None and seq >= self.crash_at:
+            # >= not ==: if the crash op was skipped (a code path changed
+            # between the counting run and this one), still crash at the
+            # next op rather than silently completing.
+            return "crash"
+        for i, spec in enumerate(self.specs):
+            if not spec.matches(op, path):
+                continue
+            occurrence = self._hits.get(i, 0)
+            self._hits[i] = occurrence + 1
+            if occurrence == spec.at:
+                return spec.action
+        return None

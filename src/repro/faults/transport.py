@@ -1,0 +1,154 @@
+"""FaultyTransport: scripted network faults for the dist HTTP path.
+
+Wraps any coordinator/client transport (the real
+:class:`~repro.dist.coordinator.HTTPTransport`, or the in-process stubs
+the dist tests use) and injects faults by *request index*: the N-th
+request matching a method + URL substring gets reset, times out, stalls,
+answers 503, or returns a truncated body.  Deterministic for the same
+reason :class:`~repro.faults.plan.FaultPlan` is — no randomness, just
+counters — so a failing dist scenario replays exactly.
+
+The fault vocabulary mirrors what the dist robustness model claims to
+survive (module doc of :mod:`repro.dist.coordinator`): ``reset`` maps to
+dead-worker reassignment, ``timeout`` to same-worker retry, ``error503``
+to transient-5xx retry and load-shed handling, and ``truncate`` to the
+torn-download re-fetch + :class:`RunVerificationError` path.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Injectable network failure modes.
+TRANSPORT_ACTIONS = ("reset", "timeout", "latency", "error503", "truncate")
+
+
+@dataclass(frozen=True)
+class TransportFault:
+    """Fail the ``at``-th request whose method/URL match.
+
+    ``method`` is ``"get"``, ``"post"`` or ``"any"``; ``url_part`` is a
+    plain substring of the URL (empty matches everything); ``seconds``
+    only matters for ``latency``.
+    """
+
+    method: str
+    url_part: str
+    action: str
+    at: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("get", "post", "any"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.action not in TRANSPORT_ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; use one of {TRANSPORT_ACTIONS}"
+            )
+
+    def matches(self, method: str, url: str) -> bool:
+        return self.method in ("any", method) and self.url_part in url
+
+
+class FaultyTransport:
+    """Injects ``faults`` in front of ``inner``'s post/get."""
+
+    def __init__(
+        self,
+        inner: Any,
+        faults: tuple[TransportFault, ...] | list[TransportFault] = (),
+        *,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        self.inner = inner
+        self.faults = tuple(faults)
+        self._sleep = sleep if sleep is not None else (lambda _s: None)
+        self._hits: dict[int, int] = {}
+        # The dist coordinator drives one transport from several worker
+        # threads; occurrence counting must stay exact under that.
+        self._lock = threading.Lock()
+        self.requests: list[tuple[str, str, str | None]] = []
+        # Stubs may not take a per-call timeout; detect once, like the
+        # round-robin client does.
+        self._inner_takes_timeout = {
+            name: self._takes_timeout(name) for name in ("post", "get")
+        }
+
+    def _takes_timeout(self, name: str) -> bool:
+        try:
+            handler = getattr(self.inner, name)
+            return "timeout" in inspect.signature(handler).parameters
+        except (AttributeError, TypeError, ValueError):
+            return False
+
+    def _action_for(self, method: str, url: str) -> TransportFault | None:
+        # Every matching fault's occurrence counter advances on every
+        # request (whether or not an earlier fault fires), so "at" always
+        # means "the N-th request this fault matches".
+        fired: TransportFault | None = None
+        with self._lock:
+            for i, fault in enumerate(self.faults):
+                if not fault.matches(method, url):
+                    continue
+                occurrence = self._hits.get(i, 0)
+                self._hits[i] = occurrence + 1
+                if fired is None and occurrence == fault.at:
+                    fired = fault
+            return fired
+
+    def _pre(self, method: str, url: str) -> TransportFault | None:
+        """Log + faults that fire before the request reaches the wire."""
+        fault = self._action_for(method, url)
+        with self._lock:
+            self.requests.append((method, url, fault.action if fault else None))
+        if fault is None:
+            return None
+        if fault.action == "reset":
+            raise ConnectionError(f"injected connection reset: {url}")
+        if fault.action == "timeout":
+            raise TimeoutError(f"injected timeout: {url}")
+        if fault.action == "latency":
+            self._sleep(fault.seconds)
+            return None
+        if fault.action == "error503":
+            return fault
+        return fault  # truncate: applied to the real response
+
+    @staticmethod
+    def _post_process(
+        fault: TransportFault | None, status: int, data: bytes
+    ) -> tuple[int, bytes]:
+        if fault is None:
+            return status, data
+        if fault.action == "error503":
+            return 503, (
+                b'{"code": "unavailable", '
+                b'"message": "injected transient overload", "status": 503}'
+            )
+        # truncate: a torn body with a healthy status line.
+        return status, data[: len(data) // 2]
+
+    def post(
+        self, url: str, body: bytes, timeout: float | None = None
+    ) -> tuple[int, bytes]:
+        fault = self._pre("post", url)
+        if fault is not None and fault.action == "error503":
+            return self._post_process(fault, 0, b"")
+        if timeout is not None and self._inner_takes_timeout["post"]:
+            status, data = self.inner.post(url, body, timeout=timeout)
+        else:
+            status, data = self.inner.post(url, body)
+        return self._post_process(fault, status, data)
+
+    def get(self, url: str, timeout: float | None = None) -> tuple[int, bytes]:
+        fault = self._pre("get", url)
+        if fault is not None and fault.action == "error503":
+            return self._post_process(fault, 0, b"")
+        if timeout is not None and self._inner_takes_timeout["get"]:
+            status, data = self.inner.get(url, timeout=timeout)
+        else:
+            status, data = self.inner.get(url)
+        return self._post_process(fault, status, data)

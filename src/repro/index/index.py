@@ -27,13 +27,13 @@ import gzip
 import hashlib
 import io
 import json
-import os
 import zlib
 from collections import Counter
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.pattern import Pattern
+from repro.durability import publish_bytes
 
 _FORMAT_VERSION = 1
 _SHARDED_FORMAT_VERSION = 2
@@ -400,8 +400,16 @@ class PatternIndex:
             from repro.index.store import open_index
 
             return open_index(path, lazy=lazy)
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # A truncated or garbled gzip stream surfaces as EOFError /
+            # BadGzipFile / zlib.error depending on where the cut falls;
+            # readers get one typed error for all of them.
+            raise ValueError(f"{path} is not a readable v1 index (torn file?): {exc}") from exc
         if payload.get("version") != _FORMAT_VERSION:
             raise ValueError(f"unsupported index format: {payload.get('version')!r}")
         entries = {
@@ -480,7 +488,7 @@ class ShardedPatternIndex(PatternIndex):
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, EOFError, json.JSONDecodeError) as exc:
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError) as exc:
             # Missing or torn shard: an in-place rebuild is racing us.
             raise StaleIndexError(
                 f"shard file {path} unreadable (index rebuilt in place?): {exc}"
@@ -517,22 +525,30 @@ def _remove_stale_shards(directory: Path, expected: set[str]) -> None:
 
 
 def _publish_manifest(directory: Path, manifest: dict) -> None:
-    """Write ``manifest.json`` atomically (tmp file + rename), after every
-    shard file is already in place.  Shared by every directory-layout store
-    so manifest bytes are format-independent in shape and deterministic."""
-    manifest_tmp = directory / (_MANIFEST_NAME + ".tmp")
-    manifest_tmp.write_text(
-        json.dumps(manifest, sort_keys=True, indent=1), encoding="utf-8"
-    )
-    os.replace(manifest_tmp, directory / _MANIFEST_NAME)
+    """Durably publish ``manifest.json`` after every shard file is in place.
+
+    The manifest is the commit point of a directory-layout save: its bytes
+    are fsync'd before the atomic rename and the directory is fsync'd after
+    it, so a crash at any instant leaves either the previous manifest or the
+    new one — never a torn file, and never a new manifest whose shards could
+    be lost by a reordered flush (every shard write fsync'd before this).
+    Shared by every directory-layout store so manifest bytes are
+    format-independent in shape and deterministic.
+    """
+    data = json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
+    publish_bytes(directory / _MANIFEST_NAME, data)
 
 
 def _write_gzip_json(path: Path, payload: dict) -> None:
-    """Gzip JSON with sorted keys and zeroed mtime — byte-deterministic."""
+    """Gzip JSON with sorted keys and zeroed mtime — byte-deterministic.
+
+    Published durably (temp + fsync + rename) so the manifest publish that
+    follows can assume every shard it references is on the device.
+    """
     buffer = io.BytesIO()
     with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as gz:
         gz.write(json.dumps(payload, sort_keys=True).encode("utf-8"))
-    path.write_bytes(buffer.getvalue())
+    publish_bytes(path, buffer.getvalue())
 
 
 def _token_length_of_key(key: str) -> int:

@@ -74,6 +74,14 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.durability import (
+    DurabilityError,
+    cleanup_orphans,
+    durable_replace,
+    fsync_file,
+    is_no_space,
+    publish_bytes,
+)
 from repro.index.index import (
     MAX_SHARDS,
     IndexEntry,
@@ -380,8 +388,15 @@ class V1MonolithicStore:
         return index_digest(path)
 
     def iter_entries(self, path: str | Path) -> Iterator[Entry]:
-        with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with gzip.open(Path(path), "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # Same typed-error contract as PatternIndex.load: any torn or
+            # garbled gzip stream reads as "not a v1 index", never EOFError.
+            raise ValueError(f"{path} is not a readable v1 index (torn file?): {exc}") from exc
         if payload.get("version") != self.format_version:
             raise ValueError(f"unsupported index format: {payload.get('version')!r}")
         for key in sorted(payload["entries"]):
@@ -560,6 +575,9 @@ class V2ShardedStore(_DirectoryStoreBase):
 
     def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
         path = Path(path)
+        # Sweep publish temporaries a crashed builder left behind (safe:
+        # single-writer discipline, nothing references *.tmp once open).
+        cleanup_orphans(path)
         self._read_manifest(path)  # fail with a precise error on v1/v3 input
         return ShardedPatternIndex._load(path, lazy=lazy)
 
@@ -574,7 +592,7 @@ class V2ShardedStore(_DirectoryStoreBase):
         try:
             with gzip.open(shard_file, "rt", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, EOFError, json.JSONDecodeError) as exc:
+        except (OSError, EOFError, zlib.error, json.JSONDecodeError) as exc:
             raise StaleIndexError(
                 f"shard file {shard_file} unreadable (index rebuilt in place?): {exc}"
             ) from exc
@@ -682,7 +700,7 @@ def write_run_file(
             fixed & _MASK64, (fixed >> 64) & _MASK64, fixed >> 128, coverages[key]
         )
     buffer += _V3_FOOTER.pack(zlib.crc32(bytes(buffer)), _V3_MAGIC)
-    Path(path).write_bytes(buffer)
+    publish_bytes(Path(path), bytes(buffer))
     return len(encoded)
 
 
@@ -691,6 +709,13 @@ def iter_run_file(path: str | Path) -> Iterator[RunEntry]:
     path = Path(path)
     with open(path, "rb") as handle:
         size = os.fstat(handle.fileno()).st_size
+        if size < _V3_HEADER.size + _V3_FOOTER.size:
+            # Checked before the mmap so a zero-byte or sub-header file
+            # raises this, not "cannot mmap an empty file" / struct.error.
+            raise ValueError(
+                f"run file {path} is {size} bytes — shorter than a v3 run "
+                "header (torn spill?)"
+            )
         with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mm:
             magic, version, flags, _run_id, n_entries, blob_size = _V3_HEADER.unpack_from(
                 mm, 0
@@ -791,28 +816,48 @@ def _stream_v3_container(
     """
     if key_blob_size >= 2**32:
         raise ValueError(f"shard {shard_id} key blob exceeds the u32 offset space")
-    with open(path, "wb", buffering=1 << 18) as handle:
-        writer = _Crc32Writer(handle)
-        writer.write(
-            _V3_HEADER.pack(_V3_MAGIC, 3, flags, shard_id, n_entries, key_blob_size)
-        )
-        offset = 0
-        seen = 0
-        for entry in source():
-            writer.write(_V3_OFFSET.pack(offset))
-            offset += len(entry[0])
-            seen += 1
-        if seen != n_entries or offset != key_blob_size:
-            raise ValueError(
-                f"shard {shard_id} source yielded {seen} entries / {offset} key "
-                f"bytes, caller promised {n_entries} / {key_blob_size}"
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb", buffering=1 << 18) as handle:
+            writer = _Crc32Writer(handle)
+            writer.write(
+                _V3_HEADER.pack(_V3_MAGIC, 3, flags, shard_id, n_entries, key_blob_size)
             )
-        writer.write(_V3_OFFSET.pack(offset))
-        for entry in source():
-            writer.write(entry[0])
-        for entry in source():
-            writer.write(record_for(entry))
-        handle.write(_V3_FOOTER.pack(writer.crc, _V3_MAGIC))
+            offset = 0
+            seen = 0
+            for entry in source():
+                writer.write(_V3_OFFSET.pack(offset))
+                offset += len(entry[0])
+                seen += 1
+            if seen != n_entries or offset != key_blob_size:
+                raise ValueError(
+                    f"shard {shard_id} source yielded {seen} entries / {offset} key "
+                    f"bytes, caller promised {n_entries} / {key_blob_size}"
+                )
+            writer.write(_V3_OFFSET.pack(offset))
+            for entry in source():
+                writer.write(entry[0])
+            for entry in source():
+                writer.write(record_for(entry))
+            handle.write(_V3_FOOTER.pack(writer.crc, _V3_MAGIC))
+            fsync_file(handle)
+        durable_replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        if is_no_space(exc):
+            raise DurabilityError(
+                exc.errno, f"out of disk space writing {path.name}"
+            ) from exc
+        raise
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return writer.crc
 
 
@@ -1132,6 +1177,8 @@ class V3BinaryStore(_DirectoryStoreBase):
 
     def open(self, path: str | Path, lazy: bool = True) -> PatternIndex:
         path = Path(path)
+        # Same orphan sweep as v2: a crashed save leaves only *.tmp files.
+        cleanup_orphans(path)
         manifest = self._read_manifest(path)
         return MmapShardedPatternIndex._load(path, manifest, lazy=lazy)
 
@@ -1178,7 +1225,7 @@ class V3BinaryStore(_DirectoryStoreBase):
     def _write_shard(self, path: Path, i: int, entries: dict[str, tuple[float, int]]) -> dict:
         name = self._shard_file_name(i)
         payload = _v3_shard_bytes(i, entries)
-        (path / name).write_bytes(payload)
+        publish_bytes(path / name, payload)
         crc, _ = _V3_FOOTER.unpack_from(payload, len(payload) - _V3_FOOTER.size)
         return {"file": name, "entries": len(entries), "crc32": crc}
 

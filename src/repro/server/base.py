@@ -107,15 +107,37 @@ class _HTTPError(Exception):
         self.message = message
 
 
+#: Routes exempt from load shedding: probes and metrics must answer even
+#: (especially) when the server is saturated, or the orchestrator would
+#: kill a healthy-but-busy process and the operator would fly blind.
+SHED_EXEMPT_PATHS = frozenset({"/healthz", "/livez", "/metrics"})
+
+#: ``Retry-After`` value (seconds) sent with every 503 (load shed or
+#: drain): long enough that a retrying client backs off a saturated edge,
+#: short enough that capacity freed by one finished scan is found quickly.
+RETRY_AFTER_SECONDS = 1
+
+
 class BaseHTTPServer:
     """Dependency-free asyncio HTTP/1.1 server base (see module doc)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        max_inflight: int | None = None,
+    ):
         self.host = host
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
         self.requests_total = 0
         self.errors_total = 0
+        #: Load-shedding bound: with more than this many requests already
+        #: in flight, new non-probe requests answer ``503 Retry-After``
+        #: instead of queueing without bound.  ``None`` disables shedding.
+        self.max_inflight = max_inflight
+        self.sheds_total = 0
         self._inflight = 0
         self._draining = False
 
@@ -345,10 +367,16 @@ class BaseHTTPServer:
         else:
             data = payload
             content_type = content_type or BINARY_CONTENT_TYPE
+        # Every 503 — load shed or drain — advertises when to come back,
+        # so well-behaved clients back off instead of hammering the edge.
+        retry_after = (
+            f"Retry-After: {RETRY_AFTER_SECONDS}\r\n" if status == 503 else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -367,6 +395,25 @@ class BaseHTTPServer:
         peer: tuple | None = None,
     ) -> tuple[int, str | bytes, str | None]:
         self.requests_total += 1
+        if (
+            self.max_inflight is not None
+            and self._inflight >= self.max_inflight
+            and path not in SHED_EXEMPT_PATHS
+        ):
+            # Load shed at the door: a bounded in-flight set keeps latency
+            # and memory flat under overload; the client is told to retry.
+            self.sheds_total += 1
+            self.errors_total += 1
+            return (
+                503,
+                ErrorResponse(
+                    "overloaded",
+                    f"server is at its in-flight bound ({self.max_inflight}); "
+                    "retry later",
+                    503,
+                ).to_json(),
+                None,
+            )
         self._inflight += 1
         try:
             result = await self._handle(method, path, headers, body, peer)

@@ -107,8 +107,9 @@ class ValidationHTTPServer(BaseHTTPServer):
         host: str = "127.0.0.1",
         port: int = 8080,
         rate_limiter: TenantRateLimiter | None = None,
+        max_inflight: int | None = None,
     ):
-        super().__init__(host, port)
+        super().__init__(host, port, max_inflight=max_inflight)
         self.service = service
         self.rate_limiter = rate_limiter or TenantRateLimiter(rate=0.0, burst=1.0)
         self.rate_limited_total = 0
@@ -256,6 +257,8 @@ class ValidationHTTPServer(BaseHTTPServer):
                 "rate_limited_total": self.rate_limited_total,
                 "errors_total": self.errors_total,
                 "inflight": self.inflight,
+                "max_inflight": self.max_inflight,
+                "sheds_total": self.sheds_total,
                 "ready": not self._index_warming(),
                 "tenants": self.rate_limiter.tenants(),
                 # The *active* serving config — after any /admin/config

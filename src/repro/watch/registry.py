@@ -17,10 +17,11 @@ a crash mid-save leaves the previous registry intact, never a torn one.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
+
+from repro.durability import cleanup_orphans, publish_bytes
 
 from repro.validate.result import rule_from_payload
 from repro.validate.rule import dumps_canonical
@@ -130,6 +131,9 @@ class WatchRegistry:
     def __init__(self, path: Path | str):
         self.path = Path(path)
         self.feeds: dict[tuple[str, str], FeedState] = {}
+        # A crash mid-save leaves registry.json.tmp behind; sweep it so the
+        # directory holds only the last durably published registry.
+        cleanup_orphans(self.path.parent, (self.path.name + ".tmp",))
         if self.path.exists():
             self._load()
 
@@ -146,19 +150,18 @@ class WatchRegistry:
             self.feeds[state.key] = state
 
     def save(self) -> None:
-        """Atomic publish: temp file + ``os.replace`` (v3-store discipline)."""
+        """Durable atomic publish: temp + fsync + ``os.replace`` + dir fsync.
+
+        ENOSPC surfaces as :class:`repro.durability.DurabilityError` with
+        the partial temp file removed.
+        """
         payload = {
             "v": REGISTRY_VERSION,
             "feeds": [
                 self.feeds[key].to_payload() for key in sorted(self.feeds)
             ],
         }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(dumps_canonical(payload))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        publish_bytes(self.path, dumps_canonical(payload).encode("utf-8"))
 
     # -- views ---------------------------------------------------------------
 

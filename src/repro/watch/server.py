@@ -90,8 +90,9 @@ class WatchHTTPServer(BaseHTTPServer):
         host: str = "127.0.0.1",
         port: int = 8080,
         tick_seconds: float | None = None,
+        max_inflight: int | None = None,
     ):
-        super().__init__(host, port)
+        super().__init__(host, port, max_inflight=max_inflight)
         self.service = service
         if tick_seconds is not None and tick_seconds <= 0:
             raise ValueError("tick_seconds must be positive (or None)")
@@ -201,6 +202,8 @@ class WatchHTTPServer(BaseHTTPServer):
                 "requests_total": self.requests_total,
                 "errors_total": self.errors_total,
                 "inflight": self.inflight,
+                "max_inflight": self.max_inflight,
+                "sheds_total": self.sheds_total,
                 "tick_seconds": self.tick_seconds,
                 "timeseries": {
                     "segments": len(self.service.timeseries.segments()),

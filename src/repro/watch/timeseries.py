@@ -48,16 +48,15 @@ on every read (summaries are small).
 
 from __future__ import annotations
 
-import json
-import os
 import struct
 import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
-from repro.validate.rule import dumps_canonical
+from repro import durability
+from repro.durability import cleanup_orphans, publish_bytes
 
 #: Seal the WAL past this size even mid-day (keeps recovery scans fast).
 DEFAULT_MAX_SEGMENT_BYTES = 4 * 1024 * 1024
@@ -127,69 +126,46 @@ class Observation:
 
 
 # -- CRC-framed NDJSON lines (shared with the alert log) ---------------------
+#
+# The codec itself lives in ``repro.durability`` so the dist build journal
+# shares one implementation; these wrappers keep the historical byte-level
+# signatures (line-as-bytes, trailing newline) that the watch layer and its
+# tests use.
 
 
 def format_crc_line(payload: Mapping[str, Any]) -> bytes:
     """One self-verifying NDJSON line: ``<crc32:08x> <canonical json>\\n``."""
-    body = dumps_canonical(payload).encode("utf-8")
-    return f"{zlib.crc32(body):08x} ".encode("ascii") + body + b"\n"
+    return durability.format_crc_line(dict(payload)).encode("utf-8") + b"\n"
 
 
 def _parse_crc_line(line: bytes) -> dict[str, Any] | None:
     """Decode one line; None when torn/corrupt (bad CRC, framing, JSON)."""
     if not line.endswith(b"\n"):
         return None  # torn tail: the newline is the commit marker
-    prefix, sep, body = line[:-1].partition(b" ")
-    if not sep or len(prefix) != 8:
-        return None
-    try:
-        expected = int(prefix, 16)
-    except ValueError:
-        return None
-    if zlib.crc32(body) != expected:
-        return None
-    try:
-        payload = json.loads(body)
-    except ValueError:  # pragma: no cover - CRC collision would be needed
-        return None
-    return payload if isinstance(payload, dict) else None
+    return durability.parse_crc_line(line[:-1].decode("utf-8", errors="replace"))
 
 
 def read_crc_lines(path: Path) -> tuple[list[dict[str, Any]], int]:
     """All valid records plus the byte offset where the first torn/corrupt
     line starts (== file size when the file is fully intact)."""
-    records: list[dict[str, Any]] = []
-    valid_bytes = 0
-    if not path.exists():
-        return records, 0
-    with open(path, "rb") as handle:
-        for line in handle:
-            payload = _parse_crc_line(line)
-            if payload is None:
-                break  # everything after a torn line is unreachable
-            records.append(payload)
-            valid_bytes += len(line)
-    return records, valid_bytes
+    return durability.read_crc_lines(path)
 
 
 def recover_crc_file(path: Path) -> list[dict[str, Any]]:
     """Reopen a CRC-framed NDJSON file, truncating any torn tail in place."""
-    records, valid_bytes = read_crc_lines(path)
-    if path.exists() and valid_bytes < path.stat().st_size:
-        with open(path, "r+b") as handle:
-            handle.truncate(valid_bytes)
-    return records
+    return durability.recover_crc_lines(path)
 
 
 def append_crc_lines(path: Path, payloads: Iterable[Mapping[str, Any]]) -> None:
-    """Append records; each line commits atomically at its newline."""
-    data = b"".join(format_crc_line(p) for p in payloads)
-    if not data:
+    """Append records; each line commits atomically at its newline.
+
+    ENOSPC mid-append surfaces as :class:`repro.durability.DurabilityError`
+    after the partial frame is truncated away.
+    """
+    append = [dict(p) for p in payloads]
+    if not append:
         return
-    with open(path, "ab") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
+    durability.append_crc_lines(path, append)
 
 
 # -- binary day summaries ----------------------------------------------------
@@ -262,12 +238,7 @@ def write_day_summary(path: Path, stats: Mapping[str, DayStat]) -> None:
             stat.min_pass_rate,
         )
     buffer += _SUMMARY_FOOTER.pack(zlib.crc32(bytes(buffer)), _SUMMARY_MAGIC)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(bytes(buffer))
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    publish_bytes(path, bytes(buffer))
 
 
 def read_day_summary(path: Path) -> dict[str, DayStat]:
@@ -323,7 +294,9 @@ class TimeSeriesStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_segment_bytes = max_segment_bytes
         self.wal_path = self.root / "wal.ndjson"
-        # Crash recovery: drop any torn tail, learn the WAL's day + seq.
+        # Crash recovery: sweep orphaned publish temporaries (a crashed
+        # summary rewrite), drop any torn WAL tail, learn the day + seq.
+        cleanup_orphans(self.root)
         self._wal_records = recover_crc_file(self.wal_path)
         self._wal_day = (
             utc_day(float(self._wal_records[0]["ts"])) if self._wal_records else None
@@ -362,7 +335,10 @@ class TimeSeriesStore:
         day = self._wal_day
         segment = self.root / f"seg-{day}-{self._seq:06d}.ndjson"
         self._seq += 1
-        os.replace(self.wal_path, segment)
+        # The WAL's contents were fsync'd at append time; make the rename
+        # itself durable so a crash cannot resurrect the sealed segment
+        # under its WAL name and double-fold it into the summary.
+        durability.durable_replace(self.wal_path, segment)
         stats: dict[str, DayStat] = {}
         summary_path = self.summary_path(day)
         if summary_path.exists():

@@ -539,6 +539,84 @@ class TestResourceLifecycle:
 
 
 # ---------------------------------------------------------------------------
+# durable publish (AV502)
+# ---------------------------------------------------------------------------
+
+
+class TestDurableReplace:
+    PATH = "src/repro/index/x.py"
+
+    def test_bare_replace_flagged(self):
+        src = (
+            "import os\n"
+            "def publish(tmp, final):\n"
+            "    os.replace(tmp, final)\n"
+        )
+        assert rules_of(lint_source(src, self.PATH)) == ["AV502"]
+
+    def test_replace_after_write_without_fsync_flagged(self):
+        src = (
+            "import os\n"
+            "def publish(tmp, final, data):\n"
+            "    with open(tmp, 'wb') as fh:\n"
+            "        fh.write(data)\n"
+            "    os.replace(tmp, final)\n"
+        )
+        assert rules_of(lint_source(src, self.PATH)) == ["AV502"]
+
+    def test_fsync_after_replace_still_flagged(self):
+        # A directory fsync *after* the rename does not make the renamed
+        # contents durable; the data fsync must come first.
+        src = (
+            "import os\n"
+            "def publish(tmp, final, dir_fd):\n"
+            "    os.replace(tmp, final)\n"
+            "    os.fsync(dir_fd)\n"
+        )
+        assert rules_of(lint_source(src, self.PATH)) == ["AV502"]
+
+    def test_os_fsync_before_replace_clean(self):
+        src = (
+            "import os\n"
+            "def publish(tmp, final, data):\n"
+            "    with open(tmp, 'wb') as fh:\n"
+            "        fh.write(data)\n"
+            "        fh.flush()\n"
+            "        os.fsync(fh.fileno())\n"
+            "    os.replace(tmp, final)\n"
+        )
+        assert lint_source(src, self.PATH) == []
+
+    def test_fsync_file_helper_before_replace_clean(self):
+        src = (
+            "import os\n"
+            "from repro.durability import fsync_file\n"
+            "def publish(tmp, final, data):\n"
+            "    with open(tmp, 'wb') as fh:\n"
+            "        fh.write(data)\n"
+            "        fsync_file(fh)\n"
+            "    os.replace(tmp, final)\n"
+        )
+        assert lint_source(src, self.PATH) == []
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/watch/x.py",
+            "src/repro/dist/x.py",
+        ],
+    )
+    def test_watch_and_dist_in_scope(self, path):
+        src = "import os\ndef p(a, b):\n    os.replace(a, b)\n"
+        assert rules_of(lint_source(src, path)) == ["AV502"]
+
+    def test_durability_module_out_of_scope(self):
+        # repro/durability.py owns the raw fsync+replace sequence.
+        src = "import os\ndef p(a, b):\n    os.replace(a, b)\n"
+        assert lint_source(src, "src/repro/durability.py") == []
+
+
+# ---------------------------------------------------------------------------
 # CLI contract
 # ---------------------------------------------------------------------------
 

@@ -28,8 +28,11 @@ from repro.api.wire import ScanRequest, ScanResponse, WireError
 from repro.core.enumeration import EnumerationConfig
 from repro.core.hierarchy import GeneralizationHierarchy
 from repro.dist import (
+    BuildJournal,
+    DeadlineExceededError,
     DistBuildError,
     DistCoordinator,
+    JournalMismatchError,
     NoHealthyWorkersError,
     RoundRobinClient,
     RunVerificationError,
@@ -37,6 +40,8 @@ from repro.dist import (
     config_from_wire,
     config_to_wire,
 )
+from repro.durability import recover_crc_lines
+from repro.faults import FaultyTransport, TransportFault
 from repro.index.builder import build_index_streaming
 from repro.index.store import verify_run_payload, write_run_file
 from repro.server.base import BaseHTTPServer
@@ -735,3 +740,351 @@ class TestRoundRobinClient:
         client = RoundRobinClient(["http://r0", "http://r1"], transport=transport)
         with pytest.raises(AllReplicasFailedError):
             client.infer(["v"])
+
+
+# -- build journal & resume ----------------------------------------------------
+
+
+class _CoordinatorKilled(BaseException):
+    """Stands in for a coordinator SIGKILL: unwinds the build with no
+    cleanup that could write further state (receipts already committed)."""
+
+
+class KillAfterTransport(InProcessTransport):
+    """Raises on the N-th ``/v1/scan`` POST — the in-process equivalent of
+    the coordinator dying mid-build (everything before it is journaled)."""
+
+    def __init__(self, servers, kill_at: int):
+        super().__init__(servers)
+        self.kill_at = kill_at
+        self.scans = 0
+
+    def post(self, url: str, body: bytes):
+        if url.endswith("/v1/scan"):
+            if self.scans == self.kill_at:
+                raise _CoordinatorKilled("coordinator killed mid-build")
+            self.scans += 1
+        return super().post(url, body)
+
+
+class TestBuildJournalResume:
+    def test_journaled_build_receipts_every_window(
+        self, tmp_path, dist_columns, serial_v3
+    ):
+        servers = _make_pool(tmp_path, 2)
+        journal_dir = tmp_path / "journal"
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers), journal_dir=journal_dir,
+        )
+        out = tmp_path / "dist.v3"
+        stats = coordinator.build(dist_columns, out, format="v3", n_shards=8)
+        assert _dirs_byte_identical(serial_v3, out)
+        assert stats.windows_reused == 0
+        records = recover_crc_lines(journal_dir / "journal.ndjson")
+        kinds = [record["kind"] for record in records]
+        assert kinds[0] == "build_start"
+        assert kinds[-1] == "build_done"
+        assert kinds.count("window_done") == stats.n_windows
+        assert records[0]["n_windows"] == stats.n_windows
+        # Every receipt re-verifies against the run bytes on disk.
+        journal = BuildJournal(journal_dir)
+        assert sorted(journal.verified_windows(records)) == list(
+            range(stats.n_windows)
+        )
+
+    def test_killed_coordinator_resumes_byte_identical(
+        self, tmp_path, dist_columns, serial_v3
+    ):
+        servers = _make_pool(tmp_path, 1)
+        journal_dir = tmp_path / "journal"
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=KillAfterTransport(servers, kill_at=3),
+            journal_dir=journal_dir, windows_per_worker=6,
+        )
+        with pytest.raises(_CoordinatorKilled):
+            coordinator.build(
+                dist_columns, tmp_path / "dead.v3", format="v3", n_shards=8
+            )
+        receipts = [
+            record
+            for record in recover_crc_lines(journal_dir / "journal.ndjson")
+            if record["kind"] == "window_done"
+        ]
+        assert len(receipts) == 3
+        assert not (tmp_path / "dead.v3").exists()
+
+        # Resume with a *different* fleet (two fresh workers): the journal
+        # header pins the partitioning, so the output must still be
+        # byte-identical while only the unfinished windows re-scan.
+        servers2 = _make_pool(tmp_path / "fleet2", 2)
+        events = []
+        resumed = DistCoordinator(
+            sorted(servers2), corpus_name="dist-test",
+            transport=InProcessTransport(servers2), journal_dir=journal_dir,
+            on_event=lambda kind, **info: events.append(kind),
+        )
+        out = tmp_path / "resumed.v3"
+        stats = resumed.build(
+            dist_columns, out, format="v3", n_shards=8, resume=True
+        )
+        assert _dirs_byte_identical(serial_v3, out)
+        assert stats.n_windows == 6
+        assert stats.windows_reused == 3
+        assert sum(w.windows_scanned for w in stats.workers) == 3
+        assert events.count("window_reused") == 3
+        final = recover_crc_lines(journal_dir / "journal.ndjson")
+        assert final[-1]["kind"] == "build_done"
+
+    def test_corrupt_checkpoint_rescans_only_that_window(
+        self, tmp_path, dist_columns, serial_v3
+    ):
+        servers = _make_pool(tmp_path, 1)
+        journal_dir = tmp_path / "journal"
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers), journal_dir=journal_dir,
+            windows_per_worker=4,
+        )
+        coordinator.build(
+            dist_columns, tmp_path / "first.v3", format="v3", n_shards=8
+        )
+        victim = journal_dir / "window-000002.run"
+        tampered = bytearray(victim.read_bytes())
+        tampered[len(tampered) // 2] ^= 0xFF
+        victim.write_bytes(bytes(tampered))
+
+        resumed = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers), journal_dir=journal_dir,
+        )
+        out = tmp_path / "resumed.v3"
+        stats = resumed.build(
+            dist_columns, out, format="v3", n_shards=8, resume=True
+        )
+        assert stats.n_windows == 4
+        assert stats.windows_reused == 3  # the tampered receipt is distrusted
+        assert _dirs_byte_identical(serial_v3, out)
+
+    def test_resume_refuses_a_different_build(self, tmp_path, dist_columns):
+        servers = _make_pool(tmp_path, 1)
+        journal_dir = tmp_path / "journal"
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers), journal_dir=journal_dir,
+            windows_per_worker=2,
+        )
+        coordinator.build(
+            dist_columns, tmp_path / "first.v3", format="v3", n_shards=8
+        )
+
+        def fresh() -> DistCoordinator:
+            return DistCoordinator(
+                sorted(servers), corpus_name="dist-test",
+                transport=InProcessTransport(servers), journal_dir=journal_dir,
+            )
+
+        with pytest.raises(JournalMismatchError, match="corpus_digest"):
+            fresh().build(
+                dist_columns[:-1], tmp_path / "a.v3",
+                format="v3", n_shards=8, resume=True,
+            )
+        with pytest.raises(JournalMismatchError, match="n_shards"):
+            fresh().build(
+                dist_columns, tmp_path / "b.v3",
+                format="v3", n_shards=4, resume=True,
+            )
+        with pytest.raises(JournalMismatchError, match="format"):
+            fresh().build(
+                dist_columns, tmp_path / "c.v3",
+                format="v2", n_shards=8, resume=True,
+            )
+
+    def test_resume_with_empty_journal_refuses(self, tmp_path, dist_columns):
+        servers = _make_pool(tmp_path, 1)
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers),
+            journal_dir=tmp_path / "journal",
+        )
+        with pytest.raises(JournalMismatchError, match="nothing to resume"):
+            coordinator.build(
+                dist_columns, tmp_path / "dist.v3",
+                format="v3", n_shards=8, resume=True,
+            )
+
+    def test_resume_without_journal_is_a_value_error(
+        self, tmp_path, dist_columns
+    ):
+        servers = _make_pool(tmp_path, 1)
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test",
+            transport=InProcessTransport(servers),
+        )
+        with pytest.raises(ValueError, match="journal_dir"):
+            coordinator.build(
+                dist_columns, tmp_path / "dist.v3", format="v3", resume=True
+            )
+
+
+class TestFaultyTransportDistBuild:
+    def test_build_survives_reset_and_torn_download(
+        self, tmp_path, dist_columns, serial_v3
+    ):
+        servers = _make_pool(tmp_path, 2)
+        transport = FaultyTransport(
+            InProcessTransport(servers),
+            faults=[
+                TransportFault("post", "/v1/scan", "reset", at=0),
+                TransportFault("get", "/v1/runs/", "truncate", at=0),
+            ],
+        )
+        coordinator = DistCoordinator(
+            sorted(servers), corpus_name="dist-test", transport=transport,
+        )
+        out = tmp_path / "dist.v3"
+        stats = coordinator.build(dist_columns, out, format="v3", n_shards=8)
+        assert _dirs_byte_identical(serial_v3, out)
+        assert stats.windows_reassigned >= 1  # the reset worker died
+        assert stats.download_retries >= 1  # the torn body re-fetched
+        fired = [action for _m, _u, action in transport.requests if action]
+        assert fired.count("reset") == 1
+        assert fired.count("truncate") == 1
+
+
+# -- client deadline & backoff -------------------------------------------------
+
+
+class TestClientDeadlineBackoff:
+    def _dead_pool(self) -> ScriptedReplicaTransport:
+        return ScriptedReplicaTransport(
+            {"http://r0": {"dead": True}, "http://r1": {"dead": True}}
+        )
+
+    def test_backoff_schedule_capped_exponential_with_jitter(self):
+        client = RoundRobinClient(
+            ["http://r0"], transport=self._dead_pool(),
+            backoff=0.1, backoff_cap=0.4, jitter_seed=7,
+        )
+        for attempt in range(1, 7):
+            raw = min(0.1 * 2.0 ** (attempt - 1), 0.4)
+            delay = client._backoff_delay(attempt)
+            assert raw / 2 <= delay <= raw  # full jitter in [raw/2, raw]
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        make = lambda: RoundRobinClient(
+            ["http://r0"], transport=self._dead_pool(),
+            backoff=0.05, backoff_cap=2.0, jitter_seed=123,
+        )
+        a, b = make(), make()
+        assert [a._backoff_delay(i) for i in range(1, 8)] == [
+            b._backoff_delay(i) for i in range(1, 8)
+        ]
+
+    def test_deadline_bounds_total_failover_time(self):
+        now = [0.0]
+        slept = []
+
+        def sleep(seconds: float) -> None:
+            slept.append(seconds)
+            now[0] += seconds
+
+        client = RoundRobinClient(
+            ["http://r0", "http://r1"], transport=self._dead_pool(),
+            deadline=0.2, max_rounds=50, backoff=0.05, backoff_cap=1.0,
+            jitter_seed=1, sleep=sleep, clock=lambda: now[0],
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.infer(["v"])
+        # The budget was respected: we never slept past the deadline.
+        assert now[0] <= 0.2
+        assert slept  # at least one backoff happened before giving up
+
+    def test_deadline_error_is_an_all_replicas_failure(self):
+        from repro.dist.client import AllReplicasFailedError
+
+        assert issubclass(DeadlineExceededError, AllReplicasFailedError)
+
+    def test_per_call_timeout_clamped_to_remaining_budget(self):
+        seen: list[float | None] = []
+
+        class RecordingTransport:
+            def post(self, url, body, timeout=None):
+                seen.append(timeout)
+                raise ConnectionError("down")
+
+            def get(self, url):
+                return 200, b'{"status": "ok"}'
+
+        now = [0.0]
+
+        def sleep(seconds: float) -> None:
+            now[0] += seconds
+
+        client = RoundRobinClient(
+            ["http://r0", "http://r1"], transport=RecordingTransport(),
+            timeout=30.0, deadline=1.0, max_rounds=10,
+            backoff=0.05, backoff_cap=1.0, jitter_seed=3,
+            sleep=sleep, clock=lambda: now[0],
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.infer(["v"])
+        assert seen
+        assert all(t is not None and 0 < t <= 1.0 for t in seen)
+
+
+# -- load shedding -------------------------------------------------------------
+
+
+class TestLoadShedding:
+    def _shed_worker(self, tmp_path) -> ScanWorkerServer:
+        server = ScanWorkerServer(
+            port=0, run_dir=tmp_path / "runs", max_inflight=1
+        )
+        server._inflight = 1  # simulate a request stuck in flight
+        return server
+
+    def test_sheds_non_probe_traffic_at_the_bound(self, tmp_path):
+        server = self._shed_worker(tmp_path)
+        status, payload, _ = asyncio.run(
+            server._dispatch("GET", "/v1/runs/nope", {}, b"", ("127.0.0.1", 1))
+        )
+        assert status == 503
+        assert "overloaded" in payload
+        assert server.sheds_total == 1
+
+    def test_probes_and_metrics_exempt_from_shedding(self, tmp_path):
+        server = self._shed_worker(tmp_path)
+        for path in ("/healthz", "/livez", "/metrics"):
+            status, _payload, _ = asyncio.run(
+                server._dispatch("GET", path, {}, b"", ("127.0.0.1", 1))
+            )
+            assert status == 200, path
+        assert server.sheds_total == 0
+        # And /metrics reports sheds once one happens.
+        asyncio.run(
+            server._dispatch("POST", "/v1/scan", {}, b"{}", ("127.0.0.1", 1))
+        )
+        status, metrics, _ = asyncio.run(
+            server._dispatch("GET", "/metrics", {}, b"", ("127.0.0.1", 1))
+        )
+        assert status == 200
+        assert json.loads(metrics)["sheds_total"] == 1
+
+    def test_503_responses_carry_retry_after(self, tmp_path):
+        server = ScanWorkerServer(port=0, run_dir=tmp_path / "runs")
+
+        class Sink:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk: bytes) -> None:
+                self.data += chunk
+
+        shed = Sink()
+        server._write_response(shed, 503, '{"code": "overloaded"}', False)
+        assert b"Retry-After: 1\r\n" in shed.data
+        ok = Sink()
+        server._write_response(ok, 200, '{"status": "ok"}', False)
+        assert b"Retry-After" not in ok.data
